@@ -1,0 +1,41 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures on
+the simulated testbed and prints the measured series next to the
+values the paper reports.  Absolute numbers differ (simulator vs. real
+Optane testbed); the *shapes* are the reproduction target — see
+EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+``REPRO_SCALE`` (default 1.0) scales dataset/op counts.
+
+Heavy experiment execution lives in module-scoped fixtures (run once,
+shared by the table printer and the shape assertions); an autouse hook
+registers every test with pytest-benchmark so the whole suite runs
+under ``--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _register_benchmark(benchmark):
+    """Make every test in benchmarks/ a pytest-benchmark test."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    yield
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def paper_row(label: str, paper: str, measured: str) -> None:
+    print(f"  {label:<34} paper: {paper:<24} measured: {measured}")

@@ -1,0 +1,87 @@
+"""§7.6 "Impact of individual techniques": per-technique ablations.
+
+Paper: async bandwidth-optimized writes +23% on writes; thread
+combining 11.7x on read-only; SVC 9.6x lookups / 4.4x scans;
+scan-aware eviction ~+10%; value-granule caching beats page-granule.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ablations()
+
+
+def test_ablation_matrix(results):
+    banner("§7.6 — impact of individual techniques (Kops)")
+    header = f"  {'variant':20}" + "".join(f"{wl:>12}" for wl in ("A", "C", "E"))
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for variant, runs in results.items():
+        row = f"  {variant:20}" + "".join(
+            f"{runs[wl].kops:>12.1f}" for wl in ("A", "C", "E")
+        )
+        print(row)
+    print()
+    full = results["full"]
+    paper_row(
+        "PWB (async writes) on A",
+        "+23%",
+        f"+{(full['A'].throughput / results['no-pwb']['A'].throughput - 1) * 100:.0f}%",
+    )
+    paper_row(
+        "SVC on C (lookup)",
+        "9.6x",
+        f"{full['C'].throughput / results['no-svc']['C'].throughput:.1f}x",
+    )
+    paper_row(
+        "SVC on E (scan)",
+        "4.4x",
+        f"{full['E'].throughput / results['no-svc']['E'].throughput:.1f}x",
+    )
+    paper_row(
+        "scan-aware eviction on E",
+        "~+10%",
+        f"+{(full['E'].throughput / results['no-scan-aware']['E'].throughput - 1) * 100:.0f}%",
+    )
+    paper_row(
+        "thread combining on C",
+        "up to 11.7x",
+        f"{full['C'].throughput / results['sync-read']['C'].throughput:.1f}x",
+    )
+
+
+def test_pwb_improves_writes(results):
+    assert (
+        results["full"]["A"].throughput > results["no-pwb"]["A"].throughput
+    )
+
+
+def test_svc_improves_reads_and_scans(results):
+    assert results["full"]["C"].throughput > results["no-svc"]["C"].throughput
+    assert results["full"]["E"].throughput > results["no-svc"]["E"].throughput
+
+
+def test_scan_aware_improves_scans(results):
+    assert (
+        results["full"]["E"].throughput
+        > results["no-scan-aware"]["E"].throughput
+    )
+
+
+def test_value_granularity_beats_page_granularity(results):
+    """Prism's value-granule SVC vs a page-granule cache (§7.6)."""
+    assert (
+        results["full"]["C"].throughput
+        > results["page-granule-svc"]["C"].throughput
+    )
+
+
+def test_combining_beats_shallow_sync_reads(results):
+    assert (
+        results["full"]["C"].throughput > results["sync-read"]["C"].throughput
+    )

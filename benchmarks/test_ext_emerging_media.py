@@ -1,0 +1,63 @@
+"""§8 (discussion) as an experiment: Prism on emerging storage media.
+
+The paper argues its design transfers to CXL-based persistent memory,
+ultra-low-latency SSDs, and PCIe Gen5 flash.  This extension swaps
+those devices into the same cost-parity harness:
+
+* CXL persistent memory adds ~2x latency to every PWB/HSIT/index
+  access — the write path should slow modestly but stay microsecond-
+  scale (the protocol does a handful of NVM operations per op);
+* Optane SSDs cut Value Storage read latency 5x at the price of
+  bandwidth — cache-miss-heavy workloads should gain;
+* Gen5 flash doubles Value Storage bandwidth — scan-heavy and
+  reclamation-heavy workloads gain headroom.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.extensions import media_matrix
+
+
+@pytest.fixture(scope="module")
+def results():
+    return media_matrix()
+
+
+def test_media_matrix(results):
+    banner("Extension (§8) — Prism across storage generations")
+    header = f"  {'configuration':24}" + "".join(
+        f"{wl:>12}" for wl in ("A", "C", "E")
+    ) + f"{'A p50 us':>12}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for label, runs in results.items():
+        row = f"  {label:24}" + "".join(
+            f"{runs[wl].kops:>12.1f}" for wl in ("A", "C", "E")
+        )
+        row += f"{runs['A'].latency.median():>12.1f}"
+        print(row)
+    print()
+    paper_row(
+        "CXL-NVM write path",
+        "workable (byte-addressable)",
+        f"A p50 {results['cxl-nvm+gen4']['A'].latency.median():.1f} us",
+    )
+
+
+def test_cxl_nvm_keeps_microsecond_writes(results):
+    """One CXL hop must not push the write path out of the us range."""
+    assert results["cxl-nvm+gen4"]["A"].latency.median() < 20
+
+
+def test_cxl_nvm_slower_than_dcpmm_but_close(results):
+    base = results["dcpmm+gen4 (paper)"]["A"].throughput
+    cxl = results["cxl-nvm+gen4"]["A"].throughput
+    assert cxl < base * 1.05
+    assert cxl > base * 0.4  # degraded, not broken
+
+
+def test_every_variant_functions(results):
+    for label, runs in results.items():
+        for wl in ("A", "C", "E"):
+            assert runs[wl].throughput > 0, (label, wl)

@@ -1,0 +1,80 @@
+"""Figure 7: YCSB throughput — Prism vs KVell vs MatrixKV vs RocksDB-NVM.
+
+Paper (40 threads, 100 M keys): Prism wins every workload; up to 13.1x
+over the LSM stores on A, 1.2–1.7x over KVell on B/C/D, and E in the
+hundreds of Kops with Prism ahead of everyone.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import ycsb_comparison
+from repro.bench.report import throughput_table
+
+WORKLOADS = ("LOAD", "A", "B", "C", "D", "E")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ycsb_comparison(workloads=WORKLOADS)
+
+
+def test_fig07_table(results):
+    banner("Figure 7 — YCSB throughput (four stores)")
+    print(throughput_table("YCSB throughput", results, WORKLOADS))
+    print()
+    paper_row(
+        "A: Prism vs LSM stores",
+        "up to 13.1x",
+        f"{results['Prism']['A'].throughput / max(results['MatrixKV']['A'].throughput, results['RocksDB-NVM']['A'].throughput):.1f}x",
+    )
+    paper_row(
+        "A: Prism vs KVell",
+        "1.3x",
+        f"{results['Prism']['A'].throughput / results['KVell']['A'].throughput:.1f}x",
+    )
+    paper_row(
+        "C: Prism vs KVell",
+        "1.3x",
+        f"{results['Prism']['C'].throughput / results['KVell']['C'].throughput:.1f}x",
+    )
+    paper_row(
+        "E: Prism vs KVell",
+        "2.3x",
+        f"{results['Prism']['E'].throughput / results['KVell']['E'].throughput:.1f}x",
+    )
+
+
+def test_fig07_prism_wins_writes(results):
+    """Prism beats every baseline on the write-heavy workloads."""
+    for wl in ("LOAD", "A"):
+        prism = results["Prism"][wl].throughput
+        for store in ("KVell", "MatrixKV", "RocksDB-NVM"):
+            assert prism > results[store][wl].throughput, (wl, store)
+
+
+def test_fig07_prism_wins_reads(results):
+    for wl in ("B", "C"):
+        prism = results["Prism"][wl].throughput
+        for store in ("KVell", "MatrixKV", "RocksDB-NVM"):
+            assert prism > results[store][wl].throughput, (wl, store)
+    # D (read-latest): Prism's hot set sits in the PWB, but an LSM's
+    # sits in its memtable, so RocksDB-NVM can tie here; require Prism
+    # to be at least competitive (within 10%) and ahead of KVell.
+    prism_d = results["Prism"]["D"].throughput
+    assert prism_d > results["KVell"]["D"].throughput
+    for store in ("MatrixKV", "RocksDB-NVM"):
+        assert prism_d > 0.9 * results[store]["D"].throughput, store
+
+
+def test_fig07_prism_wins_scans(results):
+    prism = results["Prism"]["E"].throughput
+    assert prism > results["KVell"]["E"].throughput
+    assert prism > results["MatrixKV"]["E"].throughput
+
+
+def test_fig07_lsm_stores_trail_on_writes(results):
+    """MatrixKV and RocksDB-NVM suffer compaction on A (paper: ~10x+)."""
+    for store in ("MatrixKV", "RocksDB-NVM"):
+        ratio = results["Prism"]["A"].throughput / results[store]["A"].throughput
+        assert ratio > 2.0, (store, ratio)

@@ -1,0 +1,65 @@
+"""Figure 8 + Table 4: Prism vs SLM-DB (single thread).
+
+Paper: Prism up to 22.7x on writes, ~14x on reads, 2.5x on scans;
+SLM-DB shows *lower* C latency because it leans on the OS page cache
+("not apple-to-apple", §7.4).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import slmdb_comparison
+from repro.bench.report import latency_table, throughput_table
+
+WORKLOADS = ("LOAD", "A", "B", "C", "D", "E")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return slmdb_comparison(workloads=WORKLOADS)
+
+
+def test_fig08_throughput(results):
+    banner("Figure 8 — Prism vs SLM-DB throughput (single thread)")
+    print(throughput_table("Prism vs SLM-DB", results, WORKLOADS))
+    print()
+    paper_row(
+        "A: Prism / SLM-DB",
+        "up to 22.7x",
+        f"{results['Prism']['A'].throughput / results['SLM-DB']['A'].throughput:.1f}x",
+    )
+    paper_row(
+        "E: Prism / SLM-DB",
+        "2.5x",
+        f"{results['Prism']['E'].throughput / results['SLM-DB']['E'].throughput:.1f}x",
+    )
+
+
+def test_table4_latency(results):
+    banner("Table 4 — Prism vs SLM-DB latency (us)")
+    print(latency_table("latency", results, ("A", "C", "E")))
+    print()
+    paper_row(
+        "C: SLM-DB lower latency (page cache)",
+        "10 vs 25 us avg",
+        f"{results['SLM-DB']['C'].latency.average():.1f} vs "
+        f"{results['Prism']['C'].latency.average():.1f} us",
+    )
+
+
+def test_prism_wins_writes(results):
+    for wl in ("LOAD", "A"):
+        assert results["Prism"][wl].throughput > results["SLM-DB"][wl].throughput
+
+
+def test_prism_wins_scans(results):
+    assert results["Prism"]["E"].throughput > results["SLM-DB"]["E"].throughput
+
+
+def test_slmdb_write_tail_is_terrible(results):
+    """Flush stalls give SLM-DB a millisecond-scale write p99
+    (paper: 1363 us vs Prism's 90 us)."""
+    assert (
+        results["SLM-DB"]["A"].latency.p99()
+        > results["Prism"]["A"].latency.p99()
+    )

@@ -1,0 +1,68 @@
+"""Figure 9: relative throughput vs Zipfian coefficient (0.5 -> 1.2).
+
+Paper: Prism and the LSM stores *improve* with skew (hot data
+concentrates in PWB/SVC/memtables); KVell *degrades* (hash sharding
+turns hot keys into hot workers).  Normalized to theta = 0.99.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import skew_sweep
+
+THETAS = (0.5, 0.99, 1.2)
+WORKLOADS = ("A", "B", "C")
+STORES = ("Prism", "KVell", "MatrixKV", "RocksDB-NVM")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return skew_sweep(thetas=THETAS, workloads=WORKLOADS, stores=STORES)
+
+
+def _relative(series):
+    base = series[0.99].throughput
+    return {theta: series[theta].throughput / base for theta in THETAS}
+
+
+def test_fig09_table(results):
+    banner("Figure 9 — relative throughput vs Zipfian coefficient "
+           "(normalized to 0.99)")
+    header = f"{'store':14}{'workload':10}" + "".join(f"{t:>8}" for t in THETAS)
+    print(header)
+    print("-" * len(header))
+    for store in results:
+        for wl in WORKLOADS:
+            rel = _relative(results[store][wl])
+            row = f"{store:14}{wl:10}" + "".join(f"{rel[t]:>8.2f}" for t in THETAS)
+            print(row)
+    print()
+    paper_row("Prism trend", "rises with skew", "see table")
+    paper_row("KVell trend", "drops with skew (imbalance)", "see table")
+
+
+def test_prism_improves_with_skew(results):
+    for wl in WORKLOADS:
+        series = results["Prism"][wl]
+        assert series[1.2].throughput > series[0.5].throughput, wl
+
+
+def test_kvell_relative_skew_penalty(results):
+    """KVell benefits least from skew among the stores — per the paper
+    its sharding turns hot keys into hot workers."""
+    for wl in ("A",):
+        kvell_gain = (
+            results["KVell"][wl][1.2].throughput
+            / results["KVell"][wl][0.5].throughput
+        )
+        prism_gain = (
+            results["Prism"][wl][1.2].throughput
+            / results["Prism"][wl][0.5].throughput
+        )
+        assert prism_gain > kvell_gain, (wl, prism_gain, kvell_gain)
+
+
+def test_lsm_stores_improve_with_skew(results):
+    for store in ("MatrixKV", "RocksDB-NVM"):
+        series = results[store]["B"]
+        assert series[1.2].throughput > series[0.5].throughput, store

@@ -1,0 +1,60 @@
+"""Figure 10: (a) the 1-billion-pair YCSB run, (b) Nutanix production mix.
+
+Paper: with the dataset outgrowing the caches, Prism still beats KVell
+on every workload (up to 2.42x; 1.3x on C) and by 1.44x on the Nutanix
+mix (57% updates / 41% reads / 2% scans).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import large_dataset, nutanix_run
+from repro.bench.report import throughput_table
+
+WORKLOADS = ("A", "B", "C", "D", "E")
+
+
+@pytest.fixture(scope="module")
+def big():
+    return large_dataset()
+
+
+@pytest.fixture(scope="module")
+def nutanix():
+    return nutanix_run()
+
+
+def test_fig10a_large_dataset(big):
+    banner("Figure 10a — large dataset (caches dwarfed), Prism vs KVell")
+    print(throughput_table("large-dataset YCSB", big, WORKLOADS))
+    print()
+    paper_row(
+        "C: Prism / KVell",
+        "1.3x",
+        f"{big['Prism']['C'].throughput / big['KVell']['C'].throughput:.2f}x",
+    )
+    best = max(
+        big["Prism"][wl].throughput / big["KVell"][wl].throughput
+        for wl in WORKLOADS
+    )
+    paper_row("best ratio", "up to 2.42x", f"{best:.2f}x")
+
+
+def test_fig10a_prism_wins_overall(big):
+    wins = sum(
+        big["Prism"][wl].throughput > big["KVell"][wl].throughput
+        for wl in WORKLOADS
+    )
+    assert wins >= 4, f"Prism won only {wins}/5 workloads"
+
+
+def test_fig10b_nutanix(nutanix):
+    banner("Figure 10b — Nutanix production workload")
+    for name, result in nutanix.items():
+        print(f"  {name:8} {result.kops:10.1f} Kops/s  "
+              f"avg {result.latency.average():7.1f} us  "
+              f"p99 {result.latency.p99():8.1f} us")
+    ratio = nutanix["Prism"].throughput / nutanix["KVell"].throughput
+    print()
+    paper_row("Prism / KVell", "1.44x", f"{ratio:.2f}x")
+    assert ratio > 1.0

@@ -1,0 +1,58 @@
+"""Figure 11: opportunistic thread combining (TC) vs timeout-based
+asynchronous IO (TA), YCSB-C, varying the coalescing limit (QD).
+
+Paper: the TC/TA gap widens with QD; TC at QD 64 gives up to 11.7x the
+throughput and 1.9x lower response time than QD 1; TA's 100 us wait
+window wrecks latency at every depth.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import thread_combining_sweep
+
+DEPTHS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return thread_combining_sweep(queue_depths=DEPTHS)
+
+
+def test_fig11_series(results):
+    banner("Figure 11 — thread combining vs timeout async IO (YCSB-C)")
+    header = f"{'QD':>4} {'TC Kops':>10} {'TA Kops':>10} {'TC avg us':>10} {'TA avg us':>10} {'TC p99':>8} {'TA p99':>8}"
+    print(header)
+    print("-" * len(header))
+    for qd in DEPTHS:
+        tc, ta = results["TC"][qd], results["TA"][qd]
+        print(
+            f"{qd:>4} {tc.kops:>10.1f} {ta.kops:>10.1f} "
+            f"{tc.latency.average():>10.1f} {ta.latency.average():>10.1f} "
+            f"{tc.latency.p99():>8.1f} {ta.latency.p99():>8.1f}"
+        )
+    print()
+    gain = results["TC"][64].throughput / results["TC"][1].throughput
+    paper_row("TC QD64 / TC QD1 throughput", "11.7x", f"{gain:.1f}x")
+    resp = results["TC"][1].latency.average() / results["TC"][64].latency.average()
+    paper_row("TC QD64 response-time gain", "1.9x", f"{resp:.1f}x")
+
+
+def test_tc_beats_ta_at_every_depth(results):
+    for qd in DEPTHS:
+        assert results["TC"][qd].throughput >= results["TA"][qd].throughput, qd
+
+
+def test_deeper_queues_raise_tc_throughput(results):
+    assert results["TC"][64].throughput > 1.5 * results["TC"][1].throughput
+
+
+def test_ta_latency_dominated_by_timeout(results):
+    """The strawman pays its 100 us window on every miss."""
+    assert results["TA"][64].latency.average() > results["TC"][64].latency.average()
+
+
+def test_gap_widens_with_depth(results):
+    gap_small = results["TC"][1].throughput / results["TA"][1].throughput
+    gap_large = results["TC"][64].throughput / results["TA"][64].throughput
+    assert gap_large >= gap_small * 0.9  # monotone-ish widening

@@ -1,0 +1,62 @@
+"""Figure 12: SSD-level write amplification vs skew (512 B and 1 KB).
+
+Paper (1 KB values, theta 0.5/0.99/1.2): Prism 0.9/0.4/0.1,
+KVell 1.2/0.9/0.5, MatrixKV 2.5/4.6/13.3 — Prism lowest everywhere
+(KVell up to 13x, MatrixKV up to 162x of Prism); skew *lowers* WAF for
+Prism and KVell (coalescing) but *raises* it for MatrixKV (compaction).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import waf_sweep
+
+THETAS = (0.5, 0.99, 1.2)
+PAPER = {
+    512: {"Prism": (0.7, 0.3, 0.1), "KVell": (2.7, 1.6, 1.3), "MatrixKV": (3.0, 5.3, 16.2)},
+    1024: {"Prism": (0.9, 0.4, 0.1), "KVell": (1.2, 0.9, 0.5), "MatrixKV": (2.5, 4.6, 13.3)},
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return waf_sweep(thetas=THETAS, value_sizes=(512, 1024))
+
+
+def test_fig12_table(results):
+    banner("Figure 12 — SSD-level WAF vs data skew")
+    for size in (512, 1024):
+        print(f"\n  value size {size} B   " + "".join(f"{t:>10}" for t in THETAS))
+        for store in ("Prism", "KVell", "MatrixKV"):
+            measured = "".join(f"{results[size][store][t]:>10.2f}" for t in THETAS)
+            paper = "/".join(str(x) for x in PAPER[size][store])
+            print(f"  {store:10} {measured}    (paper {paper})")
+    print()
+    for size in (512, 1024):
+        ratio = results[size]["KVell"][1.2] / max(results[size]["Prism"][1.2], 1e-6)
+        paper_row(f"{size}B z1.2: KVell / Prism", "up to 13x", f"{ratio:.1f}x")
+
+
+def test_prism_has_lowest_waf(results):
+    for size in (512, 1024):
+        for theta in THETAS:
+            prism = results[size]["Prism"][theta]
+            assert prism <= results[size]["KVell"][theta], (size, theta)
+            assert prism <= results[size]["MatrixKV"][theta], (size, theta)
+
+
+def test_skew_reduces_prism_waf(results):
+    """PWB coalesces hot-key rewrites before they reach flash."""
+    for size in (512, 1024):
+        assert results[size]["Prism"][1.2] < results[size]["Prism"][0.5]
+
+
+def test_skew_reduces_kvell_waf(results):
+    for size in (512, 1024):
+        assert results[size]["KVell"][1.2] <= results[size]["KVell"][0.5]
+
+
+def test_prism_waf_below_one(results):
+    """Write buffering means flash sees less than the app wrote."""
+    for size in (512, 1024):
+        assert results[size]["Prism"][0.99] < 1.5

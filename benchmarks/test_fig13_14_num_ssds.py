@@ -1,0 +1,69 @@
+"""Figures 13–14: throughput and latency vs number of SSDs (1–8).
+
+Paper: Prism beats KVell on A at every SSD count; KVell can edge ahead
+on C below 4 SSDs (its injector threads batch aggressively) but Prism
+always keeps lower latency (Fig. 14).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import ssd_scaling
+
+COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ssd_scaling(ssd_counts=COUNTS, workloads=("A", "C"))
+
+
+def test_fig13_throughput(results):
+    banner("Figure 13 — throughput vs #SSDs")
+    header = f"{'#SSD':>5} {'Prism A':>10} {'KVell A':>10} {'Prism C':>10} {'KVell C':>10}   (Kops)"
+    print(header)
+    print("-" * len(header))
+    for n in COUNTS:
+        print(
+            f"{n:>5} {results['Prism']['A'][n].kops:>10.1f} "
+            f"{results['KVell']['A'][n].kops:>10.1f} "
+            f"{results['Prism']['C'][n].kops:>10.1f} "
+            f"{results['KVell']['C'][n].kops:>10.1f}"
+        )
+    print()
+    paper_row("A: Prism ahead at every count", "yes", "see table")
+
+
+def test_fig14_latency(results):
+    banner("Figure 14 — YCSB-C latency vs #SSDs (us)")
+    header = f"{'#SSD':>5} {'P avg':>8} {'K avg':>8} {'P p50':>8} {'K p50':>8} {'P p99':>8} {'K p99':>8}"
+    print(header)
+    print("-" * len(header))
+    for n in COUNTS:
+        p = results["Prism"]["C"][n].latency
+        k = results["KVell"]["C"][n].latency
+        print(
+            f"{n:>5} {p.average():>8.1f} {k.average():>8.1f} "
+            f"{p.median():>8.1f} {k.median():>8.1f} "
+            f"{p.p99():>8.1f} {k.p99():>8.1f}"
+        )
+    print()
+    paper_row("Prism lower latency at all counts", "yes (Fig 14)", "see table")
+
+
+def test_prism_wins_writes_at_every_ssd_count(results):
+    for n in COUNTS:
+        assert (
+            results["Prism"]["A"][n].throughput
+            > results["KVell"]["A"][n].throughput
+        ), n
+
+
+def test_prism_latency_competitive(results):
+    """Prism's avg C latency is never worse than ~KVell's (paper:
+    always lower)."""
+    for n in COUNTS:
+        assert (
+            results["Prism"]["C"][n].latency.average()
+            <= results["KVell"]["C"][n].latency.average() * 1.2
+        ), n

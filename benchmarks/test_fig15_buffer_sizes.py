@@ -1,0 +1,61 @@
+"""Figure 15: throughput vs PWB size (LOAD, A) and SVC size (C, E).
+
+Paper: (a) LOAD is flat (reclamation keeps up); A rises with PWB size
+(more absorbed writes).  (b) C and E rise with SVC size; even 20% of
+the full cache retains ~55% of performance.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import buffer_size_sweep
+
+MB = 1024**2
+PWB_SIZES = (1 * MB, 2 * MB, 4 * MB, 8 * MB)
+SVC_SIZES = (1 * MB, 2 * MB, 4 * MB, 8 * MB)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return buffer_size_sweep(pwb_sizes=PWB_SIZES, svc_sizes=SVC_SIZES)
+
+
+def test_fig15a_pwb_size(results):
+    banner("Figure 15a — throughput vs PWB size")
+    print(f"{'PWB MB':>8} {'LOAD Kops':>12} {'A Kops':>12}")
+    for size in PWB_SIZES:
+        r = results["pwb"][size]
+        print(f"{size // MB:>8} {r['LOAD'].kops:>12.1f} {r['A'].kops:>12.1f}")
+    print()
+    paper_row("LOAD vs PWB size", "stable (background reclaim)", "see table")
+    paper_row("A vs PWB size", "rises with PWB", "see table")
+
+
+def test_fig15b_svc_size(results):
+    banner("Figure 15b — throughput vs SVC size")
+    print(f"{'SVC MB':>8} {'C Kops':>12} {'E Kops':>12}")
+    for size in SVC_SIZES:
+        r = results["svc"][size]
+        print(f"{size // MB:>8} {r['C'].kops:>12.1f} {r['E'].kops:>12.1f}")
+    print()
+    small = results["svc"][SVC_SIZES[0]]["C"].throughput
+    large = results["svc"][SVC_SIZES[-1]]["C"].throughput
+    paper_row("small cache retains", ">=55% of large", f"{small / large:.0%}")
+
+
+def test_load_stable_across_pwb_sizes(results):
+    """Background reclamation keeps LOAD throughput roughly flat."""
+    loads = [results["pwb"][s]["LOAD"].throughput for s in PWB_SIZES]
+    assert min(loads) > 0.5 * max(loads)
+
+
+def test_bigger_pwb_helps_updates(results):
+    small = results["pwb"][PWB_SIZES[0]]["A"].throughput
+    large = results["pwb"][PWB_SIZES[-1]]["A"].throughput
+    assert large >= small * 0.95  # rises (or at worst flat)
+
+
+def test_bigger_svc_helps_reads(results):
+    small = results["svc"][SVC_SIZES[0]]["C"].throughput
+    large = results["svc"][SVC_SIZES[-1]]["C"].throughput
+    assert large > small

@@ -1,0 +1,63 @@
+"""Figure 16: multicore scalability (A, C, E).
+
+Paper (10–40 cores): Prism scales near-linearly everywhere; KVell
+trails (QD 1 far below QD 64); MatrixKV stays flat at the bottom.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import multicore_scalability
+
+THREADS = (1, 2, 4, 8, 16)
+WORKLOADS = ("A", "C", "E")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return multicore_scalability(thread_counts=THREADS, workloads=WORKLOADS)
+
+
+def test_fig16_series(results):
+    banner("Figure 16 — multicore scalability")
+    for wl in WORKLOADS:
+        print(f"\n  workload {wl} (Kops):")
+        header = f"  {'threads':>8}" + "".join(f"{n:>14}" for n in results)
+        print(header)
+        for t in THREADS:
+            row = f"  {t:>8}" + "".join(
+                f"{results[name][wl][t].kops:>14.1f}" for name in results
+            )
+            print(row)
+    print()
+    scale = results["Prism"]["C"][16].throughput / results["Prism"]["C"][1].throughput
+    paper_row("Prism C speedup 1 -> 16 threads", "near linear", f"{scale:.1f}x")
+
+
+def test_prism_scales(results):
+    for wl in WORKLOADS:
+        series = results["Prism"][wl]
+        assert series[16].throughput > 5 * series[1].throughput, wl
+
+
+def test_prism_beats_matrixkv_at_scale(results):
+    for wl in WORKLOADS:
+        assert (
+            results["Prism"][wl][16].throughput
+            > results["MatrixKV"][wl][16].throughput
+        ), wl
+
+
+def test_kvell_qd1_below_qd64_on_reads(results):
+    """A single outstanding IO per ring starves the SSDs (paper)."""
+    assert (
+        results["KVell(QD64)"]["C"][16].throughput
+        > results["KVell(QD1)"]["C"][16].throughput
+    )
+
+
+def test_matrixkv_write_scaling_saturates(results):
+    """Compaction debt caps MatrixKV's A throughput well below linear."""
+    series = results["MatrixKV"]["A"]
+    speedup = series[16].throughput / series[1].throughput
+    assert speedup < 10

@@ -1,0 +1,53 @@
+"""Table 3: latency (avg / median / 99%) for YCSB A, C, E.
+
+Paper (us): Prism A 44/2/145, C 12/1/128, E 325/270/808 — consistently
+the lowest tail among the multicore stores (up to 8.7x below KVell).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, paper_row
+from repro.bench.experiments import ycsb_comparison
+from repro.bench.report import latency_table
+
+WORKLOADS = ("A", "C", "E")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ycsb_comparison(workloads=WORKLOADS)
+
+
+def test_table3(results):
+    banner("Table 3 — latency comparison (us)")
+    print(latency_table("YCSB latency", results, WORKLOADS))
+    print()
+    paper_row("Prism median A", "2 us", f"{results['Prism']['A'].latency.median():.1f} us")
+    paper_row("Prism median C", "1 us", f"{results['Prism']['C'].latency.median():.1f} us")
+    paper_row(
+        "A p99: KVell / Prism",
+        "8.7x",
+        f"{results['KVell']['A'].latency.p99() / results['Prism']['A'].latency.p99():.1f}x",
+    )
+
+
+def test_prism_has_microsecond_medians(results):
+    """NVM fast paths give Prism 1–2 us medians (paper Table 3)."""
+    assert results["Prism"]["A"].latency.median() < 10
+    assert results["Prism"]["C"].latency.median() < 10
+
+
+def test_prism_tail_beats_kvell(results):
+    for wl in ("A", "C"):
+        assert (
+            results["Prism"][wl].latency.p99()
+            <= results["KVell"][wl].latency.p99() * 1.05
+        ), wl
+
+
+def test_prism_avg_beats_lsm_stores_on_writes(results):
+    for store in ("MatrixKV", "RocksDB-NVM"):
+        assert (
+            results["Prism"]["A"].latency.average()
+            < results[store]["A"].latency.average()
+        ), store

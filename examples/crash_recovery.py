@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Crash-consistency walkthrough: the cross-media protocol in action.
+
+Demonstrates what the HSIT's flush-on-read dirty-bit protocol and
+backward pointers guarantee (§5.4–5.5): acknowledged writes survive a
+power failure; an update whose forward pointer never became durable
+rolls back to the previous value; and Prism recovers without any log
+replay — it just walks the index and checks well-coupledness.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import Prism, PrismConfig
+from repro.core import pointers as ptr
+
+KB = 1024
+MB = 1024**2
+
+
+def demo_acknowledged_writes_survive() -> None:
+    print("=" * 64)
+    print("1. Acknowledged writes survive a power failure")
+    print("=" * 64)
+    store = Prism(PrismConfig(num_threads=2, pwb_capacity=256 * KB,
+                              svc_capacity=1 * MB))
+    rng = random.Random(7)
+    model = {}
+    for i in range(2000):
+        key = b"acct:%04d" % rng.randrange(400)
+        value = b"balance=%08d" % rng.randrange(10**8)
+        store.put(key, value)
+        model[key] = value
+    print(f"  wrote {len(model)} live keys "
+          f"({store.reclaims} background reclamations ran)")
+
+    store.crash()  # DRAM gone, unflushed NVM lines gone
+    report = store.recover()
+    print(f"  recovered {report.recovered_keys} keys; "
+          f"{report.pwb_values_flushed} flushed out of write buffers; "
+          f"{report.vs_records_validated} validated on flash")
+    intact = sum(store.get(k) == v for k, v in model.items())
+    print(f"  verified: {intact}/{len(model)} values intact\n")
+    assert intact == len(model)
+
+
+def demo_torn_update_rolls_back() -> None:
+    print("=" * 64)
+    print("2. A torn update rolls back to the old value (Figure 6)")
+    print("=" * 64)
+    store = Prism(PrismConfig(num_threads=1, pwb_capacity=256 * KB,
+                              svc_capacity=1 * MB))
+    store.put(b"k", b"old-value")
+    store.flush()  # durable on flash
+
+    # Re-enact the middle of an update: the new value reaches the PWB
+    # (with its backward pointer), the HSIT forward pointer is stored —
+    # but the crash hits before the pointer's cache line is flushed.
+    idx = store.index.lookup(b"k")
+    offset = store.pwbs[0].append(idx, b"new-value")
+    dirty_word = ptr.set_dirty(ptr.encode_pwb(0, offset))
+    store.nvm.store(None, store.hsit._addr(idx), dirty_word.to_bytes(8, "little"))
+    print("  new value written to PWB; forward pointer stored, NOT flushed")
+
+    store.crash()
+    store.recover()
+    print(f"  after recovery: k = {store.get(b'k').decode()!r} "
+          "(the un-acknowledged update vanished)\n")
+    assert store.get(b"k") == b"old-value"
+
+
+def demo_recovery_is_log_free() -> None:
+    print("=" * 64)
+    print("3. Recovery walks NVM metadata — no log replay, no SSD scan")
+    print("=" * 64)
+    store = Prism(PrismConfig(num_threads=4, pwb_capacity=512 * KB,
+                              svc_capacity=4 * MB))
+    for i in range(5000):
+        store.put(b"doc:%05d" % i, b"x" * 200)
+    store.flush()
+    data_bytes = store.ssd_bytes_written()
+    store.crash()
+    report = store.recover(recovery_threads=4)
+    # What a KVell-style full-device scan would have cost:
+    scan_cost = store.ssds[0].scan_time(data_bytes // len(store.ssds))
+    print(f"  dataset on flash: {data_bytes // 1024} KB")
+    print(f"  Prism recovery:   {report.duration * 1e6:9.1f} virtual us")
+    print(f"  full SSD scan:    {scan_cost * 1e6:9.1f} virtual us "
+          "(what a log-less DRAM-SSD store pays)")
+    print(f"  leaked HSIT entries reclaimed: {report.leaked_entries_reclaimed}")
+
+
+if __name__ == "__main__":
+    demo_acknowledged_writes_survive()
+    demo_torn_update_rolls_back()
+    demo_recovery_is_log_free()

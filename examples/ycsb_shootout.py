@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""YCSB shoot-out: Prism against the paper's four baselines.
+
+Loads a dataset into each store at cost-parity configurations
+(Table 1, scaled) and runs YCSB A/C/E, printing a Figure-7-style
+table.  All numbers are virtual-time metrics from the simulated
+devices; ratios between stores are the meaningful quantity.
+
+Run:  python examples/ycsb_shootout.py [--keys N] [--ops N] [--threads N]
+"""
+
+import argparse
+
+from repro.bench import (
+    build_kvell,
+    build_matrixkv,
+    build_prism,
+    build_rocksdb_nvm,
+    preload,
+    run_workload,
+)
+from repro.bench.report import latency_table, throughput_table
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keys", type=int, default=8000)
+    parser.add_argument("--ops", type=int, default=8000)
+    parser.add_argument("--threads", type=int, default=8)
+    args = parser.parse_args()
+
+    dataset = args.keys * 1024
+    factories = {
+        "Prism": lambda: build_prism(
+            num_threads=args.threads,
+            dataset_bytes=dataset,
+            expected_keys=args.keys * 2,
+        ),
+        "KVell": lambda: build_kvell(dataset_bytes=dataset),
+        "MatrixKV": lambda: build_matrixkv(dataset_bytes=dataset),
+        "RocksDB-NVM": lambda: build_rocksdb_nvm(dataset_bytes=dataset),
+    }
+    workloads = ("A", "C", "E")
+    results = {}
+    for name, make in factories.items():
+        print(f"loading {name} ({args.keys} keys)...")
+        store = make()
+        preload(store, args.keys, 1024, num_threads=args.threads)
+        results[name] = {}
+        for wl in workloads:
+            ops = args.ops if wl != "E" else max(200, args.ops // 5)
+            results[name][wl] = run_workload(
+                store,
+                WORKLOADS[wl],
+                ops,
+                args.keys,
+                num_threads=args.threads,
+                warmup_ops=ops // 2,
+            )
+            print(" ", results[name][wl].summary())
+
+    print()
+    print(throughput_table("YCSB shoot-out (Figure 7 style)", results, workloads))
+    print()
+    print(latency_table("Latency (Table 3 style)", results, workloads))
+    print()
+    prism_a = results["Prism"]["A"].throughput
+    for rival in ("KVell", "MatrixKV", "RocksDB-NVM"):
+        ratio = prism_a / results[rival]["A"].throughput
+        print(f"  YCSB-A: Prism is {ratio:.1f}x {rival}")
+
+
+if __name__ == "__main__":
+    main()

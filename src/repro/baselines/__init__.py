@@ -1,0 +1,36 @@
+"""Baseline key-value stores the paper compares against (§7.1).
+
+All four comparators are implemented from scratch on the same
+simulated devices as Prism:
+
+* :class:`KVell` — shared-nothing sharded store (SOSP '19): per-worker
+  indexes, page-granularity IO, no commit log, DRAM page cache.
+* :class:`RocksDBNVM` — a leveled LSM-tree with WAL and all SSTables
+  on NVM (the paper's upper bound for LSM designs).
+* :class:`MatrixKV` — LSM-tree with an NVM-resident L0 matrix
+  container and fine-grained column compaction (ATC '20).
+* :class:`SLMDB` — single-level LSM with an NVM memtable and a global
+  persistent B+-tree index (FAST '19); single-threaded, like the
+  open-source release.
+"""
+
+from repro.baselines.interface import KVStore
+from repro.baselines.kvell import KVell, KVellConfig
+from repro.baselines.lsm.lsm import LSMStore, LSMConfig
+from repro.baselines.matrixkv import MatrixKV, MatrixKVConfig
+from repro.baselines.rocksdb_nvm import RocksDBNVM, RocksDBNVMConfig
+from repro.baselines.slmdb import SLMDB, SLMDBConfig
+
+__all__ = [
+    "KVStore",
+    "KVell",
+    "KVellConfig",
+    "LSMStore",
+    "LSMConfig",
+    "MatrixKV",
+    "MatrixKVConfig",
+    "RocksDBNVM",
+    "RocksDBNVMConfig",
+    "SLMDB",
+    "SLMDBConfig",
+]

@@ -1,0 +1,62 @@
+"""The store contract shared by Prism and every baseline."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+
+
+class KVStore(ABC):
+    """Uniform API the benchmark harness drives.
+
+    Implementations expose a shared :class:`VirtualClock` as ``clock``
+    and count ``bytes_put`` so the harness can compute throughput and
+    SSD-level write amplification for any store.
+    """
+
+    clock: VirtualClock
+    bytes_put: int
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes, thread: Optional[VThread] = None) -> None:
+        """Insert or update; durable on return."""
+
+    @abstractmethod
+    def get(self, key: bytes, thread: Optional[VThread] = None) -> Optional[bytes]:
+        """Point lookup."""
+
+    @abstractmethod
+    def scan(
+        self, start: bytes, count: int, thread: Optional[VThread] = None
+    ) -> List[Tuple[bytes, bytes]]:
+        """Up to ``count`` ordered pairs with key >= start."""
+
+    @abstractmethod
+    def delete(self, key: bytes, thread: Optional[VThread] = None) -> bool:
+        """Remove a key; True when it existed."""
+
+    @abstractmethod
+    def ssd_bytes_written(self) -> int:
+        """Total bytes written to flash (for WAF / endurance)."""
+
+    def flush(self, thread: Optional[VThread] = None) -> None:
+        """Make all buffered state durable / drain background work."""
+
+    def close(self) -> None:
+        self.flush()
+
+    def waf(self) -> float:
+        """SSD-level write amplification factor."""
+        if self.bytes_put == 0:
+            return 0.0
+        return self.ssd_bytes_written() / self.bytes_put
+
+    def stats(self) -> Dict[str, float]:
+        return {"waf": self.waf(), "ssd_bytes_written": float(self.ssd_bytes_written())}

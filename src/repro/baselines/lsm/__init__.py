@@ -1,0 +1,25 @@
+"""A complete LSM-tree storage engine.
+
+Substrate for the paper's LSM-based comparators: MatrixKV,
+RocksDB-NVM, and SLM-DB all specialize :class:`LSMStore` (leveled
+compaction, WAL, memtables, SSTables with bloom filters and block
+indexes, block cache).
+"""
+
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.baselines.lsm.memtable import MemTable, TOMBSTONE
+from repro.baselines.lsm.blockstore import BlockStore
+from repro.baselines.lsm.sstable import SSTable
+from repro.baselines.lsm.wal import WriteAheadLog
+from repro.baselines.lsm.lsm import LSMConfig, LSMStore
+
+__all__ = [
+    "BloomFilter",
+    "MemTable",
+    "TOMBSTONE",
+    "BlockStore",
+    "SSTable",
+    "WriteAheadLog",
+    "LSMConfig",
+    "LSMStore",
+]

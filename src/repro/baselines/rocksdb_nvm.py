@@ -1,0 +1,50 @@
+"""RocksDB-NVM: the paper's LSM upper bound (§7.1).
+
+A stock leveled LSM-tree whose WAL *and* every SSTable live on
+byte-addressable NVM.  Reads avoid flash latency entirely and the WAL
+commits at NVM speed — but compaction still rewrites data continuously
+and now competes for NVM's limited write bandwidth (1.9 GB/s), which
+is why the paper uses it only as a reference point ("its storage cost
+spends much higher than Prism").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baselines.lsm.blockstore import BlockStore
+from repro.baselines.lsm.lsm import LSMConfig, LSMStore
+from repro.baselines.lsm.wal import WriteAheadLog
+from repro.storage.nvm import NVMDevice
+from repro.storage.specs import NVM_SPEC, DeviceSpec
+
+
+@dataclass
+class RocksDBNVMConfig(LSMConfig):
+    nvm_spec: DeviceSpec = field(default_factory=lambda: NVM_SPEC)
+
+
+class RocksDBNVM(LSMStore):
+    """LSM-tree with WAL + SSTables on Optane DCPMM."""
+
+    def __init__(self, config: Optional[RocksDBNVMConfig] = None) -> None:
+        super().__init__(config or RocksDBNVMConfig())
+
+    def _make_stores(self) -> None:
+        cfg = self.config
+        self.nvm = NVMDevice(cfg.nvm_spec)
+        self.ssds = []  # nothing touches flash in this configuration
+        self.table_store = BlockStore(self.nvm)
+        self.wal = WriteAheadLog(self.table_store, cfg.wal_capacity)
+
+    def ssd_bytes_written(self) -> int:
+        return 0
+
+    def nvm_bytes_written(self) -> int:
+        return self.nvm.bytes_written
+
+    def stats(self) -> Dict[str, float]:
+        base = super().stats()
+        base["nvm_bytes_written"] = float(self.nvm.bytes_written)
+        return base

@@ -1,0 +1,26 @@
+"""Benchmark harness: drives any store with N virtual threads and
+collects the metrics the paper reports (throughput, latency
+percentiles, WAF, timelines)."""
+
+from repro.bench.runner import RunResult, preload, run_workload
+from repro.bench.stores import (
+    build_kvell,
+    build_matrixkv,
+    build_prism,
+    build_rocksdb_nvm,
+    build_slmdb,
+)
+from repro.bench.report import format_table, ratio
+
+__all__ = [
+    "RunResult",
+    "preload",
+    "run_workload",
+    "build_prism",
+    "build_kvell",
+    "build_matrixkv",
+    "build_rocksdb_nvm",
+    "build_slmdb",
+    "format_table",
+    "ratio",
+]

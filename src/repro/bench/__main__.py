@@ -1,0 +1,181 @@
+"""Command-line front end for the experiment suite.
+
+Examples::
+
+    python -m repro.bench list
+    python -m repro.bench fig7
+    python -m repro.bench fig12 --scale 0.5
+    python -m repro.bench ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench import experiments as ex
+from repro.bench.extensions import media_matrix
+from repro.bench.report import latency_table, throughput_table
+
+
+def _fig7(args) -> None:
+    results = ex.ycsb_comparison()
+    print(throughput_table("Figure 7 — YCSB throughput", results,
+                           ("LOAD", "A", "B", "C", "D", "E")))
+    print()
+    print(latency_table("Table 3 — latency (us)", results, ("A", "C", "E")))
+
+
+def _fig8(args) -> None:
+    results = ex.slmdb_comparison()
+    print(throughput_table("Figure 8 — Prism vs SLM-DB", results,
+                           ("LOAD", "A", "B", "C", "D", "E")))
+    print()
+    print(latency_table("Table 4 — latency (us)", results, ("A", "C", "E")))
+
+
+def _fig9(args) -> None:
+    results = ex.skew_sweep()
+    thetas = sorted(next(iter(next(iter(results.values())).values())))
+    print("Figure 9 — relative throughput vs Zipfian coefficient")
+    for store, by_wl in results.items():
+        for wl, series in by_wl.items():
+            base = series[0.99].throughput
+            rel = " ".join(f"{t}:{series[t].throughput / base:5.2f}" for t in thetas)
+            print(f"  {store:14} {wl:3} {rel}")
+
+
+def _fig10(args) -> None:
+    big = ex.large_dataset()
+    print(throughput_table("Figure 10a — large dataset", big,
+                           ("A", "B", "C", "D", "E")))
+    nutanix = ex.nutanix_run()
+    print("\nFigure 10b — Nutanix mix")
+    for name, result in nutanix.items():
+        print(f"  {name:8} {result.kops:10.1f} Kops/s")
+
+
+def _fig11(args) -> None:
+    results = ex.thread_combining_sweep()
+    print("Figure 11 — TC vs TA (YCSB-C)")
+    print(f"{'QD':>4} {'TC Kops':>10} {'TA Kops':>10} {'TC avg':>8} {'TA avg':>8}")
+    for qd in sorted(results["TC"]):
+        tc, ta = results["TC"][qd], results["TA"][qd]
+        print(f"{qd:>4} {tc.kops:>10.1f} {ta.kops:>10.1f} "
+              f"{tc.latency.average():>8.1f} {ta.latency.average():>8.1f}")
+
+
+def _fig12(args) -> None:
+    results = ex.waf_sweep()
+    print("Figure 12 — SSD-level WAF vs skew")
+    for size, by_store in results.items():
+        print(f"\n value size {size} B")
+        for store, series in by_store.items():
+            row = " ".join(f"{t}:{w:5.2f}" for t, w in sorted(series.items()))
+            print(f"  {store:10} {row}")
+
+
+def _fig13(args) -> None:
+    results = ex.ssd_scaling()
+    print("Figures 13–14 — #SSD scaling")
+    for store, by_wl in results.items():
+        for wl, series in by_wl.items():
+            row = " ".join(f"{n}:{r.kops:7.1f}" for n, r in sorted(series.items()))
+            print(f"  {store:8} {wl:3} {row}  Kops")
+
+
+def _fig15(args) -> None:
+    results = ex.buffer_size_sweep()
+    print("Figure 15 — buffer sizing")
+    for size, runs in sorted(results["pwb"].items()):
+        print(f"  PWB {size >> 20:3}MB  LOAD {runs['LOAD'].kops:8.1f}  "
+              f"A {runs['A'].kops:8.1f} Kops")
+    for size, runs in sorted(results["svc"].items()):
+        print(f"  SVC {size >> 20:3}MB  C {runs['C'].kops:8.1f}  "
+              f"E {runs['E'].kops:8.1f} Kops")
+
+
+def _fig16(args) -> None:
+    results = ex.multicore_scalability()
+    print("Figure 16 — multicore scalability (Kops)")
+    for store, by_wl in results.items():
+        for wl, series in by_wl.items():
+            row = " ".join(f"{t}:{r.kops:7.1f}" for t, r in sorted(series.items()))
+            print(f"  {store:14} {wl:3} {row}")
+
+
+def _fig17(args) -> None:
+    result, store = ex.gc_timeline()
+    print("Figure 17 — throughput timeline under GC")
+    series = result.timeline.series()
+    peak = max(series) if series else 1
+    for i, rate in enumerate(series):
+        marks = " <- GC" if i in result.timeline.events else ""
+        print(f"  {i:4} {'#' * int(40 * rate / peak)}{marks}")
+    print(f"  GC runs: {sum(vs.gc_runs for vs in store.storages)}")
+
+
+def _ablations(args) -> None:
+    results = ex.ablations()
+    print("§7.6 — ablations (Kops)")
+    for variant, runs in results.items():
+        row = " ".join(f"{wl}:{runs[wl].kops:8.1f}" for wl in ("A", "C", "E"))
+        print(f"  {variant:18} {row}")
+
+
+def _scalars(args) -> None:
+    space = ex.nvm_space()
+    print(f"NVM bytes/key: {space['bytes_per_key']:.1f} (paper ~54)")
+    rec = ex.recovery_comparison()
+    print(f"recovery: Prism {rec['prism_seconds'] * 1e3:.3f} ms "
+          f"vs KVell {rec['kvell_seconds'] * 1e3:.3f} ms")
+
+
+def _media(args) -> None:
+    results = media_matrix()
+    print("Extension — emerging media (Kops)")
+    for label, runs in results.items():
+        row = " ".join(f"{wl}:{runs[wl].kops:8.1f}" for wl in ("A", "C", "E"))
+        print(f"  {label:22} {row}")
+
+
+COMMANDS = {
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "ablations": _ablations,
+    "scalars": _scalars,
+    "media": _media,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list"])
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset/op multiplier (sets REPRO_SCALE)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Extension experiments: the paper's §8 discussion, implemented.
+
+The paper closes by arguing its lessons transfer to emerging media —
+CXL-based persistent memory, ultra-low-latency SSDs, PCIe Gen5 flash.
+These experiments re-run Prism with those devices substituted, using
+the same cost-parity harness as the evaluation:
+
+* ``cxl_nvm``: the Persistent Write Buffer / HSIT / index move to
+  CXL-attached persistent memory (one hop slower than DCPMM, cheaper
+  and far more capacity).
+* ``optane_value_storage``: Value Storage on ultra-low-latency Optane
+  SSDs instead of flash — less bandwidth, 5x lower read latency.
+* ``pcie5_flash``: next-generation flash doubles Value Storage
+  bandwidth; the latency/bandwidth split widens further.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.experiments import (
+    NUM_KEYS,
+    NUM_OPS,
+    NUM_THREADS,
+    SCAN_OPS_DIVISOR,
+    VALUE_SIZE,
+    scaled,
+)
+from repro.bench.runner import RunResult, preload, run_workload
+from repro.bench.stores import build_prism
+from repro.storage.specs import (
+    CXL_NVM_SPEC,
+    FLASH_SSD_GEN4_SPEC,
+    OPTANE_SSD_SPEC,
+    PCIE5_SSD_SPEC,
+    DeviceSpec,
+)
+from repro.workloads import WORKLOADS
+
+GB = 1024**3
+
+
+def media_matrix(
+    num_keys: int = None,
+    num_ops: int = None,
+    num_threads: int = NUM_THREADS,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Prism across device generations (§8), workloads A / C / E."""
+    num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
+    num_ops = scaled(8_000) if num_ops is None else num_ops
+    data = num_keys * VALUE_SIZE
+    variants: Dict[str, Dict[str, DeviceSpec]] = {
+        "dcpmm+gen4 (paper)": {},
+        "cxl-nvm+gen4": {"nvm_spec": CXL_NVM_SPEC},
+        "dcpmm+optane-ssd": {
+            "ssd_spec_base": OPTANE_SSD_SPEC,
+        },
+        "dcpmm+gen5": {
+            "ssd_spec_base": PCIE5_SSD_SPEC,
+        },
+    }
+    out: Dict[str, Dict[str, RunResult]] = {}
+    for label, overrides in variants.items():
+        kwargs = {}
+        if "nvm_spec" in overrides:
+            kwargs["nvm_spec"] = overrides["nvm_spec"]
+        if "ssd_spec_base" in overrides:
+            kwargs["ssd_spec"] = overrides["ssd_spec_base"].with_capacity(2 * GB)
+        store = build_prism(
+            num_threads=num_threads,
+            dataset_bytes=data,
+            expected_keys=num_keys * 3,
+            **kwargs,
+        )
+        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+        out[label] = {}
+        for wl in ("A", "C", "E"):
+            spec = WORKLOADS[wl]
+            ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
+            out[label][wl] = run_workload(
+                store, spec, ops, num_keys, num_threads, VALUE_SIZE,
+                warmup_ops=ops // 2,
+            )
+    return out

@@ -1,0 +1,216 @@
+"""Virtual-threaded workload execution.
+
+The driver keeps a heap of virtual threads ordered by their local
+clocks and always advances the earliest one, so operations from
+different threads interleave in virtual time exactly as their
+latencies dictate — that interleaving is what feeds contention into
+the shared resources (device channels, locks, IO rings, the thread
+combiner).
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import LatencyRecorder, Timeline
+from repro.sim.vthread import VThread
+from repro.workloads.generator import InsertSequence, Op, OpStream, make_key, make_value
+from repro.workloads.ycsb import WorkloadSpec
+
+
+@dataclass
+class RunResult:
+    """Everything one workload execution produced."""
+
+    store_name: str
+    workload: str
+    ops: int
+    duration: float  # virtual seconds
+    latency: LatencyRecorder
+    per_kind: Dict[str, LatencyRecorder]
+    waf: float
+    stats: Dict[str, float] = field(default_factory=dict)
+    timeline: Optional[Timeline] = None
+
+    @property
+    def throughput(self) -> float:
+        """Operations per virtual second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.ops / self.duration
+
+    @property
+    def mops(self) -> float:
+        return self.throughput / 1e6
+
+    @property
+    def kops(self) -> float:
+        return self.throughput / 1e3
+
+    def summary(self) -> str:
+        return (
+            f"{self.store_name:12} {self.workload:8} "
+            f"{self.kops:10.1f} Kops/s  "
+            f"avg {self.latency.average():8.1f}us  "
+            f"p50 {self.latency.median():8.1f}us  "
+            f"p99 {self.latency.p99():8.1f}us  "
+            f"waf {self.waf:5.2f}"
+        )
+
+
+def _make_threads(store, count: int) -> List[VThread]:
+    now = store.clock.now
+    threads = []
+    for tid in range(count):
+        thread = VThread(tid, store.clock, name=f"app-{tid}")
+        thread.now = now
+        threads.append(thread)
+    return threads
+
+
+def preload(
+    store,
+    num_keys: int,
+    value_size: int = 1024,
+    num_threads: int = 1,
+    seed: int = 1,
+) -> None:
+    """Load the dataset in random order (the paper's LOAD phase),
+    without recording metrics."""
+    threads = _make_threads(store, num_threads)
+    seq = InsertSequence(0, shuffle_span=min(num_keys, 4096), seed=seed)
+    heap = [(t.now, i) for i, t in enumerate(threads)]
+    heapq.heapify(heap)
+    for _ in range(num_keys):
+        _, i = heapq.heappop(heap)
+        thread = threads[i]
+        key = make_key(seq.next())
+        store.put(key, make_value(key, value_size), thread)
+        heapq.heappush(heap, (thread.now, i))
+
+
+def run_workload(
+    store,
+    spec: WorkloadSpec,
+    num_ops: int,
+    num_keys: int,
+    num_threads: int = 4,
+    value_size: int = 1024,
+    theta: float = 0.99,
+    seed: int = 2,
+    timeline_bucket: Optional[float] = None,
+    warmup_ops: int = 0,
+) -> RunResult:
+    """Execute ``num_ops`` of ``spec`` against a loaded store.
+
+    ``warmup_ops`` are executed first without being recorded, so the
+    measured window reflects steady-state cache contents.  Stream seeds
+    mix in the workload name so back-to-back runs on one store do not
+    replay identical key sequences (which would make every cache look
+    perfect).
+    """
+    if num_ops < 1:
+        raise ValueError(f"need at least one op: {num_ops}")
+    threads = _make_threads(store, num_threads)
+    insert_seq = (
+        InsertSequence(0, shuffle_span=4096, seed=seed)
+        if spec.name == "LOAD"
+        else None
+    )
+    mixed_seed = zlib.crc32(f"{seed}:{spec.name}".encode())
+    streams = [
+        OpStream(
+            spec,
+            num_keys,
+            value_size=value_size,
+            theta=theta,
+            seed=mixed_seed + i,
+            insert_seq=insert_seq,
+        )
+        for i in range(num_threads)
+    ]
+    if warmup_ops:
+        warm_iters = [
+            streams[i].ops(warmup_ops // num_threads) for i in range(num_threads)
+        ]
+        heap = [(t.now, i) for i, t in enumerate(threads)]
+        heapq.heapify(heap)
+        live = set(range(num_threads))
+        while live:
+            _, i = heapq.heappop(heap)
+            if i not in live:
+                continue
+            op = next(warm_iters[i], None)
+            if op is None:
+                live.discard(i)
+                continue
+            _execute(store, op, threads[i])
+            heapq.heappush(heap, (threads[i].now, i))
+    base = num_ops // num_threads
+    extra = num_ops % num_threads
+    iters = [
+        streams[i].ops(base + (1 if i < extra else 0)) for i in range(num_threads)
+    ]
+    latency = LatencyRecorder("all")
+    per_kind: Dict[str, LatencyRecorder] = {}
+    timeline = Timeline(timeline_bucket) if timeline_bucket else None
+    start = max(t.now for t in threads)
+    executed = 0
+    heap = [(t.now, i) for i, t in enumerate(threads)]
+    heapq.heapify(heap)
+    live = set(range(num_threads))
+    ssd_written_before = store.ssd_bytes_written()
+    bytes_put_before = store.bytes_put
+    while live:
+        _, i = heapq.heappop(heap)
+        if i not in live:
+            continue
+        thread = threads[i]
+        op = next(iters[i], None)
+        if op is None:
+            live.discard(i)
+            continue
+        before = thread.now
+        _execute(store, op, thread)
+        elapsed = thread.now - before
+        latency.record(elapsed)
+        per_kind.setdefault(op.kind, LatencyRecorder(op.kind)).record(elapsed)
+        if timeline is not None:
+            timeline.record(thread.now - start)
+        executed += 1
+        heapq.heappush(heap, (thread.now, i))
+    duration = max(t.now for t in threads) - start
+    new_put = store.bytes_put - bytes_put_before
+    new_ssd = store.ssd_bytes_written() - ssd_written_before
+    waf = (new_ssd / new_put) if new_put else 0.0
+    if timeline is not None:
+        for at in getattr(store, "gc_events", []):
+            if at >= start:
+                timeline.mark(at - start, "gc")
+    return RunResult(
+        store_name=store.name,
+        workload=spec.name,
+        ops=executed,
+        duration=duration,
+        latency=latency,
+        per_kind=per_kind,
+        waf=waf,
+        stats=store.stats(),
+        timeline=timeline,
+    )
+
+
+def _execute(store, op: Op, thread: VThread) -> None:
+    if op.kind == "read":
+        store.get(op.key, thread)
+    elif op.kind in ("update", "insert"):
+        store.put(op.key, op.value, thread)
+    elif op.kind == "scan":
+        store.scan(op.key, op.scan_length, thread)
+    elif op.kind == "delete":
+        store.delete(op.key, thread)
+    else:
+        raise ValueError(f"unknown op kind: {op.kind}")

@@ -1,0 +1,21 @@
+"""Prism: the paper's primary contribution.
+
+Five tightly integrated components (Figure 2):
+
+* Persistent Key Index on NVM (:mod:`repro.index.pactree`)
+* Heterogeneous Storage Index Table on NVM (:mod:`repro.core.hsit`)
+* Persistent Write Buffer on NVM (:mod:`repro.core.pwb`)
+* Value Storage on flash SSDs (:mod:`repro.core.value_storage`)
+* Scan-aware Value Cache on DRAM (:mod:`repro.core.svc`)
+
+plus cross-media concurrency control and crash consistency
+(:mod:`repro.core.hsit`, :mod:`repro.core.epoch`), opportunistic
+thread combining (:mod:`repro.core.tcq`), and recovery
+(:mod:`repro.core.recovery`).  :class:`repro.core.prism.Prism` is the
+user-facing store.
+"""
+
+from repro.core.config import PrismConfig
+from repro.core.prism import Prism
+
+__all__ = ["Prism", "PrismConfig"]

@@ -1,0 +1,162 @@
+"""Cross-media consistency auditor.
+
+Walks a live Prism instance and verifies the invariants the design
+relies on (§4.5, §5.4–5.5).  Used by the test suite after stress runs
+and available to applications as a sanity check (``audit(store)``):
+
+I1  every key in the index maps to an allocated HSIT entry, and no two
+    keys share one;
+I2  every reachable forward pointer is *well-coupled*: the record it
+    names carries a backward pointer to that same HSIT entry;
+I3  PWB pointers land inside the live window of the right buffer;
+I4  Value Storage pointers name records whose validity bit is set, and
+    every *valid* record is reachable (no immortal garbage);
+I5  SVC words point at live cache entries for the same HSIT slot, and
+    cache capacity accounting matches the sum of live entries;
+I6  no forward pointer is left durably dirty outside an in-flight
+    update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+
+from repro.core import pointers as ptr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.prism import Prism
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one consistency audit."""
+
+    keys_checked: int = 0
+    pwb_values: int = 0
+    vs_values: int = 0
+    svc_values: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def fail(self, message: str) -> None:
+        self.violations.append(message)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"AuditReport({status}: {self.keys_checked} keys, "
+            f"{self.pwb_values} pwb / {self.vs_values} vs / "
+            f"{self.svc_values} svc)"
+        )
+
+
+def audit(store: "Prism") -> AuditReport:
+    """Check every cross-media invariant; returns an :class:`AuditReport`."""
+    report = AuditReport()
+    seen_entries: Set[int] = set()
+    reachable_vs: Dict[int, Set[Tuple[int, int]]] = {
+        vs.vs_id: set() for vs in store.storages
+    }
+
+    for key, idx in store.index.items():
+        report.keys_checked += 1
+        # I1: no aliasing
+        if idx in seen_entries:
+            report.fail(f"I1: HSIT entry {idx} reached by two keys (dup {key!r})")
+            continue
+        seen_entries.add(idx)
+
+        word = store.hsit.location_word(idx)
+        # I6: durably dirty pointers only exist mid-update; at audit
+        # time (quiescent) none should remain.
+        if ptr.is_dirty(word):
+            report.fail(f"I6: entry {idx} ({key!r}) has a lingering dirty bit")
+        loc = ptr.decode(ptr.clear_dirty(word))
+
+        if loc.is_null:
+            report.fail(f"I2: reachable entry {idx} ({key!r}) has a null pointer")
+        elif loc.in_pwb:
+            report.pwb_values += 1
+            if loc.pwb_id >= len(store.pwbs):
+                report.fail(f"I3: entry {idx} names unknown PWB {loc.pwb_id}")
+                continue
+            pwb = store.pwbs[loc.pwb_id]
+            if not pwb.tail <= loc.pwb_offset < pwb.head:
+                report.fail(
+                    f"I3: entry {idx} ({key!r}) points outside PWB {loc.pwb_id}'s "
+                    f"live window [{pwb.tail}, {pwb.head})"
+                )
+                continue
+            back = pwb.read_backptr(loc.pwb_offset)
+            if back != idx:
+                report.fail(
+                    f"I2: ill-coupled PWB record for {key!r}: backward "
+                    f"pointer {back} != entry {idx}"
+                )
+        elif loc.in_vs:
+            report.vs_values += 1
+            vs = store.storages[loc.vs_id]
+            try:
+                valid = vs.is_valid(loc.chunk_id, loc.vs_offset)
+            except Exception as exc:  # chunk/slot unknown
+                report.fail(f"I4: entry {idx} ({key!r}) names a dead slot: {exc}")
+                continue
+            if not valid:
+                report.fail(
+                    f"I4: entry {idx} ({key!r}) points at an invalidated record "
+                    f"(chunk {loc.chunk_id} off {loc.vs_offset})"
+                )
+                continue
+            back, _value = vs.read_record_raw(loc.chunk_id, loc.vs_offset)
+            if back != idx:
+                report.fail(
+                    f"I2: ill-coupled VS record for {key!r}: backward "
+                    f"pointer {back} != entry {idx}"
+                )
+            reachable_vs[loc.vs_id].add((loc.chunk_id, loc.vs_offset))
+
+        entry_id = store.hsit.read_svc(idx)
+        if entry_id is not None:
+            report.svc_values += 1
+            entry = store.svc.entries.get(entry_id)
+            if entry is None or entry.freed:
+                report.fail(
+                    f"I5: entry {idx} ({key!r}) has an SVC word naming a "
+                    f"freed cache entry {entry_id}"
+                )
+            elif entry.hsit_idx != idx:
+                report.fail(
+                    f"I5: SVC entry {entry_id} belongs to HSIT {entry.hsit_idx}, "
+                    f"not {idx}"
+                )
+            elif not loc.in_vs:
+                report.fail(
+                    f"I5: entry {idx} ({key!r}) is cached but its durable copy "
+                    "is not in Value Storage (SVC caches only VS reads)"
+                )
+
+    # I4 (converse): every valid Value Storage record must be reachable.
+    for vs in store.storages:
+        for chunk_id, info in vs._chunks.items():
+            for offset, slot in info.slots.items():
+                if not slot.valid:
+                    continue
+                if (chunk_id, offset) not in reachable_vs[vs.vs_id]:
+                    report.fail(
+                        f"I4: valid record vs{vs.vs_id} chunk {chunk_id} "
+                        f"off {offset} (entry {slot.hsit_idx}) is unreachable"
+                    )
+    # I5 (capacity): accounted bytes match live entries.
+    live_bytes = sum(
+        e.charged for e in store.svc.entries.values() if not e.freed
+    )
+    if live_bytes != store.svc.used:
+        report.fail(
+            f"I5: SVC accounting drift: used={store.svc.used} but live "
+            f"entries sum to {live_bytes}"
+        )
+    return report

@@ -1,0 +1,93 @@
+"""Configuration for a Prism instance.
+
+Defaults are scaled-down versions of the paper's evaluation setup
+(Table 1): eight Samsung 980 Pro SSDs, a 16 GB NVM write buffer, and a
+20 GB DRAM cache, shrunk so simulations stay laptop-sized.  Every
+design choice the paper evaluates or ablates is a switch here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tcq import (
+    COMBINE_WINDOW,
+    MODE_SYNC,
+    MODE_THREAD_COMBINING,
+    MODE_TIMEOUT_ASYNC,
+    TIMEOUT_WINDOW,
+)
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC, NVM_SPEC, DRAM_SPEC, DeviceSpec
+
+MB = 1024**2
+GB = 1024**3
+
+
+@dataclass
+class PrismConfig:
+    """Everything tunable about a Prism instance."""
+
+    # Parallelism
+    num_threads: int = 4
+
+    # Devices
+    num_ssds: int = 2
+    ssd_spec: DeviceSpec = field(default_factory=lambda: FLASH_SSD_GEN4_SPEC)
+    nvm_spec: DeviceSpec = field(default_factory=lambda: NVM_SPEC)
+    dram_spec: DeviceSpec = field(default_factory=lambda: DRAM_SPEC)
+
+    # Persistent Write Buffer (per thread)
+    pwb_capacity: int = 4 * MB
+    pwb_watermark: float = 0.5  # reclamation trigger (§4.3)
+    enable_pwb: bool = True  # ablation: False -> sync writes to SSD
+
+    # Scan-aware Value Cache
+    svc_capacity: int = 32 * MB
+    enable_svc: bool = True
+    svc_scan_aware: bool = True  # ablation: plain 2Q without chains
+    svc_page_mode: bool = False  # ablation: page-granularity accounting
+
+    # Value Storage
+    chunk_size: int = 512 * 1024
+    queue_depth: int = 64
+    gc_free_threshold: float = 0.15  # GC when free-chunk fraction drops below
+    gc_batch_chunks: int = 8
+
+    # Read path
+    read_batching: str = MODE_THREAD_COMBINING  # "tc" | "ta" | "sync"
+    combine_window: float = COMBINE_WINDOW
+    timeout_window: float = TIMEOUT_WINDOW
+
+    # Index / HSIT
+    hsit_capacity: int = 1_000_000
+    index_leaf_capacity: int = 64
+
+    # Epochs
+    epoch_advance_every: int = 64  # ops between epoch-advance attempts
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"need at least one thread: {self.num_threads}")
+        if self.num_ssds < 1:
+            raise ValueError(f"need at least one SSD: {self.num_ssds}")
+        if not 0.0 < self.pwb_watermark < 1.0:
+            raise ValueError(f"watermark must be in (0, 1): {self.pwb_watermark}")
+        if not 0.0 <= self.gc_free_threshold < 1.0:
+            raise ValueError(
+                f"gc threshold must be in [0, 1): {self.gc_free_threshold}"
+            )
+        if self.read_batching not in (
+            MODE_THREAD_COMBINING,
+            MODE_TIMEOUT_ASYNC,
+            MODE_SYNC,
+        ):
+            raise ValueError(f"unknown read_batching: {self.read_batching}")
+
+    def hardware_cost(self) -> float:
+        """Rough dollar cost of the configured devices (Table 1)."""
+        tb = 1024**4
+        ssd = self.num_ssds * self.ssd_spec.cost_per_tb * self.ssd_spec.capacity / tb
+        nvm_bytes = self.pwb_capacity * self.num_threads
+        nvm = self.nvm_spec.cost_per_tb * nvm_bytes / tb
+        dram = self.dram_spec.cost_per_tb * self.svc_capacity / tb
+        return ssd + nvm + dram

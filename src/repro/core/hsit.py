@@ -1,0 +1,211 @@
+"""Heterogeneous Storage Index Table (§4.5, §5.4).
+
+The HSIT is an array on NVM whose 16-byte entries locate a key's value
+across media: an 8-byte *location word* (PWB or Value Storage, plus the
+dirty bit used by the flush-on-read protocol) and an 8-byte SVC word
+(DRAM cache pointer, rebuilt empty on recovery).
+
+Durable-linearizability protocol for the location word:
+
+1. the writer stores ``new | DIRTY`` (atomic 8-byte CAS),
+2. flushes the cache line and fences,
+3. stores ``new`` with the dirty bit cleared.
+
+A reader that observes the dirty bit flushes on the writer's behalf
+before using the pointer.  A crash between (1) and (2) rolls the word
+back to the old location — the new value is simply unreachable, which
+is safe because the old value is still well-coupled.  A crash after
+(2) leaves a persisted-but-dirty word; recovery clears stray dirty
+bits.  The simulated NVM reproduces exactly these outcomes.
+
+Free entries form a persistent free list threaded through null
+location words; deleted entries join it only after two epochs
+(:mod:`repro.core.epoch`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import pointers as ptr
+from repro.sim.resources import VLock
+from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
+from repro.storage.nvm import NVMDevice
+
+ENTRY_BYTES = 16
+_CAS_COST = 25e-9
+
+
+class HSIT:
+    """Array-of-entries indirection table on NVM."""
+
+    def __init__(self, nvm: NVMDevice, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"HSIT capacity must be >= 1: {capacity}")
+        self.nvm = nvm
+        self.capacity = capacity
+        # header: [free-list head+1 (8B)][next-unused index (8B)]
+        self._header = nvm.alloc(16, align=256)
+        self._base = nvm.alloc(capacity * ENTRY_BYTES, align=256)
+        self._alloc_lock = VLock(name="hsit-alloc")
+        self.allocations = 0
+        self.frees = 0
+        self.reader_flushes = 0
+
+    # ------------------------------------------------------------------
+    # raw words
+    # ------------------------------------------------------------------
+    def _addr(self, idx: int) -> int:
+        if not 0 <= idx < self.capacity:
+            raise StorageError(f"HSIT index out of range: {idx}")
+        return self._base + idx * ENTRY_BYTES
+
+    def _load_word(self, thread: Optional[VThread], addr: int) -> int:
+        return int.from_bytes(self.nvm.load(thread, addr, 8), "little")
+
+    def _store_word(self, thread: Optional[VThread], addr: int, word: int) -> None:
+        self.nvm.store(thread, addr, word.to_bytes(8, "little"))
+
+    def _persist_word(self, thread: Optional[VThread], addr: int, word: int) -> None:
+        self.nvm.persist(thread, addr, word.to_bytes(8, "little"))
+
+    def _header_words(self, thread: Optional[VThread]) -> Tuple[int, int]:
+        raw = self.nvm.load(thread, self._header, 16)
+        return (
+            int.from_bytes(raw[:8], "little"),
+            int.from_bytes(raw[8:], "little"),
+        )
+
+    # ------------------------------------------------------------------
+    # allocation / free list
+    # ------------------------------------------------------------------
+    def allocate(self, thread: Optional[VThread] = None) -> int:
+        """Take a free entry (free list first, then fresh space)."""
+        if thread is not None:
+            self._alloc_lock.acquire(thread)
+        try:
+            head_plus1, next_unused = self._header_words(thread)
+            if head_plus1:
+                idx = head_plus1 - 1
+                link = ptr.free_link_of(self._load_word(thread, self._addr(idx)))
+                self.nvm.persist(thread, self._header, link.to_bytes(8, "little"))
+            else:
+                if next_unused >= self.capacity:
+                    raise StorageError(
+                        f"HSIT exhausted: {next_unused} of {self.capacity} used"
+                    )
+                idx = next_unused
+                self.nvm.persist(
+                    thread, self._header + 8, (next_unused + 1).to_bytes(8, "little")
+                )
+            self.allocations += 1
+            return idx
+        finally:
+            if thread is not None:
+                self._alloc_lock.release(thread)
+
+    def free(self, idx: int, thread: Optional[VThread] = None) -> None:
+        """Push an entry onto the persistent free list.
+
+        Callers must only invoke this through epoch-based reclamation
+        so no concurrent reader still holds the entry (§5.4).
+        """
+        if thread is not None:
+            self._alloc_lock.acquire(thread)
+        try:
+            head_plus1, _ = self._header_words(thread)
+            self._persist_word(
+                thread, self._addr(idx), ptr.encode_free_link(head_plus1)
+            )
+            self._store_word(thread, self._addr(idx) + 8, 0)
+            self.nvm.persist(thread, self._header, (idx + 1).to_bytes(8, "little"))
+            self.frees += 1
+        finally:
+            if thread is not None:
+                self._alloc_lock.release(thread)
+
+    def allocated_entries(self) -> int:
+        head_plus1, next_unused = self._header_words(None)
+        free = 0
+        while head_plus1:
+            free += 1
+            head_plus1 = ptr.free_link_of(
+                self._load_word(None, self._addr(head_plus1 - 1))
+            )
+        return next_unused - free
+
+    def nvm_bytes(self) -> int:
+        _, next_unused = self._header_words(None)
+        return 16 + next_unused * ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # the flush-on-read location protocol
+    # ------------------------------------------------------------------
+    def publish_location(
+        self, idx: int, word: int, thread: Optional[VThread] = None
+    ) -> ptr.Location:
+        """Durably install a new forward pointer; returns the old location.
+
+        This is the linearization point of every write in Prism.
+        """
+        addr = self._addr(idx)
+        old = self._load_word(thread, addr)
+        # (1) atomic store of the new pointer with the dirty bit set
+        self._store_word(thread, addr, ptr.set_dirty(word))
+        if thread is not None:
+            thread.spend(_CAS_COST)
+        # (2) flush + fence: the dirty pointer is now durable
+        self.nvm.flush(thread, addr, 8)
+        self.nvm.fence(thread)
+        # (3) clear the dirty bit (flushed lazily by readers/recovery)
+        self._store_word(thread, addr, ptr.clear_dirty(word))
+        return ptr.decode(ptr.clear_dirty(old))
+
+    def read_location(
+        self, idx: int, thread: Optional[VThread] = None
+    ) -> ptr.Location:
+        """Read the forward pointer, flushing on the writer's behalf
+        when the dirty bit is observed."""
+        addr = self._addr(idx)
+        word = self._load_word(thread, addr)
+        if ptr.is_dirty(word):
+            self.nvm.flush(thread, addr, 8)
+            self.nvm.fence(thread)
+            self._store_word(thread, addr, ptr.clear_dirty(word))
+            if thread is not None:
+                thread.spend(_CAS_COST)
+            self.reader_flushes += 1
+        return ptr.decode(ptr.clear_dirty(word))
+
+    def location_word(self, idx: int) -> int:
+        """Raw (untimed) access for recovery and tests."""
+        return self._load_word(None, self._addr(idx))
+
+    def clear_dirty_bit(self, idx: int, thread: Optional[VThread] = None) -> None:
+        """Recovery helper: normalize a persisted-but-dirty word."""
+        addr = self._addr(idx)
+        word = self._load_word(thread, addr)
+        if ptr.is_dirty(word):
+            self._persist_word(thread, addr, ptr.clear_dirty(word))
+
+    # ------------------------------------------------------------------
+    # SVC word (cache pointer; meaningless after a crash)
+    # ------------------------------------------------------------------
+    def set_svc(self, idx: int, entry_id: int, thread: Optional[VThread] = None) -> None:
+        """Atomically point the entry at a DRAM-cached copy (id + 1)."""
+        self._store_word(thread, self._addr(idx) + 8, entry_id + 1)
+        if thread is not None:
+            thread.spend(_CAS_COST)
+
+    def clear_svc(self, idx: int, thread: Optional[VThread] = None) -> None:
+        self._store_word(thread, self._addr(idx) + 8, 0)
+        if thread is not None:
+            thread.spend(_CAS_COST)
+
+    def read_svc(self, idx: int, thread: Optional[VThread] = None) -> Optional[int]:
+        """Cached-copy id, or None when not cached."""
+        word = self._load_word(thread, self._addr(idx) + 8)
+        if word == 0:
+            return None
+        return word - 1

@@ -1,0 +1,139 @@
+"""Forward-pointer encoding for HSIT entries.
+
+An HSIT entry packs the value's location into 16 bytes (§4.5): one
+8-byte word locates the durable copy (PWB or Value Storage — a value
+lives in exactly one of them), the other holds the SVC cache pointer.
+The location word is the unit of the atomic-CAS / flush-on-read
+protocol, so all of its state fits in 64 bits:
+
+    bit  63      dirty (written but possibly not yet flushed)
+    bits 61..62  medium: 0 = null, 1 = PWB, 2 = Value Storage
+    PWB:         bits 48..60 buffer id, bits 0..47 byte offset
+    VS:          bits 53..60 storage id, bits 32..52 chunk id,
+                 bits 0..31 record offset within the chunk
+    null:        bits 0..47 free-list link (HSIT index + 1, 0 = end)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DIRTY_BIT = 1 << 63
+_MEDIUM_SHIFT = 61
+_MEDIUM_MASK = 0b11 << _MEDIUM_SHIFT
+
+MEDIUM_NULL = 0
+MEDIUM_PWB = 1
+MEDIUM_VS = 2
+
+_OFFSET48 = (1 << 48) - 1
+_PWB_ID_MAX = (1 << 13) - 1
+_VS_ID_MAX = (1 << 8) - 1
+_CHUNK_MAX = (1 << 21) - 1
+_OFFSET32 = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class Location:
+    """Decoded forward pointer."""
+
+    medium: int
+    pwb_id: int = 0
+    pwb_offset: int = 0
+    vs_id: int = 0
+    chunk_id: int = 0
+    vs_offset: int = 0
+
+    @property
+    def is_null(self) -> bool:
+        return self.medium == MEDIUM_NULL
+
+    @property
+    def in_pwb(self) -> bool:
+        return self.medium == MEDIUM_PWB
+
+    @property
+    def in_vs(self) -> bool:
+        return self.medium == MEDIUM_VS
+
+
+NULL_LOCATION = Location(medium=MEDIUM_NULL)
+
+
+def encode_pwb(pwb_id: int, offset: int) -> int:
+    if not 0 <= pwb_id <= _PWB_ID_MAX:
+        raise ValueError(f"pwb id out of range: {pwb_id}")
+    if not 0 <= offset <= _OFFSET48:
+        raise ValueError(f"pwb offset out of range: {offset}")
+    return (MEDIUM_PWB << _MEDIUM_SHIFT) | (pwb_id << 48) | offset
+
+
+def encode_vs(vs_id: int, chunk_id: int, offset: int) -> int:
+    if not 0 <= vs_id <= _VS_ID_MAX:
+        raise ValueError(f"vs id out of range: {vs_id}")
+    if not 0 <= chunk_id <= _CHUNK_MAX:
+        raise ValueError(f"chunk id out of range: {chunk_id}")
+    if not 0 <= offset <= _OFFSET32:
+        raise ValueError(f"vs offset out of range: {offset}")
+    return (
+        (MEDIUM_VS << _MEDIUM_SHIFT)
+        | (vs_id << 53)
+        | (chunk_id << 32)
+        | offset
+    )
+
+
+def encode_free_link(next_idx_plus_one: int) -> int:
+    if not 0 <= next_idx_plus_one <= _OFFSET48:
+        raise ValueError(f"free link out of range: {next_idx_plus_one}")
+    return next_idx_plus_one  # medium bits are zero: null
+
+
+def set_dirty(word: int) -> int:
+    return word | DIRTY_BIT
+
+
+def clear_dirty(word: int) -> int:
+    return word & ~DIRTY_BIT
+
+
+def is_dirty(word: int) -> bool:
+    return bool(word & DIRTY_BIT)
+
+
+def medium_of(word: int) -> int:
+    return (word & _MEDIUM_MASK) >> _MEDIUM_SHIFT
+
+
+def free_link_of(word: int) -> int:
+    """Free-list link stored in a null word (index + 1, 0 = end)."""
+    return word & _OFFSET48
+
+
+def decode(word: int) -> Location:
+    """Decode a location word (ignoring the dirty bit)."""
+    medium = medium_of(word)
+    if medium == MEDIUM_NULL:
+        return NULL_LOCATION
+    if medium == MEDIUM_PWB:
+        return Location(
+            medium=MEDIUM_PWB,
+            pwb_id=(word >> 48) & _PWB_ID_MAX,
+            pwb_offset=word & _OFFSET48,
+        )
+    if medium == MEDIUM_VS:
+        return Location(
+            medium=MEDIUM_VS,
+            vs_id=(word >> 53) & _VS_ID_MAX,
+            chunk_id=(word >> 32) & _CHUNK_MAX,
+            vs_offset=word & _OFFSET32,
+        )
+    raise ValueError(f"corrupt location word: {word:#018x}")
+
+
+def encode(loc: Location) -> int:
+    if loc.is_null:
+        return 0
+    if loc.in_pwb:
+        return encode_pwb(loc.pwb_id, loc.pwb_offset)
+    return encode_vs(loc.vs_id, loc.chunk_id, loc.vs_offset)

@@ -1,0 +1,539 @@
+"""The Prism key-value store (§4–§5).
+
+Wires the five components together over simulated devices:
+
+* writes persist to the per-thread PWB on NVM, then the HSIT forward
+  pointer flips (the linearization point), making the critical path a
+  few hundred nanoseconds of NVM work;
+* background reclamation drains PWBs into log-structured Value Storage
+  chunks on SSD; greedy GC keeps free chunks available;
+* reads resolve PWB → SVC → Value Storage, with SSD misses combined
+  across threads into io_uring batches, and fetched values admitted to
+  the scan-aware DRAM cache.
+
+A note on the simulation: background work (reclamation, GC, cache
+maintenance) executes synchronously in *code* the moment it is
+triggered, but its effects are timestamped on background virtual
+threads — foreground latency only feels them through device-bandwidth
+contention and PWB-full stalls, matching the paper's "off the critical
+path" design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import pointers as ptr
+from repro.core.config import PrismConfig
+from repro.core.epoch import EpochManager
+from repro.core.hsit import HSIT
+from repro.core.pwb import PersistentWriteBuffer, PWBFullError
+from repro.core.svc import ScanAwareValueCache
+from repro.core.tcq import ThreadCombiner
+from repro.core.value_storage import RECORD_HEADER, ValueStorage
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+from repro.storage.dram import DRAMDevice
+from repro.storage.nvm import NVMDevice
+from repro.storage.ssd import SSDDevice
+from repro.index.pactree import PACTree
+
+
+class Prism:
+    """A key-value store for heterogeneous storage devices."""
+
+    def __init__(self, config: Optional[PrismConfig] = None) -> None:
+        self.config = config or PrismConfig()
+        cfg = self.config
+        self.clock = VirtualClock()
+
+        # --- devices ---------------------------------------------------
+        self.nvm = NVMDevice(cfg.nvm_spec)
+        self.dram = DRAMDevice(cfg.dram_spec)
+        self.ssds: List[SSDDevice] = [
+            SSDDevice(cfg.ssd_spec, name=f"ssd{i}") for i in range(cfg.num_ssds)
+        ]
+
+        # --- components --------------------------------------------------
+        self.epoch = EpochManager()
+        self.hsit = HSIT(self.nvm, cfg.hsit_capacity)
+        self.index = PACTree(self.nvm, leaf_capacity=cfg.index_leaf_capacity)
+        self.pwbs: List[PersistentWriteBuffer] = [
+            PersistentWriteBuffer(self.nvm, i, cfg.pwb_capacity)
+            for i in range(cfg.num_threads)
+        ]
+        self.storages: List[ValueStorage] = [
+            ValueStorage(i, ssd, cfg.chunk_size, cfg.queue_depth)
+            for i, ssd in enumerate(self.ssds)
+        ]
+        self.combiners: List[ThreadCombiner] = [
+            ThreadCombiner(
+                vs.ring,
+                mode=cfg.read_batching,
+                combine_window=cfg.combine_window,
+                timeout_window=cfg.timeout_window,
+            )
+            for vs in self.storages
+        ]
+        self.svc = ScanAwareValueCache(
+            self.dram,
+            cfg.svc_capacity,
+            self.hsit,
+            self.epoch,
+            scan_aware=cfg.svc_scan_aware,
+            page_mode=cfg.svc_page_mode,
+        )
+
+        # --- background threads ----------------------------------------
+        self._bg_reclaim = VThread(-1, self.clock, name="bg-reclaim", background=True)
+        self._bg_gc = VThread(-2, self.clock, name="bg-gc", background=True)
+        self._bg_cache = VThread(-3, self.clock, name="bg-cache", background=True)
+        self._default_thread = VThread(0, self.clock, name="caller")
+
+        # --- stats -------------------------------------------------------
+        self.bytes_put = 0
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.scans = 0
+        self.reclaims = 0
+        self.gc_events: List[float] = []
+        self._ops = 0
+        self._rr_storage = itertools.count()
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "Prism"
+
+    def _thread(self, thread: Optional[VThread]) -> VThread:
+        return thread if thread is not None else self._default_thread
+
+    def _check_key(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise TypeError(f"keys must be non-empty bytes, got {key!r}")
+        if self._crashed:
+            raise RuntimeError("store crashed; call recover() first")
+
+    def _pwb_for(self, thread: VThread) -> PersistentWriteBuffer:
+        return self.pwbs[thread.tid % len(self.pwbs)]
+
+    def _pick_storage(self, at: float) -> ValueStorage:
+        """Prefer an idle Value Storage; otherwise least loaded (§5.2)."""
+        start = next(self._rr_storage)
+        n = len(self.storages)
+        for i in range(n):
+            vs = self.storages[(start + i) % n]
+            if vs.ring.idle_at(at):
+                return vs
+        return min(self.storages, key=lambda s: s.ring.inflight_at(at))
+
+    def _tick(self) -> None:
+        self._ops += 1
+        if self._ops % self.config.epoch_advance_every == 0:
+            self.epoch.try_advance()
+        if self.svc.pending_work() > 256 or self.svc.used > self.svc.capacity:
+            self._run_cache_maintenance()
+
+    def _run_cache_maintenance(self) -> None:
+        if self._bg_cache.now < self.clock.now:
+            self._bg_cache.now = self.clock.now
+        self.svc.process_background(self._bg_cache, self.storages)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes, thread: Optional[VThread] = None) -> None:
+        """Insert or update; durable when this returns."""
+        self._check_key(key)
+        if not isinstance(value, (bytes, bytearray)) or not value:
+            raise TypeError(f"values must be non-empty bytes, got {type(value)}")
+        thread = self._thread(thread)
+        self.epoch.enter(thread.tid)
+        try:
+            idx = self.index.lookup(key, thread)
+            is_new = idx is None
+            if is_new:
+                idx = self.hsit.allocate(thread)
+            if self.config.enable_pwb:
+                pwb = self._pwb_for(thread)
+                self._ensure_pwb_space(pwb, len(value), thread)
+                offset = pwb.append(idx, value, thread)
+                word = ptr.encode_pwb(pwb.pwb_id, offset)
+            else:
+                vs = self._pick_storage(thread.now)
+                chunk_id, off = vs.append_record_sync(thread, idx, value)
+                word = ptr.encode_vs(vs.vs_id, chunk_id, off)
+                self._maybe_gc(vs, thread.now)
+            old = self.hsit.publish_location(idx, word, thread)
+            self._supersede(idx, old, thread)
+            if is_new:
+                self.index.insert(key, idx, thread)
+            self.bytes_put += len(value)
+            self.puts += 1
+            if self.config.enable_pwb:
+                pwb.poll(thread.now)
+                if (
+                    pwb.utilization() >= self.config.pwb_watermark
+                    and pwb.pending_release is None
+                ):
+                    self._reclaim(pwb, thread.now)
+        finally:
+            self.epoch.exit(thread.tid)
+            self._tick()
+
+    def _supersede(
+        self, idx: int, old: ptr.Location, thread: Optional[VThread]
+    ) -> None:
+        """Invalidate whatever the old forward pointer referenced."""
+        if old.in_vs:
+            self.storages[old.vs_id].invalidate(old.chunk_id, old.vs_offset)
+        entry_id = self.hsit.read_svc(idx, thread)
+        if entry_id is not None:
+            self.hsit.clear_svc(idx, thread)
+            self.svc.invalidate(entry_id, thread)
+
+    def _ensure_pwb_space(
+        self, pwb: PersistentWriteBuffer, value_len: int, thread: VThread
+    ) -> None:
+        pwb.poll(thread.now)
+        if pwb.would_fit(value_len):
+            return
+        # Wait out an in-flight reclamation, if any.
+        if pwb.pending_release is not None:
+            thread.wait_until(pwb.reclaim_done_at)
+            pwb.poll(thread.now)
+            if pwb.would_fit(value_len):
+                return
+        # Emergency: reclaim synchronously in the critical path.
+        self._reclaim(pwb, thread.now)
+        thread.wait_until(pwb.reclaim_done_at)
+        pwb.poll(thread.now)
+        if not pwb.would_fit(value_len):
+            raise PWBFullError(
+                f"pwb {pwb.pwb_id} cannot host a {value_len}B value"
+            )
+
+    # ------------------------------------------------------------------
+    # background reclamation (§5.2)
+    # ------------------------------------------------------------------
+    def _reclaim(self, pwb: PersistentWriteBuffer, at: float) -> None:
+        bg = self._bg_reclaim
+        if bg.now < at:
+            bg.now = at
+        if pwb.pending_release is not None:
+            # An earlier reclamation is still in flight; chain after it.
+            bg.wait_until(pwb.reclaim_done_at)
+            pwb.poll(bg.now)
+        upto = pwb.head
+        region = upto - pwb.tail
+        if region <= 0:
+            return
+        # Scan the region and check well-coupledness (two NVM reads per
+        # value: the backward pointer and the HSIT forward pointer).
+        live: List[Tuple[int, bytes]] = []
+        count = 0
+        for offset, hsit_idx, value in pwb.records_between(pwb.tail, upto):
+            count += 1
+            word = self.hsit.location_word(hsit_idx)
+            loc = ptr.decode(ptr.clear_dirty(word))
+            if (
+                loc.in_pwb
+                and loc.pwb_id == pwb.pwb_id
+                and loc.pwb_offset == offset
+            ):
+                live.append((hsit_idx, value))
+        self.nvm.charge_read(bg, min(region, pwb.capacity) + 16 * count)
+        if live:
+            vs = self._pick_storage(bg.now)
+            placements, done = vs.write_records(bg.now, live)
+            bg.wait_until(done)
+            for (hsit_idx, _value), (chunk_id, offset, _size) in zip(
+                live, placements
+            ):
+                self.hsit.publish_location(
+                    hsit_idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+                )
+            self._maybe_gc(vs, bg.now)
+        pwb.pending_release = (upto, bg.now)
+        pwb.reclaim_done_at = bg.now
+        self.reclaims += 1
+
+    # ------------------------------------------------------------------
+    # garbage collection in Value Storage (§5.2)
+    # ------------------------------------------------------------------
+    def _maybe_gc(self, vs: ValueStorage, at: float) -> None:
+        if vs.free_fraction() >= self.config.gc_free_threshold:
+            return
+        bg = self._bg_gc
+        if bg.now < at:
+            bg.now = at
+        self.gc_events.append(bg.now)
+        victims = vs.gc_victims(self.config.gc_batch_chunks)
+        moves: List[Tuple[int, bytes, int, int]] = []
+        read_done = bg.now
+        for chunk_id in victims:
+            for slot in vs.live_records_of(chunk_id):
+                _, value = vs.read_record_raw(chunk_id, slot.offset)
+                moves.append((slot.hsit_idx, value, chunk_id, slot.offset))
+            read_done = max(
+                read_done,
+                vs.ssd.read_async(bg.now, chunk_id * vs.chunk_size, vs.chunk_size),
+            )
+        bg.wait_until(read_done)
+        if not moves:
+            return
+        placements, done = vs.write_records(
+            bg.now, [(idx, value) for idx, value, _, _ in moves]
+        )
+        bg.wait_until(done)
+        for (idx, value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
+            moves, placements
+        ):
+            self.hsit.publish_location(
+                idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+            )
+            vs.invalidate(old_chunk, old_off)
+        vs.gc_runs += 1
+        vs.gc_moved_bytes += sum(len(value) for _, value, _, _ in moves)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, key: bytes, thread: Optional[VThread] = None) -> Optional[bytes]:
+        """Point lookup; returns None for missing keys."""
+        self._check_key(key)
+        thread = self._thread(thread)
+        self.epoch.enter(thread.tid)
+        try:
+            self.gets += 1
+            idx = self.index.lookup(key, thread)
+            if idx is None:
+                return None
+            return self._read_value(idx, key, thread)
+        finally:
+            self.epoch.exit(thread.tid)
+            self._tick()
+
+    def _read_value(self, idx: int, key: bytes, thread: VThread) -> Optional[bytes]:
+        loc = self.hsit.read_location(idx, thread)
+        if loc.is_null:
+            return None
+        if loc.in_pwb:
+            _, value = self.pwbs[loc.pwb_id].read(loc.pwb_offset, thread)
+            return value
+        # Value Storage — try the DRAM cache first (Figure 2 ➍ over ➌).
+        if self.config.enable_svc:
+            entry_id = self.hsit.read_svc(idx, thread)
+            if entry_id is not None:
+                cached = self.svc.lookup(entry_id, thread)
+                if cached is not None:
+                    return cached
+        vs = self.storages[loc.vs_id]
+        req = vs.record_request(loc.chunk_id, loc.vs_offset)
+        raw = self.combiners[loc.vs_id].read_one(thread, req)
+        _, value = ValueStorage.parse_record(raw)
+        if self.config.enable_svc:
+            self.svc.admit(idx, key, value, thread)
+        return value
+
+    # ------------------------------------------------------------------
+    # scan (§4.4)
+    # ------------------------------------------------------------------
+    def scan(
+        self, start: bytes, count: int, thread: Optional[VThread] = None
+    ) -> List[Tuple[bytes, bytes]]:
+        """Range scan: up to ``count`` pairs with key >= start."""
+        self._check_key(start)
+        thread = self._thread(thread)
+        self.epoch.enter(thread.tid)
+        try:
+            matches = self.index.scan(start, count, thread)
+            results: Dict[bytes, bytes] = {}
+            misses: Dict[int, List[Tuple[int, int, int, bytes]]] = {}
+            chain_entries: List[Tuple[bytes, int]] = []
+            for key, idx in matches:
+                loc = self.hsit.read_location(idx, thread)
+                if loc.in_pwb:
+                    _, value = self.pwbs[loc.pwb_id].read(loc.pwb_offset, thread)
+                    results[key] = value
+                    continue
+                if loc.is_null:
+                    continue
+                if self.config.enable_svc:
+                    entry_id = self.hsit.read_svc(idx, thread)
+                    if entry_id is not None:
+                        cached = self.svc.lookup(entry_id, thread)
+                        if cached is not None:
+                            results[key] = cached
+                            chain_entries.append((key, entry_id))
+                            continue
+                misses.setdefault(loc.vs_id, []).append(
+                    (loc.chunk_id, loc.vs_offset, idx, key)
+                )
+            for vs_id, items in misses.items():
+                for idx, key, value in self._fetch_merged(vs_id, items, thread):
+                    results[key] = value
+                    if self.config.enable_svc:
+                        entry_id = self.svc.admit(idx, key, value, thread)
+                        chain_entries.append((key, entry_id))
+            if self.config.enable_svc and self.config.svc_scan_aware:
+                chain_entries.sort()
+                self.svc.link_scan_chain([eid for _, eid in chain_entries])
+            self.scans += 1
+            return [(key, results[key]) for key, _ in matches if key in results]
+        finally:
+            self.epoch.exit(thread.tid)
+            self._tick()
+
+    def _fetch_merged(
+        self,
+        vs_id: int,
+        items: Sequence[Tuple[int, int, int, bytes]],
+        thread: VThread,
+    ) -> List[Tuple[int, bytes, bytes]]:
+        """Read records from one Value Storage, merging adjacent ones.
+
+        Scan-aware reorganization places values of a range contiguously
+        in a chunk; merging adjacent records into single IOs is where
+        that locality pays off (fewer, larger SSD reads).
+        """
+        vs = self.storages[vs_id]
+        ordered = sorted(items)
+        runs: List[List[Tuple[int, int, int, bytes]]] = []
+        for item in ordered:
+            chunk_id, offset, idx, key = item
+            size = vs.slot_size(chunk_id, offset)
+            if runs:
+                last = runs[-1][-1]
+                last_end = last[1] + RECORD_HEADER + vs.slot_size(last[0], last[1])
+                if last[0] == chunk_id and offset == last_end:
+                    runs[-1].append(item)
+                    continue
+            runs.append([item])
+        requests = []
+        spans: List[List[Tuple[int, int, int, bytes]]] = []
+        from repro.storage.iouring import IORequest
+
+        for run in runs:
+            first_chunk, first_off, _, _ = run[0]
+            last_chunk, last_off, _, _ = run[-1]
+            end = last_off + RECORD_HEADER + vs.slot_size(last_chunk, last_off)
+            requests.append(
+                IORequest(
+                    "read",
+                    first_chunk * vs.chunk_size + first_off,
+                    end - first_off,
+                )
+            )
+            spans.append(run)
+        self.combiners[vs_id].read(thread, requests)
+        out: List[Tuple[int, bytes, bytes]] = []
+        for req, run in zip(requests, spans):
+            assert req.result is not None
+            base = run[0][1]
+            for chunk_id, offset, idx, key in run:
+                rel = offset - base
+                raw = req.result[rel:]
+                _, value = ValueStorage.parse_record(raw)
+                out.append((idx, key, value))
+        return out
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+    def delete(self, key: bytes, thread: Optional[VThread] = None) -> bool:
+        """Remove a key. Returns True when it existed."""
+        self._check_key(key)
+        thread = self._thread(thread)
+        self.epoch.enter(thread.tid)
+        try:
+            idx = self.index.lookup(key, thread)
+            if idx is None:
+                return False
+            self.index.delete(key, thread)
+            old = self.hsit.publish_location(idx, 0, thread)
+            self._supersede(idx, old, thread)
+            # The HSIT entry rejoins the free list after two epochs (§5.4).
+            self.epoch.retire(lambda i=idx: self.hsit.free(i))
+            self.deletes += 1
+            return True
+        finally:
+            self.epoch.exit(thread.tid)
+            self._tick()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def flush(self, thread: Optional[VThread] = None) -> None:
+        """Drain PWBs into Value Storage and finish background work."""
+        at = self.clock.now
+        for pwb in self.pwbs:
+            pwb.poll(float("inf"))
+            if pwb.used > 0:
+                self._reclaim(pwb, at)
+                pwb.poll(float("inf"))
+        self._run_cache_maintenance()
+        for _ in range(3):
+            self.epoch.try_advance()
+
+    def close(self) -> None:
+        self.flush()
+        self.epoch.drain()
+
+    def crash(self) -> None:
+        """Simulate power failure across all devices."""
+        self.nvm.crash()
+        self.index.crash()
+        self.dram.crash()
+        self.svc.crash()
+        for ssd in self.ssds:
+            ssd.crash()
+        self._crashed = True
+
+    def recover(self, recovery_threads: int = 4) -> "RecoveryReport":
+        from repro.core.recovery import recover
+
+        report = recover(self, recovery_threads=recovery_threads)
+        self._crashed = False
+        return report
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def ssd_bytes_written(self) -> int:
+        return sum(ssd.bytes_written for ssd in self.ssds)
+
+    def waf(self) -> float:
+        """SSD-level write amplification (SSD writes / application writes)."""
+        if self.bytes_put == 0:
+            return 0.0
+        return self.ssd_bytes_written() / self.bytes_put
+
+    def nvm_bytes_used(self) -> int:
+        return self.nvm.used
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "scans": self.scans,
+            "deletes": self.deletes,
+            "reclaims": self.reclaims,
+            "gc_runs": sum(vs.gc_runs for vs in self.storages),
+            "svc_hits": self.svc.hits,
+            "svc_admissions": self.svc.admissions,
+            "svc_evictions": self.svc.evictions,
+            "scan_writebacks": self.svc.scan_writebacks,
+            "waf": self.waf(),
+            "ssd_bytes_written": self.ssd_bytes_written(),
+            "nvm_bytes_used": self.nvm_bytes_used(),
+            "hsit_entries": self.hsit.allocations - self.hsit.frees,
+        }

@@ -1,0 +1,198 @@
+"""Persistent Write Buffer (§4.3).
+
+One PWB per application thread, on NVM, written append-only: a write
+persists ``[backward pointer][size][value]`` and returns, making the
+critical path a handful of NVM stores — no SSD latency, no logging,
+no write/write conflicts.
+
+The buffer is a ring over a fixed NVM region.  Offsets handed to the
+HSIT are *absolute* (monotonically increasing); the ring position is
+``offset % capacity``.  Records never straddle the wrap point — the
+writer skips the tail padding instead — which keeps every record
+physically contiguous.
+
+Reclamation (§5.2) drains ``[tail, head)`` in the background once
+utilization crosses the watermark; the paper's well-coupledness check
+(backward pointer vs forward pointer) decides which records are live.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional, Tuple
+
+from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
+from repro.storage.nvm import NVMDevice
+
+RECORD_HEADER = 12  # backward pointer (8B) + value size (4B)
+_ALIGN = 8
+
+
+class PWBFullError(StorageError):
+    """Raised when an append cannot fit even after reclamation."""
+
+
+class PersistentWriteBuffer:
+    """A per-thread append-only ring on NVM."""
+
+    def __init__(self, nvm: NVMDevice, pwb_id: int, capacity: int) -> None:
+        if capacity < 4096:
+            raise ValueError(f"PWB too small: {capacity}")
+        self.nvm = nvm
+        self.pwb_id = pwb_id
+        self.capacity = capacity
+        self.base = nvm.alloc(capacity, align=256)
+        # Absolute (monotonic) offsets; ring position = offset % capacity.
+        self.head = 0
+        self.tail = 0
+        # (upto, done_at): a background reclamation has drained
+        # [tail, upto) and the space becomes reusable at virtual time
+        # done_at.  The release is applied lazily by poll() so the
+        # foreground only sees the space once the reclamation has
+        # logically finished.
+        self.pending_release: Optional[Tuple[int, float]] = None
+        # Virtual time at which the latest reclamation finishes.
+        self.reclaim_done_at = 0.0
+        self.appends = 0
+        self.bytes_appended = 0
+        # Volatile list of record offsets, oldest first.  Reclamation
+        # iterates it instead of parsing ring padding; recovery never
+        # needs it (live PWB records are found through the HSIT).
+        self._offsets: deque = deque()
+
+    # ------------------------------------------------------------------
+    # space accounting
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return self.head - self.tail
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.used
+
+    def utilization(self) -> float:
+        return self.used / self.capacity
+
+    @staticmethod
+    def record_bytes(value_len: int) -> int:
+        raw = RECORD_HEADER + value_len
+        return -(-raw // _ALIGN) * _ALIGN
+
+    def _advance_over_wrap(self, offset: int, need: int) -> int:
+        """Skip tail padding so the record stays contiguous."""
+        pos = offset % self.capacity
+        if pos + need > self.capacity:
+            return offset + (self.capacity - pos)
+        return offset
+
+    def would_fit(self, value_len: int) -> bool:
+        need = self.record_bytes(value_len)
+        start = self._advance_over_wrap(self.head, need)
+        return (start + need) - self.tail <= self.capacity
+
+    # ------------------------------------------------------------------
+    # append / read
+    # ------------------------------------------------------------------
+    def append(
+        self, hsit_idx: int, value: bytes, thread: Optional[VThread] = None
+    ) -> int:
+        """Persist a record; returns its absolute offset.
+
+        The record is durable when this returns (store + flush + fence
+        on NVM) — this is what gives Prism immediate durability without
+        a write-ahead log.
+        """
+        if not value:
+            raise ValueError("PWB records must carry a non-empty value")
+        need = self.record_bytes(len(value))
+        if need > self.capacity // 2:
+            raise PWBFullError(
+                f"value of {len(value)}B cannot fit a {self.capacity}B PWB"
+            )
+        start = self._advance_over_wrap(self.head, need)
+        if (start + need) - self.tail > self.capacity:
+            raise PWBFullError(
+                f"pwb {self.pwb_id}: {need}B append overflows "
+                f"(used {self.used}/{self.capacity})"
+            )
+        self.head = start + need
+        record = (
+            hsit_idx.to_bytes(8, "little")
+            + len(value).to_bytes(4, "little")
+            + value
+        )
+        self.nvm.persist(thread, self.base + start % self.capacity, record)
+        self._offsets.append(start)
+        self.appends += 1
+        self.bytes_appended += len(value)
+        return start
+
+    def read(
+        self, offset: int, thread: Optional[VThread] = None
+    ) -> Tuple[int, bytes]:
+        """Read (backward pointer, value) at an absolute offset."""
+        if not self.tail <= offset < self.head:
+            raise StorageError(
+                f"pwb {self.pwb_id}: offset {offset} outside "
+                f"[{self.tail}, {self.head})"
+            )
+        pos = self.base + offset % self.capacity
+        header = self.nvm.load(thread, pos, RECORD_HEADER)
+        hsit_idx = int.from_bytes(header[:8], "little")
+        size = int.from_bytes(header[8:12], "little")
+        value = self.nvm.load(None, pos + RECORD_HEADER, size)
+        return hsit_idx, value
+
+    def read_backptr(self, offset: int, thread: Optional[VThread] = None) -> int:
+        pos = self.base + offset % self.capacity
+        return int.from_bytes(self.nvm.load(thread, pos, 8), "little")
+
+    # ------------------------------------------------------------------
+    # reclamation support
+    # ------------------------------------------------------------------
+    def records_between(self, lo: int, hi: int) -> Iterator[Tuple[int, int, bytes]]:
+        """Yield (offset, backward pointer, value) over [lo, hi).
+
+        Untimed iteration used by the background reclaimer, which
+        charges NVM bandwidth for the whole region in one go.
+        """
+        for offset in self._offsets:
+            if offset >= hi:
+                break
+            if offset < lo:
+                continue
+            pos = self.base + offset % self.capacity
+            raw = self.nvm.load(None, pos, RECORD_HEADER)
+            hsit_idx = int.from_bytes(raw[:8], "little")
+            size = int.from_bytes(raw[8:12], "little")
+            value = self.nvm.load(None, pos + RECORD_HEADER, size)
+            yield offset, hsit_idx, value
+
+    def release_through(self, upto: int) -> None:
+        """Advance the tail after a reclamation drained [tail, upto)."""
+        if not self.tail <= upto <= self.head:
+            raise ValueError(
+                f"release {upto} outside [{self.tail}, {self.head}]"
+            )
+        self.tail = upto
+        while self._offsets and self._offsets[0] < upto:
+            self._offsets.popleft()
+
+    def poll(self, now: float) -> None:
+        """Apply a pending release whose reclamation has finished."""
+        if self.pending_release is None:
+            return
+        upto, done_at = self.pending_release
+        if now >= done_at:
+            self.pending_release = None
+            self.release_through(upto)
+
+    def reset(self) -> None:
+        """Empty the buffer (recovery flushes live records elsewhere)."""
+        self.head = 0
+        self.tail = 0
+        self.pending_release = None
+        self.reclaim_done_at = 0.0
+        self._offsets.clear()

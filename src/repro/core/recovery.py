@@ -1,0 +1,162 @@
+"""Cross-media recovery (§5.5).
+
+After a power failure Prism owns no logs to replay.  Instead:
+
+1. the Persistent Key Index recovers itself (rebuilds its volatile
+   search layer from the durable data layer);
+2. a full scan of the index yields the *reachable* HSIT entries; stray
+   dirty bits are normalized and SVC words nullified (DRAM is gone);
+3. for entries pointing into a PWB, well-coupledness (backward pointer
+   == entry index) validates the record; live PWB records are flushed
+   to Value Storage so the buffers restart empty;
+4. for entries pointing into Value Storage, the validity bitmaps are
+   reconstructed — the paper's reason the bitmaps may live in DRAM;
+5. HSIT entries that are allocated but unreachable (a crash struck
+   between entry allocation and index insertion) are returned to the
+   free list.
+
+The recovery virtual time charges the same device traffic the paper
+describes: NVM scans of index + HSIT + live PWB data, plus record
+headers read from SSD.  Like the paper, the scan parallelizes over
+partitioned key ranges; we divide the single-threaded virtual time by
+``recovery_threads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.core import pointers as ptr
+from repro.sim.vthread import VThread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.prism import Prism
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass found and how long it (virtually) took."""
+
+    recovered_keys: int
+    pwb_values_flushed: int
+    vs_records_validated: int
+    leaked_entries_reclaimed: int
+    ill_coupled_dropped: int
+    duration: float  # virtual seconds
+
+
+def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
+    """Bring a crashed Prism instance back to a consistent state."""
+    if recovery_threads < 1:
+        raise ValueError(f"recovery_threads must be >= 1: {recovery_threads}")
+    rt = VThread(-9, prism.clock, name="recovery", background=True)
+    start = rt.now = prism.clock.now
+
+    # (1) the index restores its own invariants.
+    prism.index.recover(rt)
+
+    # (2)–(4) walk reachable entries.
+    live_vs: Dict[int, Dict[Tuple[int, int], Tuple[int, int]]] = {
+        vs.vs_id: {} for vs in prism.storages
+    }
+    pwb_flush: List[Tuple[int, int, bytes]] = []  # (hsit_idx, pwb_id, value)
+    reachable = set()
+    dropped: List[bytes] = []
+    vs_header_bytes = 0
+    for key, idx in list(prism.index.items()):
+        reachable.add(idx)
+        prism.hsit.clear_dirty_bit(idx)
+        word = prism.hsit.location_word(idx)
+        loc = ptr.decode(ptr.clear_dirty(word))
+        prism.hsit.clear_svc(idx)
+        if loc.in_pwb:
+            pwb = prism.pwbs[loc.pwb_id]
+            back = pwb.read_backptr(loc.pwb_offset)
+            if back != idx:
+                dropped.append(key)
+                continue
+            _, value = pwb.read(loc.pwb_offset)
+            pwb_flush.append((idx, loc.pwb_id, value))
+        elif loc.in_vs:
+            vs = prism.storages[loc.vs_id]
+            raw = vs.ssd.read_raw(
+                loc.chunk_id * vs.chunk_size + loc.vs_offset, 12
+            )
+            back = int.from_bytes(raw[:8], "little")
+            size = int.from_bytes(raw[8:12], "little")
+            vs_header_bytes += 12
+            if back != idx:
+                dropped.append(key)
+                continue
+            live_vs[loc.vs_id][(loc.chunk_id, loc.vs_offset)] = (idx, size)
+        else:
+            dropped.append(key)
+    for key in dropped:
+        prism.index.delete(key)
+
+    # Account the NVM scan: index leaves + one HSIT entry per key.
+    scanned = prism.index.nvm_bytes() + 16 * len(reachable)
+    prism.nvm.charge_read(rt, scanned)
+    if vs_header_bytes:
+        done = rt.now
+        for vs in prism.storages:
+            share = vs_header_bytes // max(len(prism.storages), 1)
+            done = max(done, vs.ssd.read_async(rt.now, 0, max(share, 1)))
+        rt.wait_until(done)
+
+    # (4) rebuild validity bitmaps from the HSIT information.
+    for vs in prism.storages:
+        vs.rebuild_from(live_vs[vs.vs_id])
+
+    # (3) flush live PWB records out and reset the buffers.
+    flushed = 0
+    if pwb_flush:
+        nvm_reread = sum(len(value) for _, _, value in pwb_flush)
+        prism.nvm.charge_read(rt, nvm_reread)
+        vs = prism._pick_storage(rt.now)
+        records = [(idx, value) for idx, _, value in pwb_flush]
+        placements, done = vs.write_records(rt.now, records)
+        rt.wait_until(done)
+        for (idx, _pwb_id, _value), (chunk_id, offset, _sz) in zip(
+            pwb_flush, placements
+        ):
+            prism.hsit.publish_location(
+                idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), rt
+            )
+        flushed = len(pwb_flush)
+    for pwb in prism.pwbs:
+        pwb.reset()
+
+    # (5) reclaim allocated-but-unreachable entries (crashed inserts).
+    leaked = _reclaim_unreachable(prism, reachable, rt)
+
+    single_thread_time = rt.now - start
+    duration = single_thread_time / recovery_threads
+    return RecoveryReport(
+        recovered_keys=len(prism.index),
+        pwb_values_flushed=flushed,
+        vs_records_validated=sum(len(m) for m in live_vs.values()),
+        leaked_entries_reclaimed=leaked,
+        ill_coupled_dropped=len(dropped),
+        duration=duration,
+    )
+
+
+def _reclaim_unreachable(prism: "Prism", reachable: set, rt: VThread) -> int:
+    """Free HSIT entries no key maps to (and not already free)."""
+    hsit = prism.hsit
+    _, next_unused = hsit._header_words(None)
+    free_set = set()
+    head_plus1, _ = hsit._header_words(None)
+    while head_plus1:
+        free_set.add(head_plus1 - 1)
+        head_plus1 = ptr.free_link_of(hsit.location_word(head_plus1 - 1))
+    leaked = 0
+    for idx in range(next_unused):
+        if idx in reachable or idx in free_set:
+            continue
+        hsit.free(idx)
+        leaked += 1
+    prism.nvm.charge_read(rt, 16 * next_unused)
+    return leaked

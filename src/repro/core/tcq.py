@@ -1,0 +1,121 @@
+"""Opportunistic thread combining for Value Storage reads (§5.3).
+
+When concurrent threads miss the cache, one of them — the *leader*,
+the first to swing the Thread Combining Queue's tail pointer — gathers
+the others' read requests and submits them as a single io_uring batch.
+Followers hand their request to the leader and wait only for their own
+completion.  The batch closes when no more followers arrive (modelled
+as a short combining window) or when the coalescing limit (the queue
+depth) is reached.
+
+The effect: IO batch size tracks concurrency.  Many concurrent readers
+→ large batches → amortized syscalls and full bandwidth.  A lone
+reader → batch of one → near-raw device latency.
+
+The module also implements the paper's strawman for Figure 11,
+timeout-based batching ("TA"): wait a fixed window (100 µs) for more
+requests before submitting, which wrecks latency at low concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.vthread import VThread
+from repro.storage.iouring import (
+    IORequest,
+    IOUring,
+    SQE_PREP_COST,
+    SUBMIT_SYSCALL_COST,
+)
+
+# Leader's TCQ traversal window: the time it keeps collecting follower
+# requests before submitting.  Small, so a lone reader pays little.
+COMBINE_WINDOW = 1.5e-6
+# Follower's cost to enqueue its request behind the leader (the atomic
+# swap on the TCQ tail plus the hand-off).
+FOLLOWER_HANDOFF_COST = 0.2e-6
+# The strawman's wait-for-more-requests timeout (§7.6, Figure 11).
+TIMEOUT_WINDOW = 100e-6
+
+MODE_THREAD_COMBINING = "tc"
+MODE_TIMEOUT_ASYNC = "ta"
+MODE_SYNC = "sync"
+
+
+class ThreadCombiner:
+    """Batches concurrent reads against one Value Storage ring."""
+
+    def __init__(
+        self,
+        ring: IOUring,
+        mode: str = MODE_THREAD_COMBINING,
+        combine_window: float = COMBINE_WINDOW,
+        timeout_window: float = TIMEOUT_WINDOW,
+    ) -> None:
+        if mode not in (MODE_THREAD_COMBINING, MODE_TIMEOUT_ASYNC, MODE_SYNC):
+            raise ValueError(f"unknown read-batching mode: {mode}")
+        self.ring = ring
+        self.mode = mode
+        self.combine_window = combine_window
+        self.timeout_window = timeout_window
+        self._batch_close = -1.0
+        self._batch_count = 0
+        self.batches = 0
+        self.combined_requests = 0
+
+    @property
+    def coalescing_limit(self) -> int:
+        return self.ring.queue_depth
+
+    def read(self, thread: VThread, requests: Sequence[IORequest]) -> float:
+        """Issue ``requests`` for one thread; returns (and advances the
+        thread to) the completion time of *its* requests."""
+        if not requests:
+            return thread.now
+        if self.mode == MODE_SYNC:
+            done = self.ring.submit_and_wait(thread.now, requests)
+            thread.wait_until(done)
+            return done
+        window = (
+            self.combine_window
+            if self.mode == MODE_THREAD_COMBINING
+            else self.timeout_window
+        )
+        t = thread.now
+        joins = (
+            t <= self._batch_close
+            and self._batch_count + len(requests) <= self.coalescing_limit
+        )
+        if joins:
+            # Follower: swap into the TCQ and hand over the request.
+            self._batch_count += len(requests)
+            thread.spend(FOLLOWER_HANDOFF_COST)
+            floor = self._batch_close
+        else:
+            # Leader: open a fresh batch; it submits at the window close.
+            self._batch_close = t + window
+            self._batch_count = len(requests)
+            self.batches += 1
+            thread.spend(SUBMIT_SYSCALL_COST + SQE_PREP_COST * len(requests))
+            floor = self._batch_close
+        self.combined_requests += len(requests)
+        done = floor
+        for req in requests:
+            completion = self.ring.submit_one(floor, req)
+            done = max(done, completion)
+        thread.wait_until(done)
+        return done
+
+    def read_one(
+        self, thread: VThread, request: IORequest
+    ) -> bytes:
+        """Convenience wrapper for a single-record read."""
+        self.read(thread, [request])
+        assert request.result is not None
+        return request.result
+
+    def average_batch(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.combined_requests / self.batches

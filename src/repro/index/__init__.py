@@ -1,0 +1,17 @@
+"""Ordered indexes.
+
+* :class:`BTree` — a volatile in-memory B+-tree.  Used as the KVell
+  per-shard index, the LSM block index, and PACTree's rebuildable
+  search layer.
+* :class:`PACTree` — a persistent range index on NVM in the style of
+  PACTree (SOSP '21): a doubly-linked data layer of persistent leaf
+  nodes under an asynchronously maintained volatile search layer.
+  Prism's design does not depend on the specific index (§4.1); this
+  one provides the required contract — ordered key → HSIT-slot
+  mapping, scans, and self-contained crash consistency.
+"""
+
+from repro.index.btree import BTree
+from repro.index.pactree import PACTree
+
+__all__ = ["BTree", "PACTree"]

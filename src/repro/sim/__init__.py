@@ -1,0 +1,31 @@
+"""Virtual-time simulation kernel.
+
+The reproduction runs on simulated hardware: device accesses and
+critical sections advance *virtual* clocks instead of wall clocks.
+Store code stays ordinary synchronous Python; concurrency effects
+(queueing at devices, lock contention, IO batching) are modelled by
+shared resources that serialize requests in virtual time.
+
+Public surface:
+
+* :class:`VirtualClock` — a monotonically advancing global clock.
+* :class:`VThread` — a simulated thread with its own local time.
+* :class:`FIFOServer` — a serially reusable resource (lock, CPU core).
+* :class:`BandwidthChannel` — a rate-limited resource (device lane).
+* :class:`LatencyRecorder` / :class:`Timeline` — measurement helpers.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+from repro.sim.resources import BandwidthChannel, FIFOServer, VLock
+from repro.sim.stats import LatencyRecorder, Timeline
+
+__all__ = [
+    "VirtualClock",
+    "VThread",
+    "FIFOServer",
+    "BandwidthChannel",
+    "VLock",
+    "LatencyRecorder",
+    "Timeline",
+]

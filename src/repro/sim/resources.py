@@ -1,0 +1,208 @@
+"""Shared resources that serialize virtual threads.
+
+Two primitives cover everything the reproduction needs:
+
+* :class:`FIFOServer` — a serially reusable resource.  Used for locks,
+  per-worker queues (KVell), and single-request device command
+  processing.  A request arriving at time ``t`` starts at
+  ``max(t, free_at)`` and occupies the server for its hold time.
+
+* :class:`BandwidthChannel` — a rate-limited resource with one or more
+  parallel lanes.  Used for device bandwidth: a transfer of ``n`` bytes
+  occupies a lane for ``n / bandwidth`` seconds after a fixed latency.
+
+Both rely on the benchmark driver executing threads in ascending order
+of their local clocks, which makes first-come-first-served allocation
+in virtual time consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.vthread import VThread
+
+
+class FIFOServer:
+    """A serially reusable resource in virtual time."""
+
+    __slots__ = ("name", "free_at", "busy_time", "requests")
+
+    def __init__(self, name: str = "server") -> None:
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.requests = 0
+
+    def service(self, at: float, hold: float) -> Tuple[float, float]:
+        """Serve a request arriving at ``at`` for ``hold`` seconds.
+
+        Returns ``(start, end)``.  The caller decides which thread's
+        clock to advance with ``end``.
+        """
+        if hold < 0:
+            raise ValueError(f"negative hold time: {hold}")
+        start = max(at, self.free_at)
+        end = start + hold
+        self.free_at = end
+        self.busy_time += hold
+        self.requests += 1
+        return start, end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this server was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+
+class VLock:
+    """A mutex in virtual time with explicit acquire/release.
+
+    The critical-section length is whatever virtual time the owner
+    spends between :meth:`acquire` and :meth:`release`; contending
+    threads arriving earlier than the release are pushed behind it.
+    """
+
+    __slots__ = ("name", "free_at", "_owner", "hold_time", "acquisitions", "contended")
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self.free_at = 0.0
+        self._owner: Optional[VThread] = None
+        self.hold_time = 0.0
+        self.acquisitions = 0
+        self.contended = 0
+
+    def acquire(self, thread: VThread) -> None:
+        if self._owner is thread:
+            raise RuntimeError(f"{self.name}: {thread.name} already holds the lock")
+        if thread.now < self.free_at:
+            self.contended += 1
+            thread.wait_until(self.free_at)
+        self._owner = thread
+        self.acquisitions += 1
+
+    def release(self, thread: VThread) -> None:
+        if self._owner is not thread:
+            raise RuntimeError(f"{self.name}: released by non-owner {thread.name}")
+        self.free_at = thread.now
+        self._owner = None
+
+    def __enter__(self) -> "VLock":  # pragma: no cover - convenience only
+        raise TypeError("VLock needs a thread; use lock.acquire(thread)")
+
+
+class BandwidthChannel:
+    """A rate-limited resource modelled as capacity over time.
+
+    Time is divided into fixed buckets; each holds ``bandwidth x
+    bucket`` bytes of transfer capacity.  A request drains capacity
+    from its arrival bucket forward, so:
+
+    * concurrent small requests pipeline freely (per-request
+      ``latency`` delays only the completion, like an NVMe device
+      overlapping in-flight commands);
+    * sustained load saturates buckets and pushes completions out —
+      the bandwidth ceiling;
+    * a request stamped *earlier* than previously seen traffic can
+      still use leftover capacity from its own time — essential
+      because foreground threads and background work (reclamation,
+      compaction) do not arrive in global timestamp order.
+    """
+
+    __slots__ = (
+        "name",
+        "bandwidth",
+        "lanes",
+        "bucket",
+        "_used",
+        "_capacity",
+        "_horizon",
+        "_full_floor",
+        "bytes_moved",
+        "busy_time",
+    )
+
+    # How far behind the newest traffic old buckets are kept (seconds).
+    PRUNE_WINDOW = 0.2
+    _PRUNE_TRIGGER = 1 << 16
+
+    def __init__(
+        self,
+        bandwidth: float,
+        lanes: int = 1,
+        name: str = "bw",
+        bucket: float = 10e-6,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        if lanes < 1:
+            raise ValueError(f"need at least one lane: {lanes}")
+        if bucket <= 0:
+            raise ValueError(f"bucket must be positive: {bucket}")
+        self.name = name
+        self.bandwidth = float(bandwidth) * lanes
+        self.lanes = lanes
+        self.bucket = bucket
+        self._used: Dict[int, float] = {}
+        self._capacity = self.bandwidth * bucket
+        self._horizon = 0  # buckets below this are forgotten (treated full)
+        # All buckets in [_horizon, _full_floor) are known full: lets a
+        # saturated channel skip its backlog in O(1) instead of
+        # re-walking every full bucket per request.
+        self._full_floor = 0
+        self.bytes_moved = 0
+        self.busy_time = 0.0
+
+    def request(self, at: float, nbytes: int, latency: float = 0.0) -> float:
+        """Transfer ``nbytes`` starting no earlier than ``at``.
+
+        Returns the completion time (transfer end + pipelined latency).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self.bytes_moved += nbytes
+        transfer = nbytes / self.bandwidth
+        self.busy_time += transfer
+        if nbytes == 0:
+            return at + latency
+        idx = max(int(at / self.bucket), self._horizon)
+        extends_floor = idx <= self._full_floor
+        if extends_floor:
+            idx = max(idx, self._full_floor)
+        remaining = float(nbytes)
+        end = at
+        while remaining > 0:
+            used = self._used.get(idx, 0.0)
+            free = self._capacity - used
+            if free > 0:
+                take = min(free, remaining)
+                self._used[idx] = used + take
+                remaining -= take
+                end = self.bucket * (idx + (used + take) / self._capacity)
+                if extends_floor and used + take >= self._capacity:
+                    self._full_floor = idx + 1
+                elif extends_floor:
+                    extends_floor = False
+            elif extends_floor:
+                self._full_floor = idx + 1
+            idx += 1
+        if len(self._used) > self._PRUNE_TRIGGER:
+            self._prune(idx)
+        # Never faster than line rate from the actual start.
+        end = max(end, at + transfer)
+        return end + latency
+
+    def _prune(self, newest_idx: int) -> None:
+        cutoff = newest_idx - int(self.PRUNE_WINDOW / self.bucket)
+        self._used = {i: v for i, v in self._used.items() if i >= cutoff}
+        if cutoff > self._horizon:
+            self._horizon = cutoff
+        if cutoff > self._full_floor:
+            self._full_floor = cutoff
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

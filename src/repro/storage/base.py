@@ -1,0 +1,94 @@
+"""Common device machinery: timing channels, accounting, crash hooks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.resources import BandwidthChannel
+from repro.sim.vthread import VThread
+from repro.storage.specs import DeviceSpec
+
+
+class StorageError(Exception):
+    """Base class for device-level failures."""
+
+
+class OutOfSpaceError(StorageError):
+    """Raised when an allocation exceeds device capacity."""
+
+
+class Device:
+    """Base class for all simulated devices.
+
+    Timing: every transfer is served by a per-direction
+    :class:`BandwidthChannel`; callers pass a :class:`VThread` whose
+    clock is advanced to the completion time, or ``None`` for untimed
+    (functional) access.
+
+    Accounting: ``bytes_read`` / ``bytes_written`` feed the
+    write-amplification and endurance analyses (Figure 12, §8).
+    """
+
+    def __init__(self, spec: DeviceSpec, name: Optional[str] = None) -> None:
+        self.spec = spec
+        self.name = name or spec.name
+        self.read_channel = BandwidthChannel(
+            spec.read_bandwidth, lanes=spec.lanes, name=f"{self.name}.read"
+        )
+        self.write_channel = BandwidthChannel(
+            spec.write_bandwidth, lanes=spec.lanes, name=f"{self.name}.write"
+        )
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.spec.capacity
+
+    def charge_read(self, thread: Optional[VThread], nbytes: int) -> float:
+        """Account and time a read; returns the completion time."""
+        self.bytes_read += nbytes
+        if thread is None:
+            return 0.0
+        end = self.read_channel.request(thread.now, nbytes, self.spec.read_latency)
+        thread.wait_until(end)
+        return end
+
+    def charge_write(self, thread: Optional[VThread], nbytes: int) -> float:
+        """Account and time a write; returns the completion time."""
+        self.bytes_written += nbytes
+        if thread is None:
+            return 0.0
+        end = self.write_channel.request(thread.now, nbytes, self.spec.write_latency)
+        thread.wait_until(end)
+        return end
+
+    def charge_write_async(self, at: float, nbytes: int) -> float:
+        """Account a write without blocking any thread.
+
+        Returns the virtual completion time; used by background writers
+        that only need to know when the device finished.
+        """
+        self.bytes_written += nbytes
+        return self.write_channel.request(at, nbytes, self.spec.write_latency)
+
+    def charge_read_async(self, at: float, nbytes: int) -> float:
+        self.bytes_read += nbytes
+        return self.read_channel.request(at, nbytes, self.spec.read_latency)
+
+    def endurance_consumed(self) -> float:
+        """Fraction of rated lifetime writes consumed so far."""
+        limit = self.spec.endurance_bytes()
+        if limit == float("inf"):
+            return 0.0
+        return self.bytes_written / limit
+
+    def crash(self) -> None:
+        """Drop volatile state. Subclasses override."""
+
+    def reset_accounting(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"

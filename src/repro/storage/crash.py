@@ -1,0 +1,71 @@
+"""Whole-machine crash orchestration for crash-consistency tests.
+
+A power failure hits every device at once: DRAM empties, NVM loses
+unflushed cache lines, completed SSD writes survive.  Tests register
+devices (and persistent heaps) with a :class:`CrashScenario` and pull
+the plug at chosen code points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Crashable(Protocol):
+    """Anything that reacts to power loss."""
+
+    def crash(self) -> None: ...
+
+
+class CrashScenario:
+    """Coordinates a simultaneous crash across registered components."""
+
+    def __init__(self) -> None:
+        self._components: List[Crashable] = []
+        self.crash_count = 0
+
+    def register(self, component: Crashable) -> Crashable:
+        """Track a component; returns it for chaining."""
+        if not isinstance(component, Crashable):
+            raise TypeError(f"{type(component).__name__} has no crash() method")
+        self._components.append(component)
+        return component
+
+    def power_failure(self) -> None:
+        """Crash every registered component, volatile-first."""
+        for component in self._components:
+            component.crash()
+        self.crash_count += 1
+
+
+class CrashPoint:
+    """A named point where a test may inject a crash.
+
+    Production code calls ``maybe_crash("after-value-write")``; tests
+    arm the point they want.  Unarmed points are free.
+    """
+
+    def __init__(self, scenario: CrashScenario) -> None:
+        self.scenario = scenario
+        self._armed: str = ""
+        self.fired: str = ""
+
+    def arm(self, label: str) -> None:
+        self._armed = label
+        self.fired = ""
+
+    def maybe_crash(self, label: str) -> None:
+        if self._armed and self._armed == label:
+            self.fired = label
+            self._armed = ""
+            self.scenario.power_failure()
+            raise SimulatedCrash(label)
+
+
+class SimulatedCrash(Exception):
+    """Raised at an armed crash point to unwind the in-flight operation."""
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"simulated power failure at '{label}'")
+        self.label = label

@@ -1,0 +1,275 @@
+"""Byte-addressable persistent memory with volatile-cache semantics.
+
+This module is the linchpin of the reproduction.  The paper's crash
+consistency protocol (§5.4–5.5) exists because a store to Optane DCPMM
+may linger in the volatile CPU cache: an atomic pointer update is *not*
+durable until a cache-line flush reaches the DIMM.  We reproduce those
+semantics exactly:
+
+* :meth:`NVMDevice.store` updates the current (volatile) view and
+  records an undo snapshot of each touched cache line;
+* :meth:`NVMDevice.flush` makes the covered lines durable;
+* :meth:`NVMDevice.crash` rolls every unflushed line back to its last
+  durable content.
+
+Prism's flush-on-read dirty-bit protocol, backward pointers, and
+append-only PWB are all validated against these semantics by the crash
+tests.
+
+:class:`PersistentHeap` is an object-granularity convenience used by
+the persistent key index.  The paper assumes the index guarantees its
+own crash consistency ("We assume that the Persistent Key Index ensures
+its own crash consistency", §5.5); the heap provides exactly that
+contract — objects revert to their last committed snapshot on crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.vthread import VThread
+from repro.storage.base import Device, OutOfSpaceError, StorageError
+from repro.storage.specs import NVM_SPEC, DeviceSpec
+
+CACHE_LINE = 256  # Optane DCPMM internal access granularity (XPLine)
+_PAGE = 4096
+
+
+class NVMDevice(Device):
+    """Simulated Intel Optane DCPMM with explicit persistence."""
+
+    def __init__(self, spec: Optional[DeviceSpec] = None, name: str = "nvm") -> None:
+        super().__init__(spec or NVM_SPEC, name=name)
+        self._pages: Dict[int, bytearray] = {}
+        # line index -> durable content of that line before unflushed stores
+        self._undo: Dict[int, bytes] = {}
+        self._brk = 0  # bump allocator
+        self.flushes = 0
+        self.fences = 0
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Reserve a region; returns its base address."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive: {nbytes}")
+        base = -(-self._brk // align) * align
+        if base + nbytes > self.capacity:
+            raise OutOfSpaceError(
+                f"{self.name}: alloc {nbytes} at {base} exceeds capacity {self.capacity}"
+            )
+        self._brk = base + nbytes
+        return base
+
+    @property
+    def used(self) -> int:
+        return self._brk
+
+    # ------------------------------------------------------------------
+    # raw page access
+    # ------------------------------------------------------------------
+    def _page(self, idx: int) -> bytearray:
+        page = self._pages.get(idx)
+        if page is None:
+            page = bytearray(_PAGE)
+            self._pages[idx] = page
+        return page
+
+    def _read_raw(self, addr: int, size: int) -> bytes:
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            page_idx, off = divmod(addr + pos, _PAGE)
+            take = min(_PAGE - off, size - pos)
+            page = self._pages.get(page_idx)
+            if page is not None:
+                out[pos : pos + take] = page[off : off + take]
+            pos += take
+        return bytes(out)
+
+    def _write_raw(self, addr: int, data: bytes) -> None:
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page_idx, off = divmod(addr + pos, _PAGE)
+            take = min(_PAGE - off, size - pos)
+            self._page(page_idx)[off : off + take] = data[pos : pos + take]
+            pos += take
+
+    def _lines(self, addr: int, size: int) -> range:
+        first = addr // CACHE_LINE
+        last = (addr + max(size, 1) - 1) // CACHE_LINE
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    # load / store / flush / fence
+    # ------------------------------------------------------------------
+    def load(self, thread: Optional[VThread], addr: int, size: int) -> bytes:
+        """Read ``size`` bytes (sees unflushed stores, like a real CPU)."""
+        if addr < 0 or addr + size > self.capacity:
+            raise StorageError(f"{self.name}: load [{addr}, {addr + size}) out of range")
+        self.charge_read(thread, size)
+        return self._read_raw(addr, size)
+
+    def store(self, thread: Optional[VThread], addr: int, data: bytes) -> None:
+        """Store bytes into the volatile view; durable only after flush."""
+        if addr < 0 or addr + len(data) > self.capacity:
+            raise StorageError(
+                f"{self.name}: store [{addr}, {addr + len(data)}) out of range"
+            )
+        # Snapshot durable content of each touched line exactly once.
+        for line in self._lines(addr, len(data)):
+            if line not in self._undo:
+                self._undo[line] = self._read_raw(line * CACHE_LINE, CACHE_LINE)
+        self._write_raw(addr, data)
+        if thread is not None:
+            # Stores land in the CPU cache: cheap, but not free.
+            thread.spend(5e-9)
+
+    def flush(self, thread: Optional[VThread], addr: int, size: int) -> None:
+        """clwb/clflushopt: persist the cache lines covering the range."""
+        lines = [l for l in self._lines(addr, size) if l in self._undo]
+        for line in lines:
+            del self._undo[line]
+        self.flushes += 1
+        # The write to the DIMM media happens now.
+        self.charge_write(thread, max(len(lines), 1) * CACHE_LINE)
+
+    def fence(self, thread: Optional[VThread]) -> None:
+        """sfence: ordering point; modelled as a small CPU cost."""
+        self.fences += 1
+        if thread is not None:
+            thread.spend(10e-9)
+
+    def persist(self, thread: Optional[VThread], addr: int, data: bytes) -> None:
+        """store + flush + fence in one step."""
+        self.store(thread, addr, data)
+        self.flush(thread, addr, len(data))
+        self.fence(thread)
+
+    def write_durable(self, thread: Optional[VThread], addr: int, data: bytes) -> None:
+        """Bulk non-temporal write (ntstore + sfence): bypasses the
+        CPU cache, so the data is durable immediately.  Used for large
+        sequential writes (SSTables, log segments) where per-line undo
+        tracking would be pointless overhead."""
+        if addr < 0 or addr + len(data) > self.capacity:
+            raise StorageError(
+                f"{self.name}: write [{addr}, {addr + len(data)}) out of range"
+            )
+        # Any pending cached stores to these lines are superseded.
+        for line in self._lines(addr, len(data)):
+            self._undo.pop(line, None)
+        self._write_raw(addr, data)
+        self.charge_write(thread, len(data))
+
+    def write_durable_async(self, at: float, addr: int, data: bytes) -> float:
+        """Background-timed variant of :meth:`write_durable`."""
+        for line in self._lines(addr, len(data)):
+            self._undo.pop(line, None)
+        self._write_raw(addr, data)
+        return self.charge_write_async(at, len(data))
+
+    # ------------------------------------------------------------------
+    # crash
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power failure: every unflushed line reverts to durable state."""
+        for line, durable in self._undo.items():
+            self._write_raw(line * CACHE_LINE, durable)
+        self._undo.clear()
+        self.crashes += 1
+
+    def unflushed_lines(self) -> int:
+        return len(self._undo)
+
+
+class PersistentHeap:
+    """Object-granularity persistence on top of an :class:`NVMDevice`.
+
+    Objects declare ``persistent_fields``; :meth:`commit` snapshots
+    those fields (durable), and :meth:`crash` restores every live
+    object to its last committed snapshot.  Space is accounted against
+    the underlying device so NVM-footprint experiments include the
+    index.
+    """
+
+    def __init__(self, device: NVMDevice) -> None:
+        self.device = device
+        self._objects: Dict[int, object] = {}
+        self._snapshots: Dict[int, Dict[str, object]] = {}
+        self._sizes: Dict[int, int] = {}
+        self._next_handle = 1
+
+    def _fields(self, obj: object) -> Tuple[str, ...]:
+        fields = getattr(obj, "persistent_fields", None)
+        if not fields:
+            raise TypeError(f"{type(obj).__name__} declares no persistent_fields")
+        return fields
+
+    @staticmethod
+    def _copy(value: object) -> object:
+        if isinstance(value, list):
+            return list(value)
+        if isinstance(value, dict):
+            return dict(value)
+        if isinstance(value, (bytearray, set)):
+            return type(value)(value)
+        return value
+
+    def allocate(self, obj: object, nbytes: int, thread: Optional[VThread] = None) -> int:
+        """Place an object on NVM; it is *not* durable until committed."""
+        self.device.alloc(nbytes)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._objects[handle] = obj
+        self._sizes[handle] = nbytes
+        if thread is not None:
+            thread.spend(50e-9)  # allocator metadata
+        return handle
+
+    def commit(self, handle: int, thread: Optional[VThread] = None) -> None:
+        """Make the object's current field values durable."""
+        obj = self._objects.get(handle)
+        if obj is None:
+            raise KeyError(f"no live object for handle {handle}")
+        snapshot = {name: self._copy(getattr(obj, name)) for name in self._fields(obj)}
+        self._snapshots[handle] = snapshot
+        self.device.bytes_written += self._sizes[handle]
+        if thread is not None:
+            end = self.device.write_channel.request(
+                thread.now, self._sizes[handle], self.device.spec.write_latency
+            )
+            thread.wait_until(end)
+
+    def get(self, handle: int) -> object:
+        obj = self._objects.get(handle)
+        if obj is None:
+            raise KeyError(f"no live object for handle {handle}")
+        return obj
+
+    def free(self, handle: int) -> None:
+        self._objects.pop(handle, None)
+        self._snapshots.pop(handle, None)
+        self._sizes.pop(handle, None)
+
+    def charge_read(self, thread: Optional[VThread], handle: int) -> None:
+        """Time an NVM read of the object."""
+        self.device.charge_read(thread, self._sizes.get(handle, CACHE_LINE))
+
+    def crash(self) -> None:
+        """Restore all objects to their committed snapshots."""
+        for handle in list(self._objects):
+            snapshot = self._snapshots.get(handle)
+            if snapshot is None:
+                # Never committed: the allocation never became durable.
+                self.free(handle)
+                continue
+            obj = self._objects[handle]
+            for name, value in snapshot.items():
+                setattr(obj, name, self._copy(value))
+
+    @property
+    def live_objects(self) -> int:
+        return len(self._objects)

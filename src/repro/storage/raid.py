@@ -1,0 +1,115 @@
+"""RAID-0 striping across multiple SSDs.
+
+The paper's baselines aggregate eight SSDs with mdadm/dm-stripe RAID-0
+(§7.1).  Prism itself does *not* use RAID — it manages one Value
+Storage per SSD — so this module exists for the baselines (and for the
+#SSD sweeps of Figures 13–14, where KVell runs on a stripe set).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.vthread import VThread
+from repro.storage.ssd import SSDDevice
+
+
+class RAID0:
+    """Stripe a flat address space across member SSDs."""
+
+    def __init__(self, devices: Sequence[SSDDevice], stripe_size: int = 512 * 1024) -> None:
+        if not devices:
+            raise ValueError("RAID0 needs at least one device")
+        if stripe_size <= 0:
+            raise ValueError(f"stripe size must be positive: {stripe_size}")
+        self.devices: List[SSDDevice] = list(devices)
+        self.stripe_size = stripe_size
+        self.capacity = min(d.capacity for d in self.devices) * len(self.devices)
+
+    def _extents(self, offset: int, size: int) -> List[Tuple[SSDDevice, int, int]]:
+        """Map a logical range to (device, device_offset, length) pieces."""
+        if offset < 0 or size < 0 or offset + size > self.capacity:
+            raise ValueError(f"RAID0 access [{offset}, {offset + size}) out of range")
+        pieces = []
+        n = len(self.devices)
+        pos = offset
+        remaining = size
+        while remaining > 0:
+            stripe_idx, stripe_off = divmod(pos, self.stripe_size)
+            dev = self.devices[stripe_idx % n]
+            dev_stripe = stripe_idx // n
+            take = min(self.stripe_size - stripe_off, remaining)
+            pieces.append((dev, dev_stripe * self.stripe_size + stripe_off, take))
+            pos += take
+            remaining -= take
+        return pieces
+
+    # ------------------------------------------------------------------
+    # timed IO — pieces proceed in parallel, caller waits for the last
+    # ------------------------------------------------------------------
+    def read(self, thread: Optional[VThread], offset: int, size: int) -> bytes:
+        chunks = []
+        done = thread.now if thread is not None else 0.0
+        for dev, dev_off, length in self._extents(offset, size):
+            chunks.append(dev.read_raw(dev_off, length))
+            dev.read_ios += 1
+            if thread is not None:
+                end = dev.read_channel.request(thread.now, length, dev.spec.read_latency)
+                dev.bytes_read += length
+                done = max(done, end)
+            else:
+                dev.bytes_read += length
+        if thread is not None:
+            thread.wait_until(done)
+        return b"".join(chunks)
+
+    def write(self, thread: Optional[VThread], offset: int, data: bytes) -> None:
+        done = thread.now if thread is not None else 0.0
+        pos = 0
+        for dev, dev_off, length in self._extents(offset, len(data)):
+            dev.write_raw(dev_off, data[pos : pos + length])
+            dev.write_ios += 1
+            pos += length
+            if thread is not None:
+                end = dev.write_channel.request(thread.now, length, dev.spec.write_latency)
+                dev.bytes_written += length
+                done = max(done, end)
+            else:
+                dev.bytes_written += length
+        if thread is not None:
+            thread.wait_until(done)
+
+    # ------------------------------------------------------------------
+    # async IO
+    # ------------------------------------------------------------------
+    def read_async(self, at: float, offset: int, size: int) -> Tuple[bytes, float]:
+        chunks = []
+        done = at
+        for dev, dev_off, length in self._extents(offset, size):
+            chunks.append(dev.read_raw(dev_off, length))
+            done = max(done, dev.read_async(at, dev_off, length))
+        return b"".join(chunks), done
+
+    def write_async(self, at: float, offset: int, data: bytes) -> float:
+        done = at
+        pos = 0
+        for dev, dev_off, length in self._extents(offset, len(data)):
+            done = max(done, dev.write_async(at, dev_off, data[pos : pos + length]))
+            pos += length
+        return done
+
+    # ------------------------------------------------------------------
+    # accounting over members
+    # ------------------------------------------------------------------
+    @property
+    def bytes_written(self) -> int:
+        return sum(d.bytes_written for d in self.devices)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(d.bytes_read for d in self.devices)
+
+    def scan_time(self, used_bytes: int) -> float:
+        """Parallel full scan across members (recovery experiment)."""
+        per_device = used_bytes / len(self.devices)
+        return max(d.scan_time(int(per_device)) for d in self.devices)

@@ -1,0 +1,115 @@
+"""Block-addressable flash SSD with async-friendly timing.
+
+Reads and writes are served by separate bandwidth channels with the
+internal parallelism of an NVMe device (``spec.lanes``).  The async
+path (:mod:`repro.storage.iouring`) submits batches against the same
+channels, so bandwidth contention between foreground reads and
+background log writes emerges naturally.
+
+Durability: a write is durable once its device service completes.  The
+cross-media protocols under test never rely on SSD write atomicity —
+Prism's commit point is the HSIT update on NVM — so the device does
+not model torn block writes (the paper's Value Storage assumes the
+same, recovering purely from HSIT).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.vthread import VThread
+from repro.storage.base import Device, StorageError
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC, DeviceSpec
+
+_PAGE = 4096
+
+
+class SSDDevice(Device):
+    """Simulated NVMe flash SSD."""
+
+    def __init__(self, spec: Optional[DeviceSpec] = None, name: str = "ssd") -> None:
+        super().__init__(spec or FLASH_SSD_GEN4_SPEC, name=name)
+        self._pages: Dict[int, bytearray] = {}
+        self.read_ios = 0
+        self.write_ios = 0
+
+    # ------------------------------------------------------------------
+    # raw storage
+    # ------------------------------------------------------------------
+    def _page(self, idx: int) -> bytearray:
+        page = self._pages.get(idx)
+        if page is None:
+            page = bytearray(_PAGE)
+            self._pages[idx] = page
+        return page
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.capacity:
+            raise StorageError(
+                f"{self.name}: access [{offset}, {offset + size}) out of range"
+            )
+
+    def read_raw(self, offset: int, size: int) -> bytes:
+        """Untimed data access (used by timed paths and recovery)."""
+        self._check(offset, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            page_idx, off = divmod(offset + pos, _PAGE)
+            take = min(_PAGE - off, size - pos)
+            page = self._pages.get(page_idx)
+            if page is not None:
+                out[pos : pos + take] = page[off : off + take]
+            pos += take
+        return bytes(out)
+
+    def write_raw(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page_idx, off = divmod(offset + pos, _PAGE)
+            take = min(_PAGE - off, size - pos)
+            self._page(page_idx)[off : off + take] = data[pos : pos + take]
+            pos += take
+
+    # ------------------------------------------------------------------
+    # synchronous (timed) IO
+    # ------------------------------------------------------------------
+    def read(self, thread: Optional[VThread], offset: int, size: int) -> bytes:
+        """Blocking read: the thread waits for device completion."""
+        data = self.read_raw(offset, size)
+        self.read_ios += 1
+        self.charge_read(thread, size)
+        return data
+
+    def write(self, thread: Optional[VThread], offset: int, data: bytes) -> None:
+        """Blocking write."""
+        self.write_raw(offset, data)
+        self.write_ios += 1
+        self.charge_write(thread, len(data))
+
+    # ------------------------------------------------------------------
+    # asynchronous (timed) IO — building blocks for IOUring
+    # ------------------------------------------------------------------
+    def read_async(self, at: float, offset: int, size: int) -> float:
+        """Start a read at virtual time ``at``; returns completion time."""
+        self.read_ios += 1
+        return self.charge_read_async(at, size)
+
+    def write_async(self, at: float, offset: int, data: bytes) -> float:
+        """Start a write at ``at``; data is durable at the returned time."""
+        self.write_raw(offset, data)
+        self.write_ios += 1
+        return self.charge_write_async(at, len(data))
+
+    def crash(self) -> None:
+        """Completed writes are durable; nothing volatile to drop here."""
+
+    def scan_time(self, used_bytes: int) -> float:
+        """Virtual seconds to sequentially scan ``used_bytes`` of the device.
+
+        Used by the recovery-time experiment: KVell must scan the whole
+        dataset on SSD, Prism does not.
+        """
+        return self.spec.read_latency + used_bytes / self.spec.read_bandwidth

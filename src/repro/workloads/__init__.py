@@ -1,0 +1,45 @@
+"""Workload generators: YCSB (Table 2) and the Nutanix production mix."""
+
+from repro.workloads.zipfian import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.generator import Op, OpStream, make_key, make_value
+from repro.workloads.ycsb import (
+    WORKLOADS,
+    WorkloadSpec,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_E,
+    YCSB_LOAD,
+)
+from repro.workloads.nutanix import NUTANIX
+from repro.workloads.trace import TraceWriter, capture_workload, read_trace, replay
+
+__all__ = [
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "LatestGenerator",
+    "Op",
+    "OpStream",
+    "make_key",
+    "make_value",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "YCSB_LOAD",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YCSB_D",
+    "YCSB_E",
+    "NUTANIX",
+    "TraceWriter",
+    "read_trace",
+    "replay",
+    "capture_workload",
+]

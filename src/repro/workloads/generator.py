@@ -1,0 +1,129 @@
+"""Operation streams: the glue between workload specs and the harness."""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+_KEY_PREFIX = b"user"
+
+
+def make_key(index: int) -> bytes:
+    """YCSB-style key: 'user' + zero-padded decimal index."""
+    return _KEY_PREFIX + b"%012d" % index
+
+
+def key_index(key: bytes) -> int:
+    return int(key[len(_KEY_PREFIX):])
+
+
+def make_value(key: bytes, size: int, version: int = 0) -> bytes:
+    """Deterministic value bytes: verifiable yet incompressible-ish."""
+    if size < 1:
+        raise ValueError(f"value size must be positive: {size}")
+    seed = zlib.crc32(key) ^ version
+    unit = seed.to_bytes(4, "little")
+    reps = -(-size // 4)
+    return (unit * reps)[:size]
+
+
+@dataclass
+class Op:
+    """One workload operation."""
+
+    kind: str  # "insert" | "update" | "read" | "scan" | "delete"
+    key: bytes
+    value: Optional[bytes] = None
+    scan_length: int = 0
+
+
+class OpStream:
+    """Generates operations for one workload spec over one key space.
+
+    Each consumer (virtual thread) should own its stream, seeded
+    differently, so threads don't replay identical key sequences.
+    """
+
+    def __init__(
+        self,
+        spec: "WorkloadSpec",
+        num_keys: int,
+        value_size: int = 1024,
+        theta: float = 0.99,
+        seed: int = 0,
+        insert_seq: Optional["InsertSequence"] = None,
+    ) -> None:
+        from repro.workloads.zipfian import (
+            LatestGenerator,
+            ScrambledZipfianGenerator,
+            UniformGenerator,
+        )
+
+        self.spec = spec
+        self.num_keys = num_keys
+        self.value_size = value_size
+        self.rng = random.Random(seed)
+        if spec.distribution == "zipfian":
+            self.chooser = ScrambledZipfianGenerator(num_keys, theta, self.rng)
+        elif spec.distribution == "latest":
+            self.chooser = LatestGenerator(num_keys, theta, self.rng)
+        elif spec.distribution == "uniform":
+            self.chooser = UniformGenerator(num_keys, self.rng)
+        else:
+            raise ValueError(f"unknown distribution: {spec.distribution}")
+        self._version = self.rng.randrange(1 << 30)
+        self.insert_seq = insert_seq
+
+    def _pick_key(self) -> bytes:
+        return make_key(self.chooser.next())
+
+    def ops(self, count: int) -> Iterator[Op]:
+        spec = self.spec
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < spec.read:
+                yield Op("read", self._pick_key())
+            elif roll < spec.read + spec.update:
+                key = self._pick_key()
+                self._version += 1
+                yield Op(
+                    "update", key, make_value(key, self.value_size, self._version)
+                )
+            elif roll < spec.read + spec.update + spec.scan:
+                length = self.rng.randint(1, spec.max_scan_length)
+                yield Op("scan", self._pick_key(), scan_length=length)
+            else:
+                if self.insert_seq is not None:
+                    key = make_key(self.insert_seq.next())
+                else:
+                    key = self._pick_key()
+                self._version += 1
+                yield Op(
+                    "insert", key, make_value(key, self.value_size, self._version)
+                )
+
+
+class InsertSequence:
+    """Shared monotone key-index source for concurrent inserters."""
+
+    def __init__(self, start: int = 0, shuffle_span: int = 0, seed: int = 0) -> None:
+        self._next = start
+        self._pending: list = []
+        self._rng = random.Random(seed)
+        self._shuffle_span = shuffle_span
+
+    def next(self) -> int:
+        """Next fresh key index (optionally shuffled within a window,
+        which is how YCSB loads 'in random order')."""
+        if self._shuffle_span <= 1:
+            value = self._next
+            self._next += 1
+            return value
+        if not self._pending:
+            span = range(self._next, self._next + self._shuffle_span)
+            self._next += self._shuffle_span
+            self._pending = list(span)
+            self._rng.shuffle(self._pending)
+        return self._pending.pop()

@@ -1,0 +1,19 @@
+"""The Nutanix production workload (§7.5, Figure 10b).
+
+Only aggregate characteristics are published: "rather write-intensive:
+57% Updates, 41% Reads, and 2% Scans", with real-world skew.  We
+synthesize a stream with exactly those ratios over a scrambled-Zipfian
+popularity distribution — the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.ycsb import WorkloadSpec
+
+NUTANIX = WorkloadSpec(
+    name="Nutanix",
+    read=0.41,
+    update=0.57,
+    scan=0.02,
+    description="Production mix: 57% updates, 41% reads, 2% scans",
+)

@@ -1,0 +1,62 @@
+"""YCSB workload definitions, exactly as the paper runs them (Table 2).
+
+The paper's variants differ slightly from stock YCSB: D is "read
+latest" with 5% *updates*, and E is scan-intensive with 5% *updates*
+(not inserts).  LOAD inserts the whole dataset in random order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix of one workload (fractions sum to <= 1; the
+    remainder is inserts)."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    scan: float = 0.0
+    distribution: str = "zipfian"  # "zipfian" | "latest" | "uniform"
+    max_scan_length: int = 100  # uniform 1..N, mean ~50 (§7.1)
+    description: str = ""
+
+    @property
+    def insert(self) -> float:
+        return max(0.0, 1.0 - self.read - self.update - self.scan)
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.scan
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"{self.name}: op mix sums to {total} > 1")
+
+
+YCSB_LOAD = WorkloadSpec(
+    name="LOAD", description="Write-only: 100% inserts"
+)
+YCSB_A = WorkloadSpec(
+    name="A", read=0.5, update=0.5,
+    description="Write-intensive: 50% updates, 50% reads",
+)
+YCSB_B = WorkloadSpec(
+    name="B", read=0.95, update=0.05,
+    description="Read-intensive: 5% updates, 95% reads",
+)
+YCSB_C = WorkloadSpec(
+    name="C", read=1.0, description="Read-only",
+)
+YCSB_D = WorkloadSpec(
+    name="D", read=0.95, update=0.05, distribution="latest",
+    description="Read-latest: 5% updates, 95% reads",
+)
+YCSB_E = WorkloadSpec(
+    name="E", update=0.05, scan=0.95,
+    description="Scan-intensive: 5% updates, 95% scans",
+)
+
+WORKLOADS = {
+    spec.name: spec
+    for spec in (YCSB_LOAD, YCSB_A, YCSB_B, YCSB_C, YCSB_D, YCSB_E)
+}

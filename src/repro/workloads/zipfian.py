@@ -1,0 +1,99 @@
+"""Key-popularity distributions, following the YCSB reference generators.
+
+The paper uses YCSB with a Zipfian coefficient of 0.99 by default and
+sweeps 0.5–1.5 for the skew experiment (Figure 9).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Optional
+
+
+class ZipfianGenerator:
+    """Gray et al.'s rejection-free zipfian sampler (as in YCSB).
+
+    Produces ranks in ``[0, n)`` where rank 0 is the most popular.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError(f"need at least one item: {n}")
+        if theta <= 0 or theta == 1.0:
+            raise ValueError(f"theta must be positive and != 1: {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random()
+        self.zeta_n = self._zeta(n, theta)
+        self.zeta_2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta_2 / self.zeta_n)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i**theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks hashed over the key space (YCSB's default).
+
+    Hot keys are spread across the keyspace instead of clustering at
+    the low end, which matters for range indexes and sharding.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: Optional[random.Random] = None):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, rng)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        return zlib.crc32(rank.to_bytes(8, "little")) % self.n
+
+
+class UniformGenerator:
+    """Every key equally likely."""
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError(f"need at least one item: {n}")
+        self.n = n
+        self.rng = rng or random.Random()
+
+    def next(self) -> int:
+        return self.rng.randrange(self.n)
+
+
+class LatestGenerator:
+    """Skewed toward recently touched keys (YCSB-D's distribution).
+
+    Recency ranks are hashed over the key space like YCSB's scrambled
+    generators: the hot set is small and shared between readers and
+    updaters, but *scattered* across the key space rather than
+    clustered at one end (clustering would hand range-partitioned
+    block caches an artificial spatial-locality gift).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: Optional[random.Random] = None):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, rng)
+
+    def next(self) -> int:
+        offset = self._zipf.next()
+        recency_rank = max(0, self.n - 1 - offset)
+        return zlib.crc32(recency_rank.to_bytes(8, "big")) % self.n
+
+    def grow(self, new_n: int) -> None:
+        """Extend the key space after inserts."""
+        if new_n > self.n:
+            self.n = new_n
+            self._zipf = ZipfianGenerator(new_n, self._zipf.theta, self._zipf.rng)

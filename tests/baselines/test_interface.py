@@ -1,0 +1,64 @@
+import pytest
+
+from repro.baselines.interface import KVStore
+from repro.sim.clock import VirtualClock
+
+
+class _Fake(KVStore):
+    def __init__(self):
+        self.clock = VirtualClock()
+        self.bytes_put = 0
+        self._data = {}
+        self._ssd = 0
+
+    def put(self, key, value, thread=None):
+        self._data[key] = value
+        self.bytes_put += len(value)
+        self._ssd += 2 * len(value)
+
+    def get(self, key, thread=None):
+        return self._data.get(key)
+
+    def scan(self, start, count, thread=None):
+        return sorted((k, v) for k, v in self._data.items() if k >= start)[:count]
+
+    def delete(self, key, thread=None):
+        return self._data.pop(key, None) is not None
+
+    def ssd_bytes_written(self):
+        return self._ssd
+
+
+def test_name_defaults_to_class_name():
+    assert _Fake().name == "_Fake"
+
+
+def test_waf():
+    store = _Fake()
+    assert store.waf() == 0.0
+    store.put(b"k", b"v" * 10)
+    assert store.waf() == pytest.approx(2.0)
+
+
+def test_stats_include_waf():
+    store = _Fake()
+    store.put(b"k", b"vv")
+    stats = store.stats()
+    assert stats["waf"] == pytest.approx(2.0)
+    assert stats["ssd_bytes_written"] == 4.0
+
+
+def test_close_calls_flush():
+    calls = []
+
+    class Flushy(_Fake):
+        def flush(self, thread=None):
+            calls.append(1)
+
+    Flushy().close()
+    assert calls == [1]
+
+
+def test_abstract_without_methods():
+    with pytest.raises(TypeError):
+        KVStore()

@@ -1,0 +1,180 @@
+import random
+
+import pytest
+
+from repro.baselines.lsm.lsm import LSMConfig, LSMStore
+from repro.sim.vthread import VThread
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+KB = 1024
+MB = 1024**2
+
+
+def small_config(**over):
+    defaults = dict(
+        num_ssds=2,
+        ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB),
+        memtable_bytes=8 * KB,
+        l1_target_bytes=64 * KB,
+        sstable_target_bytes=16 * KB,
+        block_cache_bytes=64 * KB,
+        wal_capacity=1 * MB,
+    )
+    defaults.update(over)
+    return LSMConfig(**defaults)
+
+
+@pytest.fixture
+def lsm():
+    return LSMStore(small_config())
+
+
+@pytest.fixture
+def t(lsm):
+    return VThread(0, lsm.clock)
+
+
+class TestBasics:
+    def test_put_get(self, lsm, t):
+        lsm.put(b"k", b"v", t)
+        assert lsm.get(b"k", t) == b"v"
+
+    def test_missing(self, lsm, t):
+        assert lsm.get(b"none", t) is None
+
+    def test_overwrite(self, lsm, t):
+        lsm.put(b"k", b"v1", t)
+        lsm.put(b"k", b"v2", t)
+        assert lsm.get(b"k", t) == b"v2"
+
+    def test_delete_via_tombstone(self, lsm, t):
+        lsm.put(b"k", b"v", t)
+        assert lsm.delete(b"k", t)
+        assert lsm.get(b"k", t) is None
+        assert not lsm.delete(b"k", t)
+
+    def test_delete_shadows_flushed_value(self, lsm, t):
+        lsm.put(b"k", b"v", t)
+        lsm.flush()
+        lsm.delete(b"k", t)
+        assert lsm.get(b"k", t) is None
+        lsm.flush()
+        assert lsm.get(b"k", t) is None
+
+
+class TestFlushAndLevels:
+    def test_memtable_rotation_creates_sstables(self, lsm, t):
+        for i in range(200):
+            lsm.put(b"f%04d" % i, b"v" * 100, t)
+        assert lsm.flushes > 0
+        assert any(lsm.levels[i] for i in range(len(lsm.levels)))
+
+    def test_values_survive_flush(self, lsm, t):
+        for i in range(100):
+            lsm.put(b"s%03d" % i, b"v%03d" % i, t)
+        lsm.flush()
+        assert len(lsm.memtable) == 0
+        for i in range(100):
+            assert lsm.get(b"s%03d" % i, t) == b"v%03d" % i
+
+    def test_compaction_triggered(self, lsm, t):
+        for i in range(3000):
+            lsm.put(b"c%05d" % (i % 800), b"x" * 100, t)
+        assert lsm.compactions > 0
+        assert lsm.compaction_bytes > 0
+
+    def test_compaction_keeps_newest_version(self, lsm, t):
+        for round_no in range(12):
+            for i in range(200):
+                lsm.put(b"n%03d" % i, bytes([round_no]) * 80, t)
+        for i in range(200):
+            assert lsm.get(b"n%03d" % i, t) == bytes([11]) * 80
+
+    def test_levels_nonoverlapping_above_l0(self, lsm, t):
+        for i in range(3000):
+            lsm.put(b"o%05d" % (i % 1000), b"x" * 100, t)
+        lsm.flush()
+        for level in range(1, len(lsm.levels)):
+            tables = lsm.levels[level]
+            for a, b in zip(tables, tables[1:]):
+                assert a.max_key < b.min_key
+
+    def test_write_amplification_observable(self, lsm, t):
+        for i in range(3000):
+            lsm.put(b"w%05d" % (i % 500), b"x" * 100, t)
+        lsm.flush()
+        assert lsm.waf() > 1.0  # LSMs always amplify
+
+
+class TestScan:
+    def test_scan_across_sources(self, lsm, t):
+        for i in range(300):
+            lsm.put(b"r%04d" % i, b"v%04d" % i, t)
+        lsm.flush()
+        for i in range(0, 300, 10):
+            lsm.put(b"r%04d" % i, b"new%04d" % i, t)  # fresh in memtable
+        result = lsm.scan(b"r0000", 50, t)
+        assert len(result) == 50
+        for key, value in result:
+            i = int(key[1:])
+            assert value == (b"new%04d" % i if i % 10 == 0 else b"v%04d" % i)
+
+    def test_scan_skips_tombstones(self, lsm, t):
+        for i in range(10):
+            lsm.put(b"t%02d" % i, b"v", t)
+        lsm.delete(b"t05", t)
+        keys = [k for k, _ in lsm.scan(b"t00", 10, t)]
+        assert b"t05" not in keys and len(keys) == 9
+
+    def test_scan_ordering(self, lsm, t):
+        for i in random.Random(3).sample(range(100), 100):
+            lsm.put(b"z%03d" % i, b"v", t)
+        keys = [k for k, _ in lsm.scan(b"z000", 100, t)]
+        assert keys == sorted(keys) and len(keys) == 100
+
+
+class TestStalls:
+    def test_compaction_debt_throttles_writers(self):
+        config = small_config(max_compaction_lag=1e-4)
+        store = LSMStore(config)
+        t = VThread(0, store.clock)
+        for i in range(4000):
+            store.put(b"s%05d" % (i % 1000), b"x" * 120, t)
+        assert store.stall_time > 0
+
+    def test_stats_keys(self, lsm, t):
+        lsm.put(b"k", b"v", t)
+        stats = lsm.stats()
+        for key in ("puts", "flushes", "compactions", "stall_time", "waf"):
+            assert key in stats
+
+
+class TestModelCheck:
+    def test_randomized_against_dict(self, lsm, t):
+        rng = random.Random(99)
+        model = {}
+        for step in range(2500):
+            key = b"m%03d" % rng.randrange(250)
+            op = rng.random()
+            if op < 0.6:
+                value = bytes([step % 256]) * rng.randrange(1, 200)
+                lsm.put(key, value, t)
+                model[key] = value
+            elif op < 0.85:
+                assert lsm.get(key, t) == model.get(key)
+            elif op < 0.95:
+                count = rng.randrange(1, 10)
+                expected = sorted((k, v) for k, v in model.items() if k >= key)[:count]
+                assert lsm.scan(key, count, t) == expected
+            else:
+                lsm.delete(key, t)
+                model.pop(key, None)
+        for key, value in model.items():
+            assert lsm.get(key, t) == value
+
+
+def test_recovery_time_is_wal_bound(lsm, t):
+    lsm.put(b"k", b"v" * 500, t)
+    assert lsm.recovery_time() > 0
+    lsm.flush()  # truncates the WAL
+    assert lsm.recovery_time() == 0.0

@@ -1,0 +1,149 @@
+import random
+
+import pytest
+
+from repro.baselines.matrixkv import MatrixKV, MatrixKVConfig
+from repro.sim.vthread import VThread
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+KB = 1024
+MB = 1024**2
+
+
+def small_config(**over):
+    defaults = dict(
+        num_ssds=2,
+        ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB),
+        memtable_bytes=8 * KB,
+        container_bytes=32 * KB,
+        l1_target_bytes=256 * KB,
+        sstable_target_bytes=16 * KB,
+        block_cache_bytes=64 * KB,
+        wal_capacity=1 * MB,
+    )
+    defaults.update(over)
+    return MatrixKVConfig(**defaults)
+
+
+@pytest.fixture
+def mkv():
+    return MatrixKV(small_config())
+
+
+@pytest.fixture
+def t(mkv):
+    return VThread(0, mkv.clock)
+
+
+class TestMatrixContainer:
+    def test_flush_goes_to_nvm_rows_not_ssd(self, mkv, t):
+        ssd_before = mkv.ssd_bytes_written()
+        written = 0
+        i = 0
+        while mkv.flushes == 0:
+            mkv.put(b"r%04d" % i, b"v" * 100, t)
+            i += 1
+        assert mkv.rows  # container populated
+        # flush itself wrote nothing to flash (WAL is on NVM too)
+        assert mkv.ssd_bytes_written() == ssd_before
+
+    def test_rows_readable(self, mkv, t):
+        for i in range(200):
+            mkv.put(b"q%04d" % i, b"v%04d" % i, t)
+        for i in range(200):
+            assert mkv.get(b"q%04d" % i, t) == b"v%04d" % i
+
+    def test_column_compaction_drains_to_l1(self, mkv, t):
+        for i in range(1500):
+            mkv.put(b"c%05d" % (i % 400), b"x" * 100, t)
+        assert mkv.column_compactions > 0
+        assert len(mkv.levels) > 1 and mkv.levels[1]
+        assert mkv.container_bytes_used <= mkv.config.container_bytes
+
+    def test_column_compaction_preserves_values(self, mkv, t):
+        expected = {}
+        rng = random.Random(11)
+        for step in range(1500):
+            key = b"p%03d" % rng.randrange(300)
+            value = bytes([step % 256]) * 100
+            mkv.put(key, value, t)
+            expected[key] = value
+        for key, value in expected.items():
+            assert mkv.get(key, t) == value
+
+    def test_flush_drains_everything(self, mkv, t):
+        for i in range(300):
+            mkv.put(b"f%04d" % i, b"v" * 100, t)
+        mkv.flush()
+        assert not mkv.rows
+        assert len(mkv.memtable) == 0
+        for i in range(300):
+            assert mkv.get(b"f%04d" % i, t) == b"v" * 100
+
+    def test_nvm_traffic_recorded(self, mkv, t):
+        for i in range(300):
+            mkv.put(b"n%04d" % i, b"v" * 100, t)
+        assert mkv.nvm.bytes_written > 0
+
+
+class TestBehaviourVsStockLSM:
+    def test_smaller_stalls_than_stock_lsm(self, t):
+        """Column compaction exists to shrink write stalls."""
+        from repro.baselines.lsm.lsm import LSMConfig, LSMStore
+
+        mkv = MatrixKV(small_config(max_compaction_lag=1e-4))
+        stock = LSMStore(
+            LSMConfig(
+                num_ssds=2,
+                ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB),
+                memtable_bytes=8 * KB,
+                l1_target_bytes=256 * KB,
+                sstable_target_bytes=16 * KB,
+                block_cache_bytes=64 * KB,
+                wal_capacity=1 * MB,
+                max_compaction_lag=1e-4,
+            )
+        )
+        tm = VThread(0, mkv.clock)
+        ts = VThread(0, stock.clock)
+        for i in range(2500):
+            key = b"s%05d" % (i % 600)
+            mkv.put(key, b"x" * 120, tm)
+            stock.put(key, b"x" * 120, ts)
+        assert mkv.stall_time <= stock.stall_time
+
+    def test_scan_sees_rows_and_l1(self, mkv, t):
+        for i in range(600):
+            mkv.put(b"z%04d" % i, b"v%04d" % i, t)
+        result = mkv.scan(b"z0100", 30, t)
+        assert result == [(b"z%04d" % i, b"v%04d" % i) for i in range(100, 130)]
+
+    def test_delete(self, mkv, t):
+        mkv.put(b"k", b"v", t)
+        assert mkv.delete(b"k", t)
+        assert mkv.get(b"k", t) is None
+
+
+def test_randomized_model_check():
+    mkv = MatrixKV(small_config())
+    t = VThread(0, mkv.clock)
+    rng = random.Random(31)
+    model = {}
+    for step in range(2000):
+        key = b"m%03d" % rng.randrange(250)
+        op = rng.random()
+        if op < 0.6:
+            value = bytes([step % 256]) * rng.randrange(1, 300)
+            mkv.put(key, value, t)
+            model[key] = value
+        elif op < 0.85:
+            assert mkv.get(key, t) == model.get(key)
+        elif op < 0.95:
+            count = rng.randrange(1, 8)
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:count]
+            assert mkv.scan(key, count, t) == expected
+        else:
+            mkv.delete(key, t)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert mkv.get(key, t) == value

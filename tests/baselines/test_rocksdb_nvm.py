@@ -1,0 +1,103 @@
+import random
+
+import pytest
+
+from repro.baselines.rocksdb_nvm import RocksDBNVM, RocksDBNVMConfig
+from repro.sim.vthread import VThread
+
+KB = 1024
+MB = 1024**2
+
+
+def small_config(**over):
+    defaults = dict(
+        memtable_bytes=8 * KB,
+        l1_target_bytes=64 * KB,
+        sstable_target_bytes=16 * KB,
+        block_cache_bytes=64 * KB,
+        wal_capacity=1 * MB,
+    )
+    defaults.update(over)
+    return RocksDBNVMConfig(**defaults)
+
+
+@pytest.fixture
+def rdb():
+    return RocksDBNVM(small_config())
+
+
+@pytest.fixture
+def t(rdb):
+    return VThread(0, rdb.clock)
+
+
+def test_everything_lives_on_nvm(rdb, t):
+    for i in range(500):
+        rdb.put(b"k%04d" % i, b"v" * 100, t)
+    rdb.flush()
+    assert rdb.ssd_bytes_written() == 0
+    assert rdb.nvm_bytes_written() > 0
+    assert rdb.ssds == []
+
+
+def test_waf_is_zero_on_flash_by_construction(rdb, t):
+    rdb.put(b"k", b"v", t)
+    assert rdb.waf() == 0.0
+
+
+def test_functional_roundtrip(rdb, t):
+    for i in range(300):
+        rdb.put(b"r%04d" % i, b"v%04d" % i, t)
+    for i in range(300):
+        assert rdb.get(b"r%04d" % i, t) == b"v%04d" % i
+
+
+def test_reads_faster_than_flash_lsm(t):
+    """The point of the reference config: NVM block reads, no 50us."""
+    from repro.baselines.lsm.lsm import LSMConfig, LSMStore
+    from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+    rdb = RocksDBNVM(small_config(block_cache_bytes=4 * KB))
+    flash = LSMStore(
+        LSMConfig(
+            num_ssds=1,
+            ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * 1024**2),
+            memtable_bytes=8 * KB,
+            l1_target_bytes=64 * KB,
+            sstable_target_bytes=16 * KB,
+            block_cache_bytes=4 * KB,
+            wal_capacity=1 * MB,
+        )
+    )
+    tr = VThread(0, rdb.clock)
+    tf = VThread(0, flash.clock)
+    for i in range(300):
+        rdb.put(b"k%04d" % i, b"v" * 100, tr)
+        flash.put(b"k%04d" % i, b"v" * 100, tf)
+    rdb.flush()
+    flash.flush()
+    r_start, f_start = tr.now, tf.now
+    for i in range(0, 300, 7):
+        rdb.get(b"k%04d" % i, tr)
+        flash.get(b"k%04d" % i, tf)
+    assert (tr.now - r_start) < (tf.now - f_start)
+
+
+def test_stats_include_nvm(rdb, t):
+    rdb.put(b"k", b"v", t)
+    assert "nvm_bytes_written" in rdb.stats()
+
+
+def test_randomized_model_check(rdb, t):
+    rng = random.Random(17)
+    model = {}
+    for step in range(1500):
+        key = b"m%03d" % rng.randrange(200)
+        if rng.random() < 0.65:
+            value = bytes([step % 256]) * rng.randrange(1, 250)
+            rdb.put(key, value, t)
+            model[key] = value
+        else:
+            assert rdb.get(key, t) == model.get(key)
+    for key, value in model.items():
+        assert rdb.get(key, t) == value

@@ -1,0 +1,158 @@
+import random
+
+import pytest
+
+from repro.baselines.slmdb import SLMDB, SLMDBConfig
+from repro.sim.vthread import VThread
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+KB = 1024
+MB = 1024**2
+
+
+def small_config(**over):
+    defaults = dict(
+        num_ssds=2,
+        ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB),
+        memtable_bytes=8 * KB,
+        sstable_target_bytes=16 * KB,
+        os_page_cache_bytes=64 * KB,
+    )
+    defaults.update(over)
+    return SLMDBConfig(**defaults)
+
+
+@pytest.fixture
+def db():
+    return SLMDB(small_config())
+
+
+@pytest.fixture
+def t(db):
+    return VThread(0, db.clock)
+
+
+class TestBasics:
+    def test_put_get(self, db, t):
+        db.put(b"k", b"v", t)
+        assert db.get(b"k", t) == b"v"
+
+    def test_missing(self, db, t):
+        assert db.get(b"zz", t) is None
+
+    def test_no_wal_memtable_is_persistent(self, db, t):
+        """Writes charge NVM persistence, not a flash WAL."""
+        db.put(b"k", b"v" * 100, t)
+        assert db.nvm.bytes_written > 0
+        assert db.ssd_bytes_written() == 0
+
+    def test_delete(self, db, t):
+        db.put(b"k", b"v", t)
+        assert db.delete(b"k", t)
+        assert db.get(b"k", t) is None
+
+    def test_delete_of_flushed_key(self, db, t):
+        for i in range(150):
+            db.put(b"d%03d" % i, b"v" * 100, t)
+        assert db.flushes > 0
+        assert db.delete(b"d000", t)
+        db.flush(t)
+        assert db.get(b"d000", t) is None
+        assert db.index.lookup(b"d000") is None
+
+
+class TestSingleLevel:
+    def test_flush_creates_tables_and_index_entries(self, db, t):
+        for i in range(150):
+            db.put(b"f%03d" % i, b"v" * 100, t)
+        assert db.flushes > 0
+        assert db.tables
+        assert db.index.lookup(b"f000") is not None
+
+    def test_point_read_via_global_index(self, db, t):
+        for i in range(150):
+            db.put(b"g%03d" % i, b"val%03d" % i, t)
+        db.flush(t)
+        for i in range(0, 150, 13):
+            assert db.get(b"g%03d" % i, t) == b"val%03d" % i
+
+    def test_selective_compaction_on_overwrites(self, db, t):
+        for round_no in range(10):
+            for i in range(120):
+                db.put(b"s%03d" % i, bytes([round_no]) * 100, t)
+        assert db.compactions > 0
+        for i in range(120):
+            assert db.get(b"s%03d" % i, t) == bytes([9]) * 100
+
+    def test_compaction_reclaims_space(self, db, t):
+        for round_no in range(10):
+            for i in range(120):
+                db.put(b"r%03d" % i, bytes([round_no]) * 100, t)
+        db.flush(t)
+        live = sum(t_.live_entries for t_ in db.tables.values())
+        total = sum(t_.entry_count for t_ in db.tables.values())
+        assert live / total > 0.4  # garbage was merged away
+
+    def test_flush_stall_visible_in_latency(self, db):
+        thread = VThread(0, db.clock)
+        worst = 0.0
+        for i in range(200):
+            before = thread.now
+            db.put(b"w%03d" % i, b"v" * 100, thread)
+            worst = max(worst, thread.now - before)
+        # the flush (table build + B+-tree inserts) ran on this thread
+        assert worst > 100e-6
+
+
+class TestScan:
+    def test_scan_ordered(self, db, t):
+        for i in range(200):
+            db.put(b"z%03d" % i, b"v%03d" % i, t)
+        result = db.scan(b"z050", 20, t)
+        assert result == [(b"z%03d" % i, b"v%03d" % i) for i in range(50, 70)]
+
+    def test_scan_merges_memtable_over_tables(self, db, t):
+        for i in range(150):
+            db.put(b"y%03d" % i, b"old", t)
+        db.flush(t)
+        db.put(b"y010", b"new", t)
+        result = dict(db.scan(b"y010", 3, t))
+        assert result[b"y010"] == b"new"
+
+    def test_scan_empty(self, db, t):
+        assert db.scan(b"q", 5, t) == []
+
+
+def test_recovery_is_instant():
+    """Persistent memtable + persistent index: nothing to replay."""
+    assert SLMDB(small_config()).recovery_time() == 0.0
+
+
+def test_stats(db, t):
+    db.put(b"k", b"v", t)
+    stats = db.stats()
+    for key in ("puts", "flushes", "compactions", "tables"):
+        assert key in stats
+
+
+def test_randomized_model_check(db, t):
+    rng = random.Random(23)
+    model = {}
+    for step in range(1800):
+        key = b"m%03d" % rng.randrange(220)
+        op = rng.random()
+        if op < 0.6:
+            value = bytes([step % 256]) * rng.randrange(1, 250)
+            db.put(key, value, t)
+            model[key] = value
+        elif op < 0.85:
+            assert db.get(key, t) == model.get(key)
+        elif op < 0.95:
+            count = rng.randrange(1, 8)
+            expected = sorted((k, v) for k, v in model.items() if k >= key)[:count]
+            assert db.scan(key, count, t) == expected
+        else:
+            db.delete(key, t)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert db.get(key, t) == value

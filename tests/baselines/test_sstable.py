@@ -1,0 +1,142 @@
+from collections import OrderedDict
+
+import pytest
+
+from repro.baselines.lsm.blockstore import BlockStore
+from repro.baselines.lsm.sstable import BLOCK_SIZE, SSTable
+from repro.sim.vthread import VThread
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from repro.storage.ssd import SSDDevice
+
+MB = 1024**2
+
+
+@pytest.fixture
+def store():
+    return BlockStore(SSDDevice(FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB)))
+
+
+def _entries(n, value_size=100):
+    return [(b"k%05d" % i, bytes([i % 256]) * value_size) for i in range(n)]
+
+
+class TestBuildAndGet:
+    def test_roundtrip(self, store):
+        entries = _entries(50)
+        table, done = SSTable.build(store, entries, at=0.0)
+        assert done > 0
+        for k, v in entries:
+            assert table.get(k) == (True, v)
+
+    def test_missing_key(self, store):
+        table, _ = SSTable.build(store, _entries(10), at=0.0)
+        assert table.get(b"k00005x") == (False, None)
+        assert table.get(b"zzz") == (False, None)
+
+    def test_tombstones_preserved(self, store):
+        table, _ = SSTable.build(store, [(b"a", b"v"), (b"b", None)], at=0.0)
+        assert table.get(b"b") == (True, None)
+        assert table.get(b"a") == (True, b"v")
+
+    def test_min_max_keys(self, store):
+        table, _ = SSTable.build(store, _entries(20), at=0.0)
+        assert table.min_key == b"k00000"
+        assert table.max_key == b"k00019"
+
+    def test_empty_rejected(self, store):
+        with pytest.raises(ValueError):
+            SSTable.build(store, [], at=0.0)
+
+    def test_blocking_build(self, store, thread):
+        table, done = SSTable.build(store, _entries(30), thread=thread)
+        assert done == thread.now > 0
+        assert table.get(b"k00000", thread)[0]
+
+    def test_multi_block_table(self, store):
+        entries = _entries(200, value_size=500)  # ~100KB -> many blocks
+        table, _ = SSTable.build(store, entries, at=0.0)
+        assert len(table.first_keys) > 1
+        for k, v in entries[::17]:
+            assert table.get(k) == (True, v)
+
+    def test_value_larger_than_fits_with_others(self, store):
+        entries = [(b"a", b"x" * 3000), (b"b", b"y" * 3000)]
+        table, _ = SSTable.build(store, entries, at=0.0)
+        assert table.get(b"a") == (True, b"x" * 3000)
+        assert table.get(b"b") == (True, b"y" * 3000)
+
+
+class TestOverlap:
+    def test_overlaps(self, store):
+        table, _ = SSTable.build(store, _entries(10), at=0.0)
+        assert table.overlaps(b"k00005", b"k00020")
+        assert table.overlaps(b"a", b"z")
+        assert not table.overlaps(b"k00010", b"k00020")
+        assert not table.overlaps(b"a", b"b")
+
+    def test_covers(self, store):
+        table, _ = SSTable.build(store, _entries(10), at=0.0)
+        assert table.covers(b"k00004")
+        assert not table.covers(b"zzz")
+
+
+class TestIteration:
+    def test_items_from(self, store):
+        entries = _entries(100)
+        table, _ = SSTable.build(store, entries, at=0.0)
+        got = list(table.items_from(b"k00050"))
+        assert got == entries[50:]
+
+    def test_items_from_readahead_matches(self, store):
+        entries = _entries(300, value_size=200)
+        table, _ = SSTable.build(store, entries, at=0.0)
+        plain = list(table.items_from(b"k00000", readahead=1))
+        ahead = list(table.items_from(b"k00000", readahead=8))
+        assert plain == ahead == entries
+
+    def test_readahead_fewer_ios(self, store):
+        entries = _entries(300, value_size=200)
+        table, _ = SSTable.build(store, entries, at=0.0)
+        t1, t2 = VThread(0), VThread(1)
+        list(table.items_from(b"k00000", thread=t1, readahead=1))
+        ios_single = store.device.read_ios
+        list(table.items_from(b"k00000", thread=t2, readahead=8))
+        ios_ahead = store.device.read_ios - ios_single
+        assert ios_ahead < ios_single / 3
+
+    def test_all_items(self, store):
+        entries = _entries(60)
+        table, _ = SSTable.build(store, entries, at=0.0)
+        assert table.all_items() == entries
+
+
+class TestBlockCache:
+    def test_hit_skips_device(self, store, thread):
+        table, _ = SSTable.build(store, _entries(50), at=0.0)
+        cache = OrderedDict()
+        table.get(b"k00001", thread, cache)
+        ios = store.device.read_ios
+        table.get(b"k00001", thread, cache)
+        assert store.device.read_ios == ios
+
+    def test_miss_cost_charged(self, store):
+        table, _ = SSTable.build(store, _entries(50), at=0.0)
+        t = VThread(0)
+        table.get(b"k00001", t, OrderedDict(), miss_cost=100e-6)
+        assert t.now > 100e-6
+
+    def test_parse_cost_charged_on_hit(self, store):
+        table, _ = SSTable.build(store, _entries(50), at=0.0)
+        cache = OrderedDict()
+        t = VThread(0)
+        table.get(b"k00001", t, cache)
+        before = t.now
+        table.get(b"k00001", t, cache, parse_cost=5e-6)
+        assert t.now - before >= 5e-6
+
+
+def test_release_returns_extent(store):
+    table, _ = SSTable.build(store, _entries(10), at=0.0)
+    live = store.live_bytes
+    table.release()
+    assert store.live_bytes < live

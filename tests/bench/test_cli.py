@@ -1,0 +1,23 @@
+import pytest
+
+from repro.bench.__main__ import COMMANDS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])
+
+
+def test_scalars_runs(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "1.0")
+    assert main(["scalars", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "NVM bytes/key" in out
+    assert "recovery" in out

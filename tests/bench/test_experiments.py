@@ -1,0 +1,77 @@
+"""Smoke tests for the experiment definitions (tiny parameters).
+
+The full paper-scale runs live in benchmarks/; here we only verify
+that each experiment function executes and returns sane structure.
+"""
+
+import pytest
+
+from repro.bench import experiments as ex
+
+
+def test_ycsb_comparison_structure():
+    results = ex.ycsb_comparison(
+        workloads=("A",), num_keys=400, num_ops=300, num_threads=2,
+        stores=("Prism", "KVell"),
+    )
+    assert set(results) == {"Prism", "KVell"}
+    assert results["Prism"]["A"].ops == 300
+
+
+def test_slmdb_comparison_structure():
+    results = ex.slmdb_comparison(workloads=("LOAD", "A"), num_keys=300, num_ops=200)
+    assert set(results) == {"Prism", "SLM-DB"}
+    assert results["SLM-DB"]["LOAD"].ops == 300
+
+
+def test_skew_sweep_structure():
+    results = ex.skew_sweep(
+        thetas=(0.5, 0.99), workloads=("C",), num_keys=300, num_ops=200,
+        num_threads=2, stores=("Prism",),
+    )
+    assert set(results["Prism"]["C"]) == {0.5, 0.99}
+
+
+def test_thread_combining_sweep_structure():
+    results = ex.thread_combining_sweep(
+        queue_depths=(1, 8), num_keys=300, num_ops=200, num_threads=2
+    )
+    assert set(results) == {"TC", "TA"}
+    assert set(results["TC"]) == {1, 8}
+
+
+def test_waf_sweep_structure():
+    results = ex.waf_sweep(
+        thetas=(0.99,), value_sizes=(512,), num_keys=200, num_ops=400, num_threads=2
+    )
+    assert set(results) == {512}
+    assert set(results[512]) == {"Prism", "KVell", "MatrixKV"}
+    for store in results[512].values():
+        assert all(w >= 0 for w in store.values())
+
+
+def test_gc_timeline_structure():
+    result, store = ex.gc_timeline(num_keys=400, num_ops=1500, num_threads=2)
+    assert result.timeline is not None
+    assert result.ops == 1500
+
+
+def test_nvm_space_structure():
+    out = ex.nvm_space(num_keys=500)
+    assert out["keys"] == 500
+    assert 10 < out["bytes_per_key"] < 500
+
+
+def test_recovery_comparison_structure():
+    out = ex.recovery_comparison(num_keys=400, num_threads=2)
+    assert out["prism_keys"] == 400
+    assert out["prism_seconds"] > 0
+    assert out["kvell_seconds"] > 0
+
+
+def test_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.0")
+    assert ex.scale() == 2.0
+    assert ex.scaled(100) == 200
+    monkeypatch.delenv("REPRO_SCALE")
+    assert ex.scaled(100) == 100

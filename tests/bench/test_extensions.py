@@ -1,0 +1,32 @@
+from repro.bench.extensions import media_matrix
+from repro.storage.specs import CXL_NVM_SPEC, OPTANE_SSD_SPEC, PCIE5_SSD_SPEC
+
+
+def test_emerging_specs_sane():
+    # CXL: slower than DCPMM but still sub-microsecond and cheaper.
+    assert 0.3e-6 < CXL_NVM_SPEC.read_latency < 2e-6
+    assert CXL_NVM_SPEC.cost_per_tb < 4096
+    # Optane SSD: latency between NVM and flash.
+    assert 1e-6 < OPTANE_SSD_SPEC.read_latency < 50e-6
+    # Gen5 doubles Gen4 read bandwidth.
+    assert PCIE5_SSD_SPEC.read_bandwidth >= 12 * 1024**3
+
+
+def test_media_matrix_smoke():
+    results = media_matrix(num_keys=400, num_ops=300, num_threads=2)
+    assert set(results) == {
+        "dcpmm+gen4 (paper)",
+        "cxl-nvm+gen4",
+        "dcpmm+optane-ssd",
+        "dcpmm+gen5",
+    }
+    for runs in results.values():
+        for wl in ("A", "C", "E"):
+            assert runs[wl].throughput > 0
+
+
+def test_optane_value_storage_cuts_miss_latency():
+    results = media_matrix(num_keys=600, num_ops=500, num_threads=2)
+    flash_p99 = results["dcpmm+gen4 (paper)"]["C"].latency.p99()
+    optane_p99 = results["dcpmm+optane-ssd"]["C"].latency.p99()
+    assert optane_p99 < flash_p99

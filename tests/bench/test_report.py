@@ -1,0 +1,55 @@
+from repro.bench.report import format_table, latency_table, ratio, throughput_table
+from repro.bench.runner import RunResult
+from repro.sim.stats import LatencyRecorder
+
+
+def _result(name, workload, throughput_kops=100.0):
+    rec = LatencyRecorder()
+    for v in (1e-6, 2e-6, 3e-6):
+        rec.record(v)
+    ops = 3000
+    return RunResult(
+        store_name=name,
+        workload=workload,
+        ops=ops,
+        duration=ops / (throughput_kops * 1e3),
+        latency=rec,
+        per_kind={},
+        waf=1.5,
+    )
+
+
+def test_ratio():
+    assert ratio(10, 4) == 2.5
+    assert ratio(10, 0) == 0.0
+
+
+def test_format_table_contains_cells():
+    text = format_table("T", ["r1"], ["c1", "c2"], lambda r, c: f"{r}:{c}")
+    assert "r1:c1" in text and "r1:c2" in text and "T" in text
+
+
+def test_throughput_table():
+    results = {
+        "Prism": {"A": _result("Prism", "A", 700)},
+        "KVell": {"A": _result("KVell", "A", 200)},
+    }
+    text = throughput_table("Fig7", results, ["A"])
+    assert "700.0" in text and "200.0" in text
+
+    missing = throughput_table("Fig7", results, ["A", "B"])
+    assert "-" in missing
+
+
+def test_latency_table():
+    results = {"Prism": {"A": _result("Prism", "A")}}
+    text = latency_table("Table 3", results, ["A"])
+    assert "avg" in text and "median" in text and "99%" in text
+
+
+def test_run_result_properties():
+    r = _result("X", "C", 1000)
+    assert r.mops == r.throughput / 1e6
+    assert r.kops == r.throughput / 1e3
+    empty = RunResult("X", "C", 0, 0.0, LatencyRecorder(), {}, 0.0)
+    assert empty.throughput == 0.0

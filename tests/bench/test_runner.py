@@ -1,0 +1,114 @@
+import pytest
+
+from repro.bench.runner import preload, run_workload
+from repro.bench.stores import build_prism
+from repro.core.prism import Prism
+from repro.workloads import WORKLOADS
+from tests.conftest import small_prism_config
+
+
+@pytest.fixture
+def store():
+    return Prism(small_prism_config(num_threads=4))
+
+
+def test_preload_inserts_all_keys(store):
+    preload(store, 500, value_size=128, num_threads=4)
+    assert len(store) == 500
+
+
+def test_preload_random_order(store):
+    """LOAD happens 'in random order' (§7.1): inserts are shuffled."""
+    preload(store, 300, value_size=64, num_threads=1)
+    # if insertion were sequential the index would have split on the
+    # rightmost leaf only; shuffled inserts spread the data layer.
+    assert len(store) == 300
+
+
+def test_run_workload_counts_and_latency(store):
+    preload(store, 400, value_size=128, num_threads=4)
+    result = run_workload(
+        store, WORKLOADS["A"], 1000, 400, num_threads=4, value_size=128
+    )
+    assert result.ops == 1000
+    assert result.duration > 0
+    assert result.throughput > 0
+    assert len(result.latency) == 1000
+    assert set(result.per_kind) <= {"read", "update"}
+
+
+def test_run_workload_validates_ops(store):
+    with pytest.raises(ValueError):
+        run_workload(store, WORKLOADS["C"], 0, 100)
+
+
+def test_load_workload_populates_store(store):
+    result = run_workload(
+        store, WORKLOADS["LOAD"], 400, 400, num_threads=2, value_size=128
+    )
+    assert result.ops == 400
+    assert len(store) == 400
+
+
+def test_warmup_not_recorded(store):
+    preload(store, 300, value_size=128, num_threads=2)
+    result = run_workload(
+        store,
+        WORKLOADS["C"],
+        500,
+        300,
+        num_threads=2,
+        value_size=128,
+        warmup_ops=200,
+    )
+    assert result.ops == 500
+    assert len(result.latency) == 500
+
+
+def test_waf_computed_over_measured_window(store):
+    preload(store, 300, value_size=128, num_threads=2)
+    result = run_workload(
+        store, WORKLOADS["C"], 300, 300, num_threads=2, value_size=128
+    )
+    assert result.waf == 0.0  # read-only window writes nothing
+
+
+def test_timeline_collection(store):
+    preload(store, 300, value_size=128, num_threads=2)
+    result = run_workload(
+        store,
+        WORKLOADS["A"],
+        600,
+        300,
+        num_threads=2,
+        value_size=128,
+        timeline_bucket=1e-3,
+    )
+    assert result.timeline is not None
+    assert sum(result.timeline.buckets.values()) == 600
+
+
+def test_different_workloads_use_different_streams(store):
+    preload(store, 300, value_size=128, num_threads=2)
+    r1 = run_workload(store, WORKLOADS["B"], 200, 300, num_threads=2, value_size=128)
+    r2 = run_workload(store, WORKLOADS["C"], 200, 300, num_threads=2, value_size=128)
+    # same seed, different workloads -> different key sequences, so
+    # the second run cannot be a 100% cache replay of the first
+    assert r1.ops == r2.ops == 200
+
+
+def test_summary_string(store):
+    preload(store, 100, value_size=128)
+    result = run_workload(store, WORKLOADS["C"], 100, 100, num_threads=1, value_size=128)
+    text = result.summary()
+    assert "Prism" in text and "Kops" in text
+
+
+def test_multi_thread_throughput_exceeds_single(capsys):
+    one = build_prism(num_threads=1, dataset_bytes=512 * 1024, expected_keys=2000)
+    many = build_prism(num_threads=8, dataset_bytes=512 * 1024, expected_keys=2000)
+    preload(one, 500, value_size=512, num_threads=1)
+    preload(many, 500, value_size=512, num_threads=8)
+    r1 = run_workload(one, WORKLOADS["A"], 1500, 500, num_threads=1, value_size=512)
+    r8 = run_workload(many, WORKLOADS["A"], 1500, 500, num_threads=8, value_size=512)
+    assert r8.throughput > 2 * r1.throughput

@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PrismConfig
+from repro.core.prism import Prism
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+from repro.storage.nvm import NVMDevice
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from repro.storage.ssd import SSDDevice
+
+KB = 1024
+MB = 1024**2
+
+
+def small_prism_config(**overrides) -> PrismConfig:
+    """A Prism config tiny enough for fast unit tests."""
+    defaults = dict(
+        num_threads=2,
+        num_ssds=2,
+        ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB),
+        pwb_capacity=64 * KB,
+        svc_capacity=256 * KB,
+        hsit_capacity=50_000,
+        chunk_size=16 * KB,
+    )
+    defaults.update(overrides)
+    return PrismConfig(**defaults)
+
+
+@pytest.fixture
+def prism() -> Prism:
+    return Prism(small_prism_config())
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def thread(clock) -> VThread:
+    return VThread(0, clock)
+
+
+@pytest.fixture
+def nvm() -> NVMDevice:
+    return NVMDevice()
+
+
+@pytest.fixture
+def ssd() -> SSDDevice:
+    return SSDDevice(FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB))

@@ -1,0 +1,130 @@
+"""The consistency auditor: clean stores pass, corrupted stores fail."""
+
+import random
+
+import pytest
+
+from repro.core import pointers as ptr
+from repro.core.checker import audit
+from repro.core.prism import Prism
+from repro.sim.vthread import VThread
+from tests.conftest import small_prism_config
+
+
+@pytest.fixture
+def store():
+    return Prism(small_prism_config())
+
+
+@pytest.fixture
+def t(store):
+    return VThread(0, store.clock)
+
+
+def _stress(store, t, steps=1500, seed=4):
+    rng = random.Random(seed)
+    for step in range(steps):
+        key = b"a%03d" % rng.randrange(200)
+        roll = rng.random()
+        if roll < 0.55:
+            store.put(key, bytes([step % 256]) * rng.randrange(1, 400), t)
+        elif roll < 0.8:
+            store.get(key, t)
+        elif roll < 0.92:
+            store.scan(key, rng.randrange(1, 10), t)
+        else:
+            store.delete(key, t)
+
+
+class TestCleanStoresPass:
+    def test_empty_store(self, store):
+        assert audit(store).ok
+
+    def test_after_stress(self, store, t):
+        _stress(store, t)
+        report = audit(store)
+        assert report.ok, report.violations[:5]
+        assert report.keys_checked > 0
+        assert report.pwb_values + report.vs_values == report.keys_checked
+
+    def test_after_flush(self, store, t):
+        _stress(store, t)
+        store.flush()
+        report = audit(store)
+        assert report.ok, report.violations[:5]
+        assert report.pwb_values == 0  # everything drained to flash
+
+    def test_after_crash_recovery(self, store, t):
+        _stress(store, t)
+        store.crash()
+        store.recover()
+        report = audit(store)
+        assert report.ok, report.violations[:5]
+
+    def test_with_gc_pressure(self):
+        from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+        tight = Prism(
+            small_prism_config(
+                num_ssds=1,
+                ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(512 * 1024),
+                chunk_size=16 * 1024,
+                pwb_capacity=32 * 1024,
+                gc_free_threshold=0.4,
+                svc_capacity=32 * 1024,
+            )
+        )
+        thread = VThread(0, tight.clock)
+        rng = random.Random(6)
+        for step in range(2500):
+            tight.put(b"g%03d" % rng.randrange(300), bytes([step % 256]) * 200, thread)
+        assert sum(vs.gc_runs for vs in tight.storages) > 0
+        report = audit(tight)
+        assert report.ok, report.violations[:5]
+
+
+class TestCorruptionDetected:
+    def test_dangling_forward_pointer(self, store, t):
+        store.put(b"k", b"v", t)
+        store.put(b"pad", b"p", t)
+        store.flush()
+        idx = store.index.lookup(b"k")
+        loc = store.hsit.read_location(idx)
+        store.storages[loc.vs_id].invalidate(loc.chunk_id, loc.vs_offset)
+        report = audit(store)
+        assert not report.ok
+        assert any("I4" in v for v in report.violations)
+
+    def test_ill_coupled_record(self, store, t):
+        store.put(b"k", b"v", t)
+        idx = store.index.lookup(b"k")
+        # Point the entry at someone else's PWB record.
+        other_off = store.pwbs[0].append(9999, b"intruder", t)
+        store.hsit.publish_location(idx, ptr.encode_pwb(0, other_off), t)
+        report = audit(store)
+        assert any("I2" in v for v in report.violations)
+
+    def test_lingering_dirty_bit(self, store, t):
+        store.put(b"k", b"v", t)
+        idx = store.index.lookup(b"k")
+        word = store.hsit.location_word(idx)
+        addr = store.hsit._addr(idx)
+        store.nvm.persist(None, addr, ptr.set_dirty(word).to_bytes(8, "little"))
+        report = audit(store)
+        assert any("I6" in v for v in report.violations)
+
+    def test_stale_svc_word(self, store, t):
+        store.put(b"k", b"v", t)
+        store.flush()
+        store.get(b"k", t)  # cache it
+        idx = store.index.lookup(b"k")
+        entry_id = store.hsit.read_svc(idx)
+        store.svc.invalidate(entry_id, t)  # freed, word left behind
+        report = audit(store)
+        assert any("I5" in v for v in report.violations)
+
+    def test_accounting_drift(self, store, t):
+        store.put(b"k", b"v", t)
+        store.svc.used += 1234
+        report = audit(store)
+        assert any("accounting drift" in v for v in report.violations)

@@ -1,0 +1,35 @@
+import pytest
+
+from repro.core.config import PrismConfig
+
+
+def test_defaults_valid():
+    PrismConfig()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_threads": 0},
+        {"num_ssds": 0},
+        {"pwb_watermark": 0.0},
+        {"pwb_watermark": 1.0},
+        {"gc_free_threshold": 1.0},
+        {"gc_free_threshold": -0.1},
+        {"read_batching": "magic"},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        PrismConfig(**kwargs)
+
+
+def test_hardware_cost_tracks_capacity():
+    small = PrismConfig(svc_capacity=1 << 20).hardware_cost()
+    large = PrismConfig(svc_capacity=1 << 30).hardware_cost()
+    assert large > small
+
+
+def test_read_batching_modes():
+    for mode in ("tc", "ta", "sync"):
+        assert PrismConfig(read_batching=mode).read_batching == mode

@@ -1,0 +1,221 @@
+"""Cross-media crash consistency (§5.4–5.5).
+
+These tests exercise the exact crash windows the paper's protocol is
+designed for, using the simulated NVM's lost-unflushed-lines
+semantics, and verify durable linearizability: every acknowledged
+write survives; un-acknowledged writes roll back to the previous
+durable value.
+"""
+
+import random
+
+import pytest
+
+from repro.core.prism import Prism
+from repro.core import pointers as ptr
+from repro.sim.vthread import VThread
+from tests.conftest import small_prism_config
+
+
+@pytest.fixture
+def store():
+    return Prism(small_prism_config())
+
+
+@pytest.fixture
+def t(store):
+    return VThread(0, store.clock)
+
+
+class TestBasicDurability:
+    def test_acknowledged_puts_survive(self, store, t):
+        for i in range(200):
+            store.put(b"c%03d" % i, b"v%03d" % i, t)
+        store.crash()
+        report = store.recover()
+        assert report.recovered_keys == 200
+        for i in range(200):
+            assert store.get(b"c%03d" % i, t) == b"v%03d" % i
+
+    def test_latest_version_survives(self, store, t):
+        for version in range(10):
+            store.put(b"k", b"version-%d" % version, t)
+        store.crash()
+        store.recover()
+        assert store.get(b"k", t) == b"version-9"
+
+    def test_deletes_survive(self, store, t):
+        store.put(b"keep", b"v", t)
+        store.put(b"drop", b"v", t)
+        store.delete(b"drop", t)
+        store.crash()
+        store.recover()
+        assert store.get(b"keep", t) == b"v"
+        assert store.get(b"drop", t) is None
+
+    def test_values_on_ssd_survive(self, store, t):
+        for i in range(100):
+            store.put(b"s%03d" % i, b"v%03d" % i, t)
+        store.flush()  # move to Value Storage
+        store.crash()
+        store.recover()
+        for i in range(100):
+            assert store.get(b"s%03d" % i, t) == b"v%03d" % i
+
+    def test_operations_blocked_until_recovery(self, store, t):
+        store.put(b"k", b"v", t)
+        store.crash()
+        with pytest.raises(RuntimeError):
+            store.get(b"k", t)
+        store.recover()
+        assert store.get(b"k", t) == b"v"
+
+    def test_store_usable_after_recovery(self, store, t):
+        store.put(b"a", b"1", t)
+        store.crash()
+        store.recover()
+        store.put(b"b", b"2", t)
+        assert store.scan(b"a", 2, t) == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_double_crash_recover(self, store, t):
+        store.put(b"k", b"v1", t)
+        store.crash()
+        store.recover()
+        store.put(b"k", b"v2", t)
+        store.crash()
+        store.recover()
+        assert store.get(b"k", t) == b"v2"
+
+
+class TestCrashWindows:
+    """Inject crashes into the middle of the update protocol."""
+
+    def test_crash_before_forward_pointer_flush(self, store, t):
+        """Value persisted, HSIT store not flushed: old value wins
+        (Figure 6's 'written but not reachable' case)."""
+        store.put(b"k", b"old", t)
+        store.flush()
+        idx = store.index.lookup(b"k")
+        # Manually run the first half of an update: append the new
+        # value, then store (but do NOT flush) the forward pointer.
+        pwb = store.pwbs[0]
+        offset = pwb.append(idx, b"new", t)
+        addr = store.hsit._addr(idx)
+        word = ptr.set_dirty(ptr.encode_pwb(0, offset))
+        store.nvm.store(None, addr, word.to_bytes(8, "little"))
+        store.crash()
+        store.recover()
+        assert store.get(b"k", t) == b"old"
+
+    def test_crash_after_forward_pointer_flush(self, store, t):
+        """Pointer flushed with dirty bit still set: new value wins,
+        recovery normalizes the dirty bit."""
+        store.put(b"k", b"old", t)
+        store.flush()
+        idx = store.index.lookup(b"k")
+        pwb = store.pwbs[0]
+        offset = pwb.append(idx, b"new", t)
+        addr = store.hsit._addr(idx)
+        word = ptr.set_dirty(ptr.encode_pwb(0, offset))
+        store.nvm.persist(None, addr, word.to_bytes(8, "little"))
+        store.crash()
+        store.recover()
+        assert store.get(b"k", t) == b"new"
+
+    def test_crash_between_hsit_alloc_and_index_insert_leaks_nothing(
+        self, store, t
+    ):
+        """A crashed insert leaves an unreachable HSIT entry; recovery
+        returns it to the free list."""
+        store.put(b"exists", b"v", t)
+        idx = store.hsit.allocate(t)  # insert began...
+        pwb = store.pwbs[0]
+        offset = pwb.append(idx, b"orphan", t)
+        store.hsit.publish_location(idx, ptr.encode_pwb(0, offset), t)
+        # ...crash before the index insert
+        store.crash()
+        report = store.recover()
+        assert report.leaked_entries_reclaimed >= 1
+        assert store.get(b"exists", t) == b"v"
+        # the reclaimed entry is reusable
+        store.put(b"fresh", b"v2", t)
+        assert store.get(b"fresh", t) == b"v2"
+
+    def test_svc_pointers_nullified_on_recovery(self, store, t):
+        store.put(b"k", b"v", t)
+        store.flush()
+        store.get(b"k", t)  # cached in SVC (DRAM)
+        idx = store.index.lookup(b"k")
+        assert store.hsit.read_svc(idx) is not None
+        store.crash()
+        store.recover()
+        assert store.hsit.read_svc(idx) is None
+        assert store.get(b"k", t) == b"v"
+
+    def test_validity_bitmaps_rebuilt(self, store, t):
+        for i in range(60):
+            store.put(b"b%02d" % i, b"x" * 200, t)
+        store.flush()
+        for i in range(0, 60, 2):
+            store.put(b"b%02d" % i, b"y" * 200, t)  # invalidate half on SSD
+        store.crash()
+        report = store.recover()
+        assert report.vs_records_validated > 0
+        for i in range(60):
+            expected = b"y" * 200 if i % 2 == 0 else b"x" * 200
+            assert store.get(b"b%02d" % i, t) == expected
+
+
+class TestRecoveryReport:
+    def test_pwb_values_flushed_on_recovery(self, store, t):
+        for i in range(20):
+            store.put(b"p%02d" % i, b"v", t)
+        store.crash()
+        report = store.recover()
+        assert report.pwb_values_flushed == 20
+        # PWBs restart empty
+        assert all(pwb.used == 0 for pwb in store.pwbs)
+
+    def test_recovery_duration_positive_and_scales(self, store, t):
+        for i in range(50):
+            store.put(b"r%03d" % i, b"v" * 100, t)
+        store.crash()
+        slow = store.recover(recovery_threads=1)
+        assert slow.duration > 0
+
+    def test_recovery_thread_validation(self, store):
+        store.crash()
+        with pytest.raises(ValueError):
+            store.recover(recovery_threads=0)
+
+    def test_empty_store_recovery(self, store):
+        store.crash()
+        report = store.recover()
+        assert report.recovered_keys == 0
+
+
+class TestRandomizedCrashRecovery:
+    @pytest.mark.parametrize("seed", [7, 21, 99])
+    def test_acknowledged_state_always_recovered(self, seed):
+        """Property: run random ops, crash at a random point, recover —
+        the store must equal the model of acknowledged operations."""
+        store = Prism(small_prism_config())
+        t = VThread(0, store.clock)
+        rng = random.Random(seed)
+        model = {}
+        for step in range(rng.randrange(200, 800)):
+            key = b"x%03d" % rng.randrange(80)
+            if rng.random() < 0.7:
+                value = bytes([rng.randrange(256)]) * rng.randrange(1, 400)
+                store.put(key, value, t)
+                model[key] = value
+            else:
+                store.delete(key, t)
+                model.pop(key, None)
+        store.crash()
+        report = store.recover()
+        assert report.recovered_keys == len(model)
+        for key, value in model.items():
+            assert store.get(key, t) == value, key
+        scan = store.scan(b"x", 1000, t)
+        assert scan == sorted(model.items())

@@ -1,0 +1,265 @@
+import random
+
+import pytest
+
+from repro.core.config import PrismConfig
+from repro.core.prism import Prism
+from repro.sim.vthread import VThread
+from tests.conftest import small_prism_config
+
+
+@pytest.fixture
+def t(prism):
+    return VThread(0, prism.clock)
+
+
+class TestBasicOperations:
+    def test_get_missing(self, prism, t):
+        assert prism.get(b"nope", t) is None
+
+    def test_put_get(self, prism, t):
+        prism.put(b"k", b"v", t)
+        assert prism.get(b"k", t) == b"v"
+        assert len(prism) == 1
+
+    def test_update_returns_latest(self, prism, t):
+        prism.put(b"k", b"v1", t)
+        prism.put(b"k", b"v2", t)
+        assert prism.get(b"k", t) == b"v2"
+        assert len(prism) == 1
+
+    def test_delete(self, prism, t):
+        prism.put(b"k", b"v", t)
+        assert prism.delete(b"k", t)
+        assert not prism.delete(b"k", t)
+        assert prism.get(b"k", t) is None
+        assert len(prism) == 0
+
+    def test_reinsert_after_delete(self, prism, t):
+        prism.put(b"k", b"v1", t)
+        prism.delete(b"k", t)
+        prism.put(b"k", b"v2", t)
+        assert prism.get(b"k", t) == b"v2"
+
+    def test_key_type_validation(self, prism, t):
+        with pytest.raises(TypeError):
+            prism.put("str", b"v", t)
+        with pytest.raises(TypeError):
+            prism.put(b"", b"v", t)
+        with pytest.raises(TypeError):
+            prism.put(b"k", b"", t)
+        with pytest.raises(TypeError):
+            prism.get("str", t)
+
+    def test_default_thread(self, prism):
+        prism.put(b"k", b"v")
+        assert prism.get(b"k") == b"v"
+
+    def test_value_sizes(self, prism, t):
+        for size in (1, 100, 4096, 10_000):
+            prism.put(b"k%d" % size, b"x" * size, t)
+        for size in (1, 100, 4096, 10_000):
+            assert prism.get(b"k%d" % size, t) == b"x" * size
+
+
+class TestScan:
+    def test_scan_ordered(self, prism, t):
+        for i in (5, 1, 3, 2, 4):
+            prism.put(b"k%d" % i, b"v%d" % i, t)
+        result = prism.scan(b"k2", 3, t)
+        assert result == [(b"k2", b"v2"), (b"k3", b"v3"), (b"k4", b"v4")]
+
+    def test_scan_sees_latest_updates(self, prism, t):
+        prism.put(b"a", b"old", t)
+        prism.put(b"a", b"new", t)
+        assert prism.scan(b"a", 1, t) == [(b"a", b"new")]
+
+    def test_scan_mixed_media(self, prism, t):
+        """Values in PWB, SVC and Value Storage in one range."""
+        for i in range(60):
+            prism.put(b"s%03d" % i, b"v%03d" % i, t)
+        prism.flush()  # everything to Value Storage
+        prism.scan(b"s000", 20, t)  # caches some in SVC
+        for i in range(0, 60, 7):
+            prism.put(b"s%03d" % i, b"fresh%03d" % i, t)  # back into PWB
+        result = prism.scan(b"s000", 60, t)
+        assert len(result) == 60
+        for key, value in result:
+            i = int(key[1:])
+            expected = b"fresh%03d" % i if i % 7 == 0 else b"v%03d" % i
+            assert value == expected
+
+    def test_scan_empty_store(self, prism, t):
+        assert prism.scan(b"a", 10, t) == []
+
+    def test_scan_excludes_deleted(self, prism, t):
+        for i in range(5):
+            prism.put(b"d%d" % i, b"v", t)
+        prism.delete(b"d2", t)
+        keys = [k for k, _ in prism.scan(b"d0", 5, t)]
+        assert b"d2" not in keys
+        assert len(keys) == 4
+
+
+class TestDurabilityPipeline:
+    def test_values_move_pwb_to_vs_on_flush(self, prism, t):
+        prism.put(b"k", b"v", t)
+        loc_before = prism.hsit.read_location(prism.index.lookup(b"k"))
+        assert loc_before.in_pwb
+        prism.flush()
+        loc_after = prism.hsit.read_location(prism.index.lookup(b"k"))
+        assert loc_after.in_vs
+        assert prism.get(b"k", t) == b"v"
+
+    def test_reclamation_triggers_at_watermark(self, prism, t):
+        pwb = prism.pwbs[0]
+        watermark_bytes = int(pwb.capacity * prism.config.pwb_watermark)
+        written = 0
+        i = 0
+        while written <= watermark_bytes + 4096:
+            prism.put(b"w%05d" % i, b"x" * 512, t)
+            written += 512 + 16
+            i += 1
+        assert prism.reclaims >= 1
+
+    def test_reclamation_deduplicates_versions(self, prism, t):
+        """Only the latest version of a hot key reaches the SSD."""
+        for _ in range(40):
+            prism.put(b"hot", b"h" * 512, t)
+        prism.flush()
+        # 40 x 512B written to PWB, but SSD got one live version (plus
+        # chunk metadata): WAF well below 1 for this pattern.
+        assert prism.ssd_bytes_written() < 40 * 512 / 2
+
+    def test_pwb_full_falls_back_to_blocking_reclaim(self):
+        config = small_prism_config(pwb_capacity=8192, num_threads=1)
+        store = Prism(config)
+        thread = VThread(0, store.clock)
+        for i in range(100):
+            store.put(b"b%03d" % i, b"y" * 700, thread)
+        for i in range(100):
+            assert store.get(b"b%03d" % i, thread) == b"y" * 700
+
+    def test_flush_then_read_from_vs(self, prism, t):
+        for i in range(50):
+            prism.put(b"f%02d" % i, b"v%02d" % i, t)
+        prism.flush()
+        for i in range(50):
+            assert prism.get(b"f%02d" % i, t) == b"v%02d" % i
+
+
+class TestSVCIntegration:
+    def test_vs_read_populates_cache(self, prism, t):
+        prism.put(b"k", b"v", t)
+        prism.flush()
+        idx = prism.index.lookup(b"k")
+        assert prism.hsit.read_svc(idx) is None
+        prism.get(b"k", t)
+        assert prism.hsit.read_svc(idx) is not None
+
+    def test_second_read_is_cache_hit(self, prism, t):
+        prism.put(b"k", b"v", t)
+        prism.flush()
+        prism.get(b"k", t)
+        hits_before = prism.svc.hits
+        prism.get(b"k", t)
+        assert prism.svc.hits == hits_before + 1
+
+    def test_update_invalidates_cached_copy(self, prism, t):
+        prism.put(b"k", b"old", t)
+        prism.flush()
+        prism.get(b"k", t)  # cache it
+        prism.put(b"k", b"new", t)
+        assert prism.get(b"k", t) == b"new"
+
+    def test_delete_invalidates_cached_copy(self, prism, t):
+        prism.put(b"k", b"v", t)
+        prism.flush()
+        prism.get(b"k", t)
+        prism.delete(b"k", t)
+        assert prism.get(b"k", t) is None
+
+    def test_svc_disabled(self):
+        store = Prism(small_prism_config(enable_svc=False))
+        thread = VThread(0, store.clock)
+        store.put(b"k", b"v", thread)
+        store.flush()
+        assert store.get(b"k", thread) == b"v"
+        assert store.svc.admissions == 0
+
+
+class TestAblationModes:
+    def test_no_pwb_mode_functional(self):
+        store = Prism(small_prism_config(enable_pwb=False))
+        thread = VThread(0, store.clock)
+        for i in range(30):
+            store.put(b"n%02d" % i, b"v%02d" % i, thread)
+        for i in range(30):
+            assert store.get(b"n%02d" % i, thread) == b"v%02d" % i
+        assert store.reclaims == 0
+
+    def test_no_pwb_writes_pay_ssd_latency(self):
+        fast = Prism(small_prism_config())
+        slow = Prism(small_prism_config(enable_pwb=False))
+        t1, t2 = VThread(0, fast.clock), VThread(0, slow.clock)
+        fast.put(b"k", b"v" * 100, t1)
+        slow.put(b"k", b"v" * 100, t2)
+        assert t1.now < t2.now
+
+    def test_sync_read_mode(self):
+        store = Prism(small_prism_config(read_batching="sync"))
+        thread = VThread(0, store.clock)
+        store.put(b"k", b"v", thread)
+        store.flush()
+        assert store.get(b"k", thread) == b"v"
+
+
+class TestStats:
+    def test_counters(self, prism, t):
+        prism.put(b"k", b"v", t)
+        prism.get(b"k", t)
+        prism.scan(b"k", 1, t)
+        prism.delete(b"k", t)
+        stats = prism.stats()
+        assert stats["puts"] == 1
+        assert stats["gets"] == 1
+        assert stats["scans"] == 1
+        assert stats["deletes"] == 1
+
+    def test_waf_zero_when_nothing_written(self, prism):
+        assert prism.waf() == 0.0
+
+    def test_nvm_usage_grows(self, prism, t):
+        before = prism.nvm_bytes_used()
+        for i in range(100):
+            prism.put(b"g%03d" % i, b"v", t)
+        assert prism.nvm_bytes_used() >= before
+
+    def test_hardware_cost_positive(self, prism):
+        assert prism.config.hardware_cost() > 0
+
+
+class TestRandomizedModelCheck:
+    def test_against_dict_model(self, prism, t):
+        rng = random.Random(1234)
+        model = {}
+        for step in range(2500):
+            key = b"m%04d" % rng.randrange(300)
+            op = rng.random()
+            if op < 0.5:
+                value = bytes([step % 256]) * rng.randrange(1, 600)
+                prism.put(key, value, t)
+                model[key] = value
+            elif op < 0.75:
+                assert prism.get(key, t) == model.get(key)
+            elif op < 0.9:
+                count = rng.randrange(1, 12)
+                expected = sorted(
+                    (k, v) for k, v in model.items() if k >= key
+                )[:count]
+                assert prism.scan(key, count, t) == expected
+            else:
+                assert prism.delete(key, t) == (key in model)
+                model.pop(key, None)
+        for key, value in model.items():
+            assert prism.get(key, t) == value

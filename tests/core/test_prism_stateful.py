@@ -1,0 +1,86 @@
+"""Hypothesis stateful machine: Prism vs a dict model, with crashes.
+
+Rules interleave puts, gets, deletes, scans, flushes, and full
+crash+recover cycles.  The invariant after every rule: the store's
+visible contents equal the model of acknowledged operations.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.prism import Prism
+from repro.sim.vthread import VThread
+from tests.conftest import small_prism_config
+
+keys = st.integers(min_value=0, max_value=60).map(lambda i: b"s%02d" % i)
+values = st.binary(min_size=1, max_size=300)
+
+
+class PrismMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.store = Prism(small_prism_config(num_threads=1))
+        self.thread = VThread(0, self.store.clock)
+        self.model = {}
+        self.crashed = False
+
+    @precondition(lambda self: not self.crashed)
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        self.store.put(key, value, self.thread)
+        self.model[key] = value
+
+    @precondition(lambda self: not self.crashed)
+    @rule(key=keys)
+    def get(self, key):
+        assert self.store.get(key, self.thread) == self.model.get(key)
+
+    @precondition(lambda self: not self.crashed)
+    @rule(key=keys)
+    def delete(self, key):
+        assert self.store.delete(key, self.thread) == (key in self.model)
+        self.model.pop(key, None)
+
+    @precondition(lambda self: not self.crashed)
+    @rule(start=keys, count=st.integers(min_value=1, max_value=8))
+    def scan(self, start, count):
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if k >= start
+        )[:count]
+        assert self.store.scan(start, count, self.thread) == expected
+
+    @precondition(lambda self: not self.crashed)
+    @rule()
+    def flush(self):
+        self.store.flush()
+
+    @precondition(lambda self: not self.crashed)
+    @rule()
+    def crash(self):
+        self.store.crash()
+        self.crashed = True
+
+    @precondition(lambda self: self.crashed)
+    @rule()
+    def recover(self):
+        report = self.store.recover()
+        assert report.recovered_keys == len(self.model)
+        self.crashed = False
+
+    @invariant()
+    def contents_match_when_running(self):
+        if not self.crashed and hasattr(self, "store"):
+            assert len(self.store) == len(self.model)
+
+
+TestPrismStateful = PrismMachine.TestCase
+TestPrismStateful.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,144 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pwb import PersistentWriteBuffer, PWBFullError
+from repro.storage.base import StorageError
+from repro.storage.nvm import NVMDevice
+
+
+@pytest.fixture
+def pwb(nvm):
+    return PersistentWriteBuffer(nvm, pwb_id=0, capacity=8192)
+
+
+class TestAppendRead:
+    def test_roundtrip(self, pwb):
+        offset = pwb.append(42, b"value-bytes")
+        back, value = pwb.read(offset)
+        assert back == 42
+        assert value == b"value-bytes"
+
+    def test_backptr_read(self, pwb):
+        offset = pwb.append(7, b"v")
+        assert pwb.read_backptr(offset) == 7
+
+    def test_append_is_durable(self, pwb, nvm):
+        offset = pwb.append(1, b"durable")
+        nvm.crash()
+        assert pwb.read(offset)[1] == b"durable"
+
+    def test_empty_value_rejected(self, pwb):
+        with pytest.raises(ValueError):
+            pwb.append(1, b"")
+
+    def test_offsets_monotonic(self, pwb):
+        offsets = [pwb.append(i, b"x" * 10) for i in range(5)]
+        assert offsets == sorted(offsets)
+
+    def test_read_released_offset_rejected(self, pwb):
+        offset = pwb.append(1, b"x")
+        pwb.release_through(pwb.head)
+        with pytest.raises(StorageError):
+            pwb.read(offset)
+
+    def test_oversized_value_rejected(self, pwb):
+        with pytest.raises(PWBFullError):
+            pwb.append(1, b"x" * 5000)
+
+    def test_too_small_capacity(self, nvm):
+        with pytest.raises(ValueError):
+            PersistentWriteBuffer(nvm, 0, capacity=1024)
+
+
+class TestRing:
+    def test_fills_up(self, pwb):
+        count = 0
+        try:
+            while True:
+                pwb.append(count, b"y" * 100)
+                count += 1
+        except PWBFullError:
+            pass
+        assert count >= 8192 // 128 - 2
+
+    def test_release_frees_space(self, pwb):
+        while pwb.would_fit(100):
+            pwb.append(0, b"y" * 100)
+        pwb.release_through(pwb.head)
+        assert pwb.used == 0
+        pwb.append(0, b"y" * 100)  # wraps
+
+    def test_wrap_keeps_records_contiguous(self, pwb):
+        for _ in range(30):
+            if not pwb.would_fit(300):
+                pwb.release_through(pwb.head)
+            offset = pwb.append(9, b"z" * 300)
+            back, value = pwb.read(offset)
+            assert (back, value) == (9, b"z" * 300)
+
+    def test_utilization(self, pwb):
+        assert pwb.utilization() == 0.0
+        pwb.append(0, b"x" * 1000)
+        assert 0.1 < pwb.utilization() < 0.2
+
+    def test_release_bounds(self, pwb):
+        pwb.append(0, b"x")
+        with pytest.raises(ValueError):
+            pwb.release_through(pwb.head + 1)
+
+
+class TestPendingRelease:
+    def test_poll_before_done_keeps_space_used(self, pwb):
+        pwb.append(0, b"x" * 100)
+        upto = pwb.head
+        pwb.pending_release = (upto, 5.0)
+        pwb.poll(4.9)
+        assert pwb.used > 0
+        pwb.poll(5.0)
+        assert pwb.used == 0
+
+    def test_reset(self, pwb):
+        pwb.append(0, b"x")
+        pwb.pending_release = (pwb.head, 1.0)
+        pwb.reset()
+        assert pwb.used == 0
+        assert pwb.pending_release is None
+
+
+class TestReclamationIteration:
+    def test_records_between(self, pwb):
+        offsets = [pwb.append(i, bytes([i]) * 50) for i in range(10)]
+        got = list(pwb.records_between(pwb.tail, pwb.head))
+        assert [o for o, _, _ in got] == offsets
+        assert [b for _, b, _ in got] == list(range(10))
+
+    def test_records_between_respects_bounds(self, pwb):
+        offsets = [pwb.append(i, b"v" * 50) for i in range(10)]
+        got = list(pwb.records_between(offsets[3], offsets[7]))
+        assert [b for _, b, _ in got] == [3, 4, 5, 6]
+
+    def test_release_drops_old_offsets(self, pwb):
+        pwb.append(0, b"a" * 50)
+        mid = pwb.head
+        pwb.append(1, b"b" * 50)
+        pwb.release_through(mid)
+        got = list(pwb.records_between(pwb.tail, pwb.head))
+        assert [b for _, b, _ in got] == [1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=60)
+)
+def test_property_ring_roundtrip(values):
+    """Appended records are readable until released, across wraps."""
+    pwb = PersistentWriteBuffer(NVMDevice(), 0, capacity=8192)
+    live = {}
+    for i, value in enumerate(values):
+        if not pwb.would_fit(len(value)):
+            pwb.release_through(pwb.head)
+            live.clear()
+        offset = pwb.append(i, value)
+        live[offset] = (i, value)
+        for off, (idx, val) in live.items():
+            assert pwb.read(off) == (idx, val)

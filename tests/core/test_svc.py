@@ -1,0 +1,222 @@
+import pytest
+
+from repro.core.epoch import EpochManager
+from repro.core.hsit import HSIT
+from repro.core import pointers as ptr
+from repro.core.svc import ScanAwareValueCache
+from repro.core.value_storage import ValueStorage
+from repro.sim.vthread import VThread
+from repro.storage.dram import DRAMDevice
+from repro.storage.nvm import NVMDevice
+from repro.storage.specs import DRAM_SPEC, FLASH_SSD_GEN4_SPEC
+from repro.storage.ssd import SSDDevice
+
+MB = 1024**2
+
+
+@pytest.fixture
+def env(nvm):
+    hsit = HSIT(nvm, capacity=1024)
+    epoch = EpochManager()
+    dram = DRAMDevice(DRAM_SPEC.with_capacity(4 * MB))
+    svc = ScanAwareValueCache(dram, capacity=4096, hsit=hsit, epoch=epoch)
+    ssd = SSDDevice(FLASH_SSD_GEN4_SPEC.with_capacity(16 * MB))
+    vs = ValueStorage(0, ssd, chunk_size=16 * 1024)
+    bg = VThread(-1, name="bg", background=True)
+    return hsit, epoch, svc, vs, bg
+
+
+def _cache_from_vs(hsit, svc, vs, key, value):
+    """Write a record to VS, point HSIT at it, then cache it."""
+    idx = hsit.allocate()
+    ((c, o, _),), _ = vs.write_records(0.0, [(idx, value)])
+    hsit.publish_location(idx, ptr.encode_vs(0, c, o))
+    entry_id = svc.admit(idx, key, value)
+    return idx, entry_id, (c, o)
+
+
+class TestAdmissionLookup:
+    def test_admit_makes_value_reachable_via_hsit(self, env):
+        hsit, _, svc, vs, _ = env
+        idx, entry_id, _ = _cache_from_vs(hsit, svc, vs, b"k", b"cached")
+        assert hsit.read_svc(idx) == entry_id
+        assert svc.lookup(entry_id) == b"cached"
+        assert svc.hits == 1
+
+    def test_lookup_unknown_entry(self, env):
+        _, _, svc, _, _ = env
+        assert svc.lookup(999) is None
+
+    def test_invalidate_hides_entry(self, env):
+        hsit, _, svc, vs, _ = env
+        idx, entry_id, _ = _cache_from_vs(hsit, svc, vs, b"k", b"v")
+        hsit.clear_svc(idx)
+        svc.invalidate(entry_id)
+        assert svc.lookup(entry_id) is None
+
+    def test_invalidate_frees_capacity_immediately(self, env):
+        hsit, _, svc, vs, _ = env
+        _, entry_id, _ = _cache_from_vs(hsit, svc, vs, b"k", b"v" * 100)
+        assert svc.used == 100
+        svc.invalidate(entry_id)
+        assert svc.used == 0
+
+    def test_physical_free_waits_for_epochs(self, env):
+        hsit, epoch, svc, vs, _ = env
+        _, entry_id, _ = _cache_from_vs(hsit, svc, vs, b"k", b"v")
+        svc.invalidate(entry_id)
+        assert entry_id in svc.entries  # logically freed, memory retained
+        epoch.drain()
+        assert entry_id not in svc.entries
+
+    def test_page_mode_charges_full_pages(self, nvm):
+        hsit = HSIT(nvm, 16)
+        svc = ScanAwareValueCache(
+            DRAMDevice(DRAM_SPEC), 1 << 20, hsit, EpochManager(), page_mode=True
+        )
+        idx = hsit.allocate()
+        svc.admit(idx, b"k", b"v" * 100)
+        assert svc.used == 4096
+
+    def test_capacity_validation(self, nvm):
+        with pytest.raises(ValueError):
+            ScanAwareValueCache(
+                DRAMDevice(DRAM_SPEC), 0, HSIT(nvm, 4), EpochManager()
+            )
+
+
+class Test2Q:
+    def test_admission_goes_to_inactive(self, env):
+        hsit, _, svc, vs, bg = env
+        _, entry_id, _ = _cache_from_vs(hsit, svc, vs, b"k", b"v")
+        svc.process_background(bg, [vs])
+        assert svc.entries[entry_id].list_name == "inactive"
+
+    def test_second_access_promotes(self, env):
+        hsit, _, svc, vs, bg = env
+        _, entry_id, _ = _cache_from_vs(hsit, svc, vs, b"k", b"v")
+        svc.process_background(bg, [vs])
+        svc.lookup(entry_id)
+        svc.process_background(bg, [vs])
+        assert svc.entries[entry_id].list_name == "active"
+
+    def test_active_list_balanced(self, env):
+        hsit, _, svc, vs, bg = env
+        ids = []
+        for i in range(8):
+            _, eid, _ = _cache_from_vs(hsit, svc, vs, b"k%d" % i, b"v" * 400)
+            ids.append(eid)
+        svc.process_background(bg, [vs])
+        for eid in ids:
+            svc.lookup(eid)
+        svc.process_background(bg, [vs])
+        # active share is 50% of 4096 = 2048 -> at most ~5 x 400B active
+        assert svc.active_bytes <= svc.capacity * 0.5 + 400
+
+    def test_eviction_from_inactive_when_over_capacity(self, env):
+        hsit, _, svc, vs, bg = env
+        entries = []
+        for i in range(15):
+            _, eid, _ = _cache_from_vs(hsit, svc, vs, b"k%02d" % i, b"v" * 400)
+            entries.append(eid)
+        svc.process_background(bg, [vs])
+        assert svc.used <= svc.capacity
+        assert svc.evictions > 0
+        # oldest admissions evicted first
+        assert svc.lookup(entries[0]) is None
+        assert svc.lookup(entries[-1]) is not None
+
+    def test_eviction_clears_hsit_word(self, env):
+        hsit, _, svc, vs, bg = env
+        first_idx, first_eid, _ = _cache_from_vs(hsit, svc, vs, b"k0", b"v" * 2000)
+        _cache_from_vs(hsit, svc, vs, b"k1", b"v" * 2000)
+        _cache_from_vs(hsit, svc, vs, b"k2", b"v" * 2000)
+        svc.process_background(bg, [vs])
+        assert hsit.read_svc(first_idx) is None
+
+
+class TestScanChains:
+    def test_link_and_chain_walk(self, env):
+        hsit, _, svc, vs, _ = env
+        ids = []
+        for i in range(5):
+            _, eid, _ = _cache_from_vs(hsit, svc, vs, b"k%d" % i, b"v")
+            ids.append(eid)
+        svc.link_scan_chain(ids)
+        chain = svc._chain_of(svc.entries[ids[2]])
+        assert [e.entry_id for e in chain] == ids
+
+    def test_linking_disabled_when_not_scan_aware(self, nvm):
+        hsit = HSIT(nvm, 64)
+        svc = ScanAwareValueCache(
+            DRAMDevice(DRAM_SPEC), 1 << 20, hsit, EpochManager(), scan_aware=False
+        )
+        ids = []
+        for i in range(3):
+            idx = hsit.allocate()
+            ids.append(svc.admit(idx, b"k%d" % i, b"v"))
+        svc.link_scan_chain(ids)
+        assert svc.entries[ids[0]].scan_next is None
+
+    def test_chain_writeback_rewrites_contiguously(self, env):
+        hsit, _, svc, vs, bg = env
+        ids = []
+        idxs = []
+        # interleave writes so VS placement is scattered by key
+        for i in (3, 0, 4, 1, 2):
+            idx, eid, _ = _cache_from_vs(hsit, svc, vs, b"k%d" % i, b"val%d" % i)
+            ids.append((b"k%d" % i, eid))
+            idxs.append((b"k%d" % i, idx))
+        ids.sort()
+        idxs.sort()
+        svc.link_scan_chain([eid for _, eid in ids])
+        svc.process_background(bg, [vs])
+        # force eviction of a chain member
+        svc._writeback_chain(bg, svc.entries[ids[0][1]], [vs])
+        assert svc.scan_writebacks == 1
+        # all members now contiguous in one chunk, ascending offsets
+        locs = [hsit.read_location(idx) for _, idx in idxs]
+        assert len({(l.vs_id, l.chunk_id) for l in locs}) == 1
+        offsets = [l.vs_offset for l in locs]
+        assert offsets == sorted(offsets)
+        # and the data survived the move
+        for (key, idx), loc in zip(idxs, locs):
+            back, value = vs.read_record_raw(loc.chunk_id, loc.vs_offset)
+            assert back == idx
+            assert value == b"val" + key[-1:]
+
+    def test_contiguous_chain_not_rewritten(self, env):
+        hsit, _, svc, vs, bg = env
+        idx_list = [hsit.allocate() for _ in range(4)]
+        records = [(idx, b"v%d" % i) for i, idx in enumerate(idx_list)]
+        placements, _ = vs.write_records(0.0, records)
+        ids = []
+        for (idx, val), (c, o, _s) in zip(records, placements):
+            hsit.publish_location(idx, ptr.encode_vs(0, c, o))
+            ids.append(svc.admit(idx, val, val))
+        svc.link_scan_chain(ids)
+        writes_before = vs.chunk_writes
+        svc._writeback_chain(bg, svc.entries[ids[0]], [vs])
+        assert vs.chunk_writes == writes_before  # already contiguous
+        assert svc.scan_writebacks == 0
+
+    def test_chain_members_stay_cached_after_writeback(self, env):
+        hsit, _, svc, vs, bg = env
+        ids = []
+        for i in (2, 0, 1):
+            _, eid, _ = _cache_from_vs(hsit, svc, vs, b"k%d" % i, b"w%d" % i)
+            ids.append(eid)
+        svc.process_background(bg, [vs])
+        svc.link_scan_chain(sorted(ids))
+        victim = svc.entries[ids[0]]
+        svc._writeback_chain(bg, victim, [vs])
+        live = [eid for eid in ids if svc.lookup(eid) is not None]
+        assert len(live) == 2  # only the victim left the cache
+
+
+def test_crash_empties_cache(env):
+    hsit, _, svc, vs, _ = env
+    _cache_from_vs(hsit, svc, vs, b"k", b"v")
+    svc.crash()
+    assert len(svc) == 0
+    assert svc.used == 0

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.core.tcq import (
+    MODE_SYNC,
+    MODE_THREAD_COMBINING,
+    MODE_TIMEOUT_ASYNC,
+    ThreadCombiner,
+)
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+from repro.storage.iouring import IORequest, IOUring
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from repro.storage.ssd import SSDDevice
+
+MB = 1024**2
+
+
+@pytest.fixture
+def ring():
+    return IOUring(SSDDevice(FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB)), 64)
+
+
+def _read(offset=0, size=1024):
+    return IORequest("read", offset, size)
+
+
+class TestModes:
+    def test_invalid_mode(self, ring):
+        with pytest.raises(ValueError):
+            ThreadCombiner(ring, mode="bogus")
+
+    def test_sync_mode_waits_whole_batch(self, ring):
+        combiner = ThreadCombiner(ring, mode=MODE_SYNC)
+        t = VThread(0)
+        reqs = [_read(i * 4096) for i in range(4)]
+        done = combiner.read(t, reqs)
+        assert t.now == done == max(r.completion for r in reqs)
+
+    def test_empty_request_list(self, ring):
+        combiner = ThreadCombiner(ring)
+        t = VThread(0)
+        assert combiner.read(t, []) == t.now
+
+
+class TestCombining:
+    def test_lone_reader_pays_window_plus_device(self, ring):
+        combiner = ThreadCombiner(ring, combine_window=1.5e-6)
+        t = VThread(0)
+        combiner.read(t, [_read()])
+        # window + syscall + ~50us device latency
+        assert 50e-6 < t.now < 60e-6
+
+    def test_concurrent_readers_share_batch(self, ring):
+        clock = VirtualClock()
+        combiner = ThreadCombiner(ring, combine_window=2e-6)
+        leader = VThread(0, clock)
+        follower = VThread(1, clock)
+        follower.now = 0.5e-6  # arrives within the window
+        combiner.read(leader, [_read(0)])
+        combiner.read(follower, [_read(4096)])
+        assert combiner.batches == 1
+        assert combiner.average_batch() == pytest.approx(2.0)
+
+    def test_late_arrival_starts_new_batch(self, ring):
+        clock = VirtualClock()
+        combiner = ThreadCombiner(ring, combine_window=1e-6)
+        a, b = VThread(0, clock), VThread(1, clock)
+        b.now = 100e-6
+        combiner.read(a, [_read(0)])
+        combiner.read(b, [_read(4096)])
+        assert combiner.batches == 2
+
+    def test_coalescing_limit_respected(self, ring):
+        combiner = ThreadCombiner(ring, combine_window=1e-3)
+        threads = [VThread(i) for i in range(3)]
+        # each brings 30 requests; QD 64 -> third thread overflows
+        for t in threads:
+            combiner.read(t, [_read(i * 4096) for i in range(30)])
+        assert combiner.batches == 2
+
+    def test_follower_cost_lower_than_leader(self, ring):
+        clock = VirtualClock()
+        combiner = ThreadCombiner(ring, combine_window=5e-6)
+        leader, follower = VThread(0, clock), VThread(1, clock)
+        follower.now = 1e-6
+        combiner.read(leader, [_read(0)])
+        combiner.read(follower, [_read(4096)])
+        # follower arrived later but finishes about the same time
+        assert abs(leader.now - follower.now) < 5e-6
+
+    def test_read_one_returns_payload(self, ring):
+        ring.device.write_raw(0, b"payload!")
+        combiner = ThreadCombiner(ring)
+        t = VThread(0)
+        data = combiner.read_one(t, _read(0, 8))
+        assert data == b"payload!"
+
+
+class TestTimeoutStrawman:
+    def test_ta_latency_includes_timeout(self, ring):
+        combiner = ThreadCombiner(ring, mode=MODE_TIMEOUT_ASYNC, timeout_window=100e-6)
+        t = VThread(0)
+        combiner.read(t, [_read()])
+        assert t.now > 100e-6
+
+    def test_tc_beats_ta_for_lone_reader(self, ring):
+        tc = ThreadCombiner(ring, mode=MODE_THREAD_COMBINING)
+        ta = ThreadCombiner(
+            IOUring(SSDDevice(FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB)), 64),
+            mode=MODE_TIMEOUT_ASYNC,
+        )
+        t1, t2 = VThread(0), VThread(1)
+        tc.read(t1, [_read()])
+        ta.read(t2, [_read()])
+        assert t1.now < t2.now
+
+
+def test_average_batch_empty(ring):
+    assert ThreadCombiner(ring).average_batch() == 0.0

@@ -1,0 +1,156 @@
+import pytest
+
+from repro.core.value_storage import ValueStorage
+from repro.storage.base import StorageError
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from repro.storage.ssd import SSDDevice
+
+MB = 1024**2
+CHUNK = 16 * 1024
+
+
+@pytest.fixture
+def vs(ssd):
+    return ValueStorage(0, ssd, chunk_size=CHUNK)
+
+
+class TestWriteRead:
+    def test_single_record_roundtrip(self, vs):
+        placements, done = vs.write_records(0.0, [(7, b"hello-value")])
+        assert done > 0
+        ((chunk_id, offset, size),) = placements
+        assert size == 11
+        back, value = vs.read_record_raw(chunk_id, offset)
+        assert (back, value) == (7, b"hello-value")
+
+    def test_records_pack_into_one_chunk(self, vs):
+        records = [(i, bytes([i]) * 100) for i in range(20)]
+        placements, _ = vs.write_records(0.0, records)
+        assert len({c for c, _, _ in placements}) == 1
+        for (idx, val), (c, o, _s) in zip(records, placements):
+            assert vs.read_record_raw(c, o) == (idx, val)
+
+    def test_spill_to_second_chunk(self, vs):
+        big = CHUNK // 3
+        records = [(i, b"x" * big) for i in range(4)]
+        placements, _ = vs.write_records(0.0, records)
+        assert len({c for c, _, _ in placements}) == 2
+
+    def test_record_too_large(self, vs):
+        with pytest.raises(StorageError):
+            vs.write_records(0.0, [(0, b"x" * (CHUNK + 1))])
+
+    def test_record_request_sizes(self, vs):
+        ((chunk_id, offset, _),) = vs.write_records(0.0, [(1, b"abc")])[0]
+        req = vs.record_request(chunk_id, offset)
+        assert req.size == 12 + 3
+        assert vs.slot_size(chunk_id, offset) == 3
+
+    def test_parse_record(self, vs):
+        raw = (5).to_bytes(8, "little") + (3).to_bytes(4, "little") + b"xyz!!"
+        assert ValueStorage.parse_record(raw) == (5, b"xyz")
+
+    def test_unknown_slot_rejected(self, vs):
+        with pytest.raises(StorageError):
+            vs.record_request(0, 0)
+
+
+class TestValidityBitmap:
+    def test_new_records_valid(self, vs):
+        ((c, o, _),) = vs.write_records(0.0, [(1, b"v")])[0]
+        assert vs.is_valid(c, o)
+
+    def test_invalidate(self, vs):
+        placements, _ = vs.write_records(0.0, [(1, b"a"), (2, b"b")])
+        c, o, _ = placements[0]
+        vs.invalidate(c, o)
+        assert not vs.is_valid(c, o)
+
+    def test_chunk_freed_when_empty(self, vs):
+        placements, _ = vs.write_records(0.0, [(1, b"a")])
+        free_before = vs.free_chunks
+        c, o, _ = placements[0]
+        vs.invalidate(c, o)
+        assert vs.free_chunks == free_before + 1
+
+    def test_double_invalidate_harmless(self, vs):
+        placements, _ = vs.write_records(0.0, [(1, b"a"), (2, b"b")])
+        c, o, _ = placements[0]
+        vs.invalidate(c, o)
+        vs.invalidate(c, o)
+        assert vs.used_chunks == 1
+
+
+class TestGC:
+    def test_victims_are_least_live(self, vs):
+        p1, _ = vs.write_records(0.0, [(i, b"x" * 200) for i in range(10)])
+        p2, _ = vs.write_records(0.0, [(i + 10, b"x" * 200) for i in range(10)])
+        chunk1 = p1[0][0]
+        chunk2 = p2[0][0]
+        for c, o, _ in p1[:8]:
+            vs.invalidate(c, o)
+        victims = vs.gc_victims(1)
+        assert victims == [chunk1]
+
+    def test_live_records_of(self, vs):
+        placements, _ = vs.write_records(0.0, [(1, b"a"), (2, b"b")])
+        c, o, _ = placements[0]
+        vs.invalidate(c, o)
+        live = vs.live_records_of(c)
+        assert len(live) == 1
+        assert live[0].hsit_idx == 2
+
+    def test_live_records_of_unknown_chunk(self, vs):
+        assert vs.live_records_of(12345) == []
+
+
+class TestSyncAppend:
+    def test_sync_append_roundtrip(self, vs, thread):
+        chunk_id, offset = vs.append_record_sync(thread, 5, b"sync-value")
+        assert vs.read_record_raw(chunk_id, offset) == (5, b"sync-value")
+        assert thread.now > 0
+
+    def test_sync_appends_share_chunk(self, vs, thread):
+        c1, _ = vs.append_record_sync(thread, 1, b"a" * 100)
+        c2, _ = vs.append_record_sync(thread, 2, b"b" * 100)
+        assert c1 == c2
+
+    def test_sync_append_rolls_chunk_when_full(self, vs, thread):
+        big = CHUNK // 2
+        c1, _ = vs.append_record_sync(thread, 1, b"a" * big)
+        c2, _ = vs.append_record_sync(thread, 2, b"b" * big)
+        assert c1 != c2
+
+
+class TestRebuild:
+    def test_rebuild_from_live_map(self, vs, ssd):
+        placements, _ = vs.write_records(0.0, [(1, b"aa"), (2, b"bb"), (3, b"cc")])
+        live = {
+            (c, o): (idx, s)
+            for (idx, _v), (c, o, s) in zip([(1, b"aa"), (2, b"bb"), (3, b"cc")], placements)
+            if idx != 2
+        }
+        vs.rebuild_from(live)
+        c, o, s = placements[0]
+        assert vs.is_valid(c, o)
+        with pytest.raises(StorageError):
+            vs.is_valid(placements[1][0], placements[1][1])
+        assert vs.read_record_raw(c, o) == (1, b"aa")
+
+    def test_rebuild_frees_unreferenced_chunks(self, vs):
+        vs.write_records(0.0, [(1, b"x")])
+        vs.rebuild_from({})
+        assert vs.used_chunks == 0
+        assert vs.free_chunks == vs.num_chunks
+
+
+def test_chunk_size_validation(ssd):
+    with pytest.raises(ValueError):
+        ValueStorage(0, ssd, chunk_size=100)
+
+
+def test_space_stats(vs):
+    assert vs.free_fraction() == 1.0
+    vs.write_records(0.0, [(1, b"x")])
+    assert vs.used_bytes() == CHUNK
+    assert vs.free_fraction() < 1.0

@@ -1,0 +1,129 @@
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.pactree import PACTree
+from repro.sim.vthread import VThread
+from repro.storage.nvm import NVMDevice
+
+
+@pytest.fixture
+def tree(nvm):
+    return PACTree(nvm, leaf_capacity=8)
+
+
+class TestBasics:
+    def test_empty_lookup(self, tree):
+        assert tree.lookup(b"nope") is None
+        assert len(tree) == 0
+
+    def test_insert_lookup(self, tree):
+        assert tree.insert(b"key", 7)
+        assert tree.lookup(b"key") == 7
+        assert len(tree) == 1
+
+    def test_overwrite(self, tree):
+        tree.insert(b"key", 1)
+        assert not tree.insert(b"key", 2)
+        assert tree.lookup(b"key") == 2
+        assert len(tree) == 1
+
+    def test_delete(self, tree):
+        tree.insert(b"key", 1)
+        assert tree.delete(b"key")
+        assert not tree.delete(b"key")
+        assert tree.lookup(b"key") is None
+
+    def test_leaf_capacity_validation(self, nvm):
+        with pytest.raises(ValueError):
+            PACTree(nvm, leaf_capacity=2)
+
+
+class TestSplitsAndScan:
+    def test_splits_preserve_order(self, tree):
+        keys = [f"k{i:04d}".encode() for i in range(300)]
+        shuffled = keys[:]
+        random.Random(3).shuffle(shuffled)
+        for i, k in enumerate(shuffled):
+            tree.insert(k, i)
+        assert tree.splits > 0
+        assert [k for k, _ in tree.items()] == keys
+
+    def test_scan_from_start(self, tree):
+        for i in range(100):
+            tree.insert(f"k{i:03d}".encode(), i)
+        got = tree.scan(b"k050", 10)
+        assert [s for _, s in got] == list(range(50, 60))
+
+    def test_scan_past_end(self, tree):
+        tree.insert(b"a", 1)
+        assert tree.scan(b"z", 5) == []
+
+    def test_scan_zero_count(self, tree):
+        tree.insert(b"a", 1)
+        assert tree.scan(b"a", 0) == []
+
+    def test_scan_spans_leaves(self, tree):
+        for i in range(64):
+            tree.insert(f"k{i:02d}".encode(), i)
+        got = tree.scan(b"k00", 64)
+        assert len(got) == 64
+
+    def test_timed_operations_advance_thread(self, tree, thread):
+        tree.insert(b"k", 1, thread)
+        assert thread.now > 0
+        before = thread.now
+        tree.lookup(b"k", thread)
+        assert thread.now > before
+
+
+class TestCrashRecovery:
+    def test_committed_inserts_survive(self, tree):
+        for i in range(100):
+            tree.insert(f"k{i:03d}".encode(), i)
+        tree.crash()
+        assert tree.recover() == 100
+        for i in range(100):
+            assert tree.lookup(f"k{i:03d}".encode()) == i
+
+    def test_search_layer_rebuilt(self, tree):
+        for i in range(200):
+            tree.insert(f"k{i:03d}".encode(), i)
+        tree.crash()
+        tree.recover()
+        assert tree.scan(b"k100", 5) == [
+            (f"k{i:03d}".encode(), i) for i in range(100, 105)
+        ]
+
+    def test_deletes_survive(self, tree):
+        for i in range(50):
+            tree.insert(f"k{i:02d}".encode(), i)
+        tree.delete(b"k25")
+        tree.crash()
+        tree.recover()
+        assert tree.lookup(b"k25") is None
+        assert tree.lookup(b"k24") == 24
+
+    def test_nvm_footprint_grows_with_leaves(self, tree):
+        before = tree.nvm_bytes()
+        for i in range(200):
+            tree.insert(f"k{i:03d}".encode(), i)
+        assert tree.nvm_bytes() > before
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.binary(min_size=1, max_size=10), st.integers(min_value=0, max_value=2**40),
+        min_size=1, max_size=150,
+    )
+)
+def test_property_matches_dict_and_survives_crash(entries):
+    tree = PACTree(NVMDevice(), leaf_capacity=8)
+    for k, v in entries.items():
+        tree.insert(k, v)
+    assert list(tree.items()) == sorted(entries.items())
+    tree.crash()
+    tree.recover()
+    assert list(tree.items()) == sorted(entries.items())

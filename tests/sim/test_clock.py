@@ -1,0 +1,25 @@
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_observe_advances():
+    clock = VirtualClock()
+    clock.observe(1.5)
+    assert clock.now == 1.5
+
+
+def test_observe_never_goes_backwards():
+    clock = VirtualClock()
+    clock.observe(2.0)
+    clock.observe(1.0)
+    assert clock.now == 2.0
+
+
+def test_reset():
+    clock = VirtualClock()
+    clock.observe(3.0)
+    clock.reset()
+    assert clock.now == 0.0

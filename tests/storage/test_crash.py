@@ -1,0 +1,45 @@
+import pytest
+
+from repro.storage.crash import CrashPoint, CrashScenario, SimulatedCrash
+from repro.storage.dram import DRAMDevice
+from repro.storage.nvm import NVMDevice
+from repro.storage.specs import DRAM_SPEC
+
+
+def test_register_requires_crashable():
+    scenario = CrashScenario()
+    with pytest.raises(TypeError):
+        scenario.register(object())
+
+
+def test_power_failure_hits_all_components():
+    scenario = CrashScenario()
+    nvm = scenario.register(NVMDevice())
+    dram = scenario.register(DRAMDevice(DRAM_SPEC))
+    addr = nvm.alloc(64)
+    nvm.store(None, addr, b"lost")
+    dram.allocate(100)
+    scenario.power_failure()
+    assert nvm.load(None, addr, 4) == b"\0\0\0\0"
+    assert dram.used == 0
+    assert scenario.crash_count == 1
+
+
+def test_crash_point_fires_only_when_armed():
+    scenario = CrashScenario()
+    point = CrashPoint(scenario)
+    point.maybe_crash("after-write")  # unarmed: no-op
+    point.arm("after-write")
+    with pytest.raises(SimulatedCrash):
+        point.maybe_crash("after-write")
+    assert point.fired == "after-write"
+    # disarms after firing
+    point.maybe_crash("after-write")
+
+
+def test_crash_point_ignores_other_labels():
+    scenario = CrashScenario()
+    point = CrashPoint(scenario)
+    point.arm("b")
+    point.maybe_crash("a")
+    assert scenario.crash_count == 0

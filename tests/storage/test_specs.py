@@ -1,0 +1,68 @@
+import pytest
+
+from repro.storage.specs import (
+    DEVICE_CATALOG,
+    DRAM_SPEC,
+    FLASH_SSD_GEN4_SPEC,
+    NVM_SPEC,
+    format_catalog,
+)
+
+GB = 1024**3
+TB = 1024**4
+US = 1e-6
+
+
+def test_catalog_has_all_five_devices():
+    assert len(DEVICE_CATALOG) == 5
+
+
+def test_figure1_nvm_numbers():
+    assert NVM_SPEC.read_bandwidth == int(6.8 * GB)
+    assert NVM_SPEC.write_bandwidth == int(1.9 * GB)
+    assert NVM_SPEC.read_latency == pytest.approx(0.30 * US)
+    assert NVM_SPEC.cost_per_tb == 4096.0
+
+
+def test_figure1_flash_numbers():
+    assert FLASH_SSD_GEN4_SPEC.read_bandwidth == 7 * GB
+    assert FLASH_SSD_GEN4_SPEC.write_bandwidth == 5 * GB
+    assert FLASH_SSD_GEN4_SPEC.read_latency == pytest.approx(50 * US)
+    assert FLASH_SSD_GEN4_SPEC.cost_per_tb == 150.0
+
+
+def test_cost_ratio_nvm_vs_flash_is_27x():
+    """The paper's headline: flash is ~27x cheaper per TB than NVM."""
+    ratio = NVM_SPEC.cost_per_tb / FLASH_SSD_GEN4_SPEC.cost_per_tb
+    assert 27 <= ratio <= 28
+
+
+def test_no_clear_performance_hierarchy():
+    """Figure 1's point: NVM wins latency, flash wins bandwidth."""
+    assert NVM_SPEC.read_latency < FLASH_SSD_GEN4_SPEC.read_latency
+    assert FLASH_SSD_GEN4_SPEC.read_bandwidth > NVM_SPEC.read_bandwidth
+
+
+def test_with_capacity_scales_cost():
+    half = FLASH_SSD_GEN4_SPEC.with_capacity(FLASH_SSD_GEN4_SPEC.capacity // 2)
+    assert half.cost() == pytest.approx(FLASH_SSD_GEN4_SPEC.cost() / 2)
+
+
+def test_with_capacity_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        FLASH_SSD_GEN4_SPEC.with_capacity(0)
+
+
+def test_endurance_gap():
+    """NVM endurance is orders of magnitude above flash (292 vs 0.6 PBW)."""
+    assert NVM_SPEC.endurance_pbw / FLASH_SSD_GEN4_SPEC.endurance_pbw > 400
+
+
+def test_dram_endurance_infinite():
+    assert DRAM_SPEC.endurance_bytes() == float("inf")
+
+
+def test_format_catalog_mentions_every_device():
+    table = format_catalog()
+    for name in DEVICE_CATALOG:
+        assert name in table

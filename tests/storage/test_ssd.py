@@ -1,0 +1,83 @@
+import pytest
+
+from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from repro.storage.ssd import SSDDevice
+
+MB = 1024**2
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, ssd, thread):
+        ssd.write(thread, 4096, b"payload")
+        assert ssd.read(thread, 4096, 7) == b"payload"
+
+    def test_unwritten_space_reads_zero(self, ssd):
+        assert ssd.read_raw(0, 8) == b"\0" * 8
+
+    def test_cross_page_write(self, ssd):
+        data = bytes(range(256)) * 40  # 10240 bytes, crosses pages
+        ssd.write_raw(4000, data)
+        assert ssd.read_raw(4000, len(data)) == data
+
+    def test_out_of_range(self, ssd):
+        with pytest.raises(StorageError):
+            ssd.read_raw(ssd.capacity, 1)
+        with pytest.raises(StorageError):
+            ssd.write_raw(-1, b"x")
+
+    def test_overwrite(self, ssd):
+        ssd.write_raw(0, b"aaaa")
+        ssd.write_raw(0, b"bb")
+        assert ssd.read_raw(0, 4) == b"bbaa"
+
+
+class TestTiming:
+    def test_read_latency_dominates_small_reads(self, ssd, thread):
+        ssd.read(thread, 0, 1024)
+        # ~50 us device latency for flash
+        assert 45e-6 < thread.now < 80e-6
+
+    def test_write_latency(self, ssd, thread):
+        ssd.write(thread, 0, b"x" * 1024)
+        assert 15e-6 < thread.now < 40e-6
+
+    def test_large_transfer_bandwidth_bound(self, ssd, thread):
+        ssd.read(thread, 0, 64 * MB)
+        floor = 64 * MB / ssd.spec.read_bandwidth
+        assert thread.now >= floor
+
+    def test_async_does_not_block(self, ssd):
+        done = ssd.write_async(0.0, 0, b"x" * 4096)
+        assert done > 0
+        # data is visible immediately (durable at `done`)
+        assert ssd.read_raw(0, 4) == b"xxxx"
+
+    def test_io_counters(self, ssd, thread):
+        ssd.read(thread, 0, 512)
+        ssd.write(thread, 0, b"x")
+        assert ssd.read_ios == 1
+        assert ssd.write_ios == 1
+
+    def test_accounting(self, ssd, thread):
+        ssd.write(thread, 0, b"x" * 100)
+        ssd.read(thread, 0, 100)
+        assert ssd.bytes_written == 100
+        assert ssd.bytes_read == 100
+
+
+class TestScanAndEndurance:
+    def test_scan_time_scales_with_bytes(self, ssd):
+        assert ssd.scan_time(2 * MB) > ssd.scan_time(1 * MB)
+
+    def test_endurance_consumed(self):
+        ssd = SSDDevice(FLASH_SSD_GEN4_SPEC.with_capacity(1024**2))
+        assert ssd.endurance_consumed() == 0.0
+        ssd.bytes_written = int(ssd.spec.endurance_bytes() / 2)
+        assert ssd.endurance_consumed() == pytest.approx(0.5)
+
+    def test_crash_preserves_completed_writes(self, ssd):
+        ssd.write_raw(0, b"safe")
+        ssd.crash()
+        assert ssd.read_raw(0, 4) == b"safe"

@@ -1,0 +1,123 @@
+"""Differential testing: every store must agree with every other.
+
+One random operation schedule is replayed against Prism and all four
+baselines; each result is compared against a dict model after every
+operation.  Any divergence in any engine's visible semantics fails
+here, regardless of which internal mechanism (compaction, GC,
+reclamation, caching, eviction) produced it.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.kvell import KVell, KVellConfig
+from repro.baselines.matrixkv import MatrixKV, MatrixKVConfig
+from repro.baselines.rocksdb_nvm import RocksDBNVM, RocksDBNVMConfig
+from repro.baselines.slmdb import SLMDB, SLMDBConfig
+from repro.core.prism import Prism
+from repro.sim.vthread import VThread
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from tests.conftest import small_prism_config
+
+KB = 1024
+MB = 1024**2
+SPEC = FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB)
+
+
+def _stores():
+    return {
+        "prism": Prism(small_prism_config()),
+        "kvell": KVell(
+            KVellConfig(num_ssds=2, ssd_spec=SPEC, page_cache_bytes=256 * KB)
+        ),
+        "matrixkv": MatrixKV(
+            MatrixKVConfig(
+                num_ssds=2, ssd_spec=SPEC, memtable_bytes=8 * KB,
+                container_bytes=32 * KB, sstable_target_bytes=16 * KB,
+                l1_target_bytes=128 * KB, block_cache_bytes=64 * KB,
+                wal_capacity=1 * MB,
+            )
+        ),
+        "rocksdb-nvm": RocksDBNVM(
+            RocksDBNVMConfig(
+                memtable_bytes=8 * KB, sstable_target_bytes=16 * KB,
+                l1_target_bytes=128 * KB, block_cache_bytes=64 * KB,
+                wal_capacity=1 * MB,
+            )
+        ),
+        "slmdb": SLMDB(
+            SLMDBConfig(
+                num_ssds=2, ssd_spec=SPEC, memtable_bytes=8 * KB,
+                sstable_target_bytes=16 * KB, os_page_cache_bytes=64 * KB,
+            )
+        ),
+    }
+
+
+def _schedule(seed, steps, key_space=150):
+    rng = random.Random(seed)
+    ops = []
+    for step in range(steps):
+        key = b"d%03d" % rng.randrange(key_space)
+        roll = rng.random()
+        if roll < 0.55:
+            ops.append(("put", key, bytes([step % 256]) * rng.randrange(1, 300)))
+        elif roll < 0.8:
+            ops.append(("get", key, None))
+        elif roll < 0.92:
+            ops.append(("scan", key, rng.randrange(1, 10)))
+        else:
+            ops.append(("delete", key, None))
+    return ops
+
+
+@pytest.mark.parametrize("seed", [3, 44])
+def test_all_stores_agree_with_model(seed):
+    stores = _stores()
+    threads = {name: VThread(0, store.clock) for name, store in stores.items()}
+    model = {}
+    for op, key, arg in _schedule(seed, steps=1200):
+        if op == "put":
+            model[key] = arg
+            for name, store in stores.items():
+                store.put(key, arg, threads[name])
+        elif op == "get":
+            expected = model.get(key)
+            for name, store in stores.items():
+                assert store.get(key, threads[name]) == expected, (name, key)
+        elif op == "scan":
+            expected = sorted(
+                (k, v) for k, v in model.items() if k >= key
+            )[:arg]
+            for name, store in stores.items():
+                assert store.scan(key, arg, threads[name]) == expected, (
+                    name,
+                    key,
+                )
+        else:
+            model.pop(key, None)
+            for name, store in stores.items():
+                store.delete(key, threads[name])
+    # final sweep
+    for name, store in stores.items():
+        full = store.scan(b"d", 1000, threads[name])
+        assert full == sorted(model.items()), name
+
+
+def test_flush_preserves_agreement():
+    stores = _stores()
+    threads = {name: VThread(0, store.clock) for name, store in stores.items()}
+    model = {}
+    rng = random.Random(9)
+    for step in range(400):
+        key = b"f%03d" % rng.randrange(80)
+        value = bytes([step % 256]) * 150
+        model[key] = value
+        for name, store in stores.items():
+            store.put(key, value, threads[name])
+    for name, store in stores.items():
+        store.flush()
+    for key, value in model.items():
+        for name, store in stores.items():
+            assert store.get(key, threads[name]) == value, (name, key)

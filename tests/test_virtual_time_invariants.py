@@ -1,0 +1,121 @@
+"""System-wide virtual-time invariants.
+
+The timing model only makes sense if certain properties hold no matter
+what the stores do: thread clocks never go backwards, latencies are
+non-negative, device byte accounting matches what applications wrote,
+and identical runs are bit-for-bit deterministic.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.kvell import KVell, KVellConfig
+from repro.core.prism import Prism
+from repro.sim.vthread import VThread
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+from tests.conftest import small_prism_config
+
+MB = 1024**2
+
+
+def _mixed_ops(store, thread, steps, seed):
+    rng = random.Random(seed)
+    stamps = []
+    for step in range(steps):
+        key = b"v%03d" % rng.randrange(150)
+        roll = rng.random()
+        before = thread.now
+        if roll < 0.5:
+            store.put(key, bytes([step % 256]) * rng.randrange(1, 400), thread)
+        elif roll < 0.8:
+            store.get(key, thread)
+        elif roll < 0.92:
+            store.scan(key, rng.randrange(1, 8), thread)
+        else:
+            store.delete(key, thread)
+        stamps.append((before, thread.now))
+    return stamps
+
+
+class TestMonotonicity:
+    def test_prism_thread_clock_never_regresses(self):
+        store = Prism(small_prism_config())
+        thread = VThread(0, store.clock)
+        stamps = _mixed_ops(store, thread, 1200, seed=1)
+        for before, after in stamps:
+            assert after >= before
+
+    def test_kvell_thread_clock_never_regresses(self):
+        store = KVell(
+            KVellConfig(
+                num_ssds=2,
+                ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(64 * MB),
+                page_cache_bytes=256 * 1024,
+            )
+        )
+        thread = VThread(0, store.clock)
+        stamps = _mixed_ops(store, thread, 800, seed=2)
+        for before, after in stamps:
+            assert after >= before
+
+    def test_global_clock_tracks_max(self):
+        store = Prism(small_prism_config())
+        threads = [VThread(i, store.clock) for i in range(3)]
+        for i, thread in enumerate(threads):
+            store.put(b"k%d" % i, b"v", thread)
+        assert store.clock.now >= max(t.now for t in threads) - 1e-12
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_timing(self):
+        def run():
+            store = Prism(small_prism_config())
+            thread = VThread(0, store.clock)
+            _mixed_ops(store, thread, 600, seed=3)
+            return thread.now, store.stats()
+
+        t1, s1 = run()
+        t2, s2 = run()
+        assert t1 == t2
+        assert s1 == s2
+
+    def test_bench_runner_deterministic(self):
+        from repro.bench import build_prism, preload, run_workload
+        from repro.workloads import WORKLOADS
+
+        def run():
+            store = build_prism(
+                num_threads=4, dataset_bytes=512 * 1024, expected_keys=1500
+            )
+            preload(store, 500, 512, num_threads=4)
+            result = run_workload(
+                store, WORKLOADS["A"], 800, 500, num_threads=4, value_size=512
+            )
+            return result.duration, result.latency.p99()
+
+        assert run() == run()
+
+
+class TestAccounting:
+    def test_prism_device_bytes_cover_app_bytes_after_flush(self):
+        store = Prism(small_prism_config())
+        thread = VThread(0, store.clock)
+        for i in range(200):
+            store.put(b"u%04d" % i, b"x" * 500, thread)  # unique keys
+        store.flush()
+        # Every live unique value must physically exist on flash.
+        assert store.ssd_bytes_written() >= 200 * 500
+
+    def test_latencies_never_negative(self):
+        store = Prism(small_prism_config())
+        thread = VThread(0, store.clock)
+        stamps = _mixed_ops(store, thread, 600, seed=5)
+        assert all(after - before >= 0 for before, after in stamps)
+
+    def test_background_threads_never_outrun_global_clock(self):
+        store = Prism(small_prism_config())
+        thread = VThread(0, store.clock)
+        _mixed_ops(store, thread, 1500, seed=6)
+        for bg in (store._bg_reclaim, store._bg_gc, store._bg_cache):
+            assert bg.now <= store.clock.now + 1e-12

@@ -1,0 +1,112 @@
+from collections import Counter
+
+import pytest
+
+from repro.workloads.generator import (
+    InsertSequence,
+    Op,
+    OpStream,
+    key_index,
+    make_key,
+    make_value,
+)
+from repro.workloads.ycsb import WORKLOADS, YCSB_A, YCSB_C, YCSB_E, YCSB_LOAD
+
+
+class TestKeysValues:
+    def test_key_format(self):
+        assert make_key(7) == b"user000000000007"
+        assert key_index(make_key(12345)) == 12345
+
+    def test_keys_sort_like_indexes(self):
+        keys = [make_key(i) for i in (0, 5, 100, 99999)]
+        assert keys == sorted(keys)
+
+    def test_value_deterministic_and_sized(self):
+        assert make_value(b"k", 100) == make_value(b"k", 100)
+        assert len(make_value(b"k", 100)) == 100
+        assert len(make_value(b"k", 1)) == 1
+
+    def test_value_varies_by_key_and_version(self):
+        assert make_value(b"a", 64) != make_value(b"b", 64)
+        assert make_value(b"a", 64, version=1) != make_value(b"a", 64, version=2)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_value(b"k", 0)
+
+
+class TestOpStream:
+    def test_mix_matches_spec(self):
+        stream = OpStream(YCSB_A, 1000, seed=1)
+        kinds = Counter(op.kind for op in stream.ops(5000))
+        assert abs(kinds["read"] / 5000 - 0.5) < 0.05
+        assert abs(kinds["update"] / 5000 - 0.5) < 0.05
+
+    def test_read_only(self):
+        stream = OpStream(YCSB_C, 1000, seed=2)
+        assert all(op.kind == "read" for op in stream.ops(1000))
+
+    def test_scan_lengths_bounded(self):
+        stream = OpStream(YCSB_E, 1000, seed=3)
+        scans = [op for op in stream.ops(2000) if op.kind == "scan"]
+        assert scans
+        assert all(1 <= op.scan_length <= YCSB_E.max_scan_length for op in scans)
+
+    def test_updates_carry_values(self):
+        stream = OpStream(YCSB_A, 1000, value_size=256, seed=4)
+        for op in stream.ops(500):
+            if op.kind == "update":
+                assert op.value is not None and len(op.value) == 256
+
+    def test_load_uses_insert_sequence(self):
+        seq = InsertSequence(0, shuffle_span=0)
+        stream = OpStream(YCSB_LOAD, 1000, seed=5, insert_seq=seq)
+        ops = list(stream.ops(100))
+        assert all(op.kind == "insert" for op in ops)
+        assert sorted(key_index(op.key) for op in ops) == list(range(100))
+
+    def test_unknown_distribution_rejected(self):
+        bad = YCSB_C.__class__(name="X", read=1.0, distribution="gauss")
+        with pytest.raises(ValueError):
+            OpStream(bad, 10)
+
+
+class TestInsertSequence:
+    def test_sequential(self):
+        seq = InsertSequence()
+        assert [seq.next() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_shuffled_window_is_permutation(self):
+        seq = InsertSequence(0, shuffle_span=64, seed=1)
+        drawn = [seq.next() for _ in range(128)]
+        assert sorted(drawn) == list(range(128))
+        assert drawn != list(range(128))  # actually shuffled
+
+    def test_start_offset(self):
+        seq = InsertSequence(1000)
+        assert seq.next() == 1000
+
+
+class TestSpecs:
+    def test_all_workloads_defined(self):
+        assert set(WORKLOADS) == {"LOAD", "A", "B", "C", "D", "E"}
+
+    def test_paper_mixes(self):
+        assert WORKLOADS["A"].read == 0.5 and WORKLOADS["A"].update == 0.5
+        assert WORKLOADS["B"].read == 0.95
+        assert WORKLOADS["C"].read == 1.0
+        assert WORKLOADS["D"].distribution == "latest"
+        assert WORKLOADS["E"].scan == 0.95
+        assert WORKLOADS["LOAD"].insert == 1.0
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YCSB_A.__class__(name="bad", read=0.7, update=0.7)
+
+    def test_nutanix_ratios(self):
+        from repro.workloads.nutanix import NUTANIX
+
+        assert NUTANIX.update == 0.57
+        assert NUTANIX.read == 0.41
+        assert NUTANIX.scan == 0.02

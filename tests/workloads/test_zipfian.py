@@ -1,0 +1,106 @@
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.zipfian import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+
+class TestZipfian:
+    def test_in_range(self):
+        gen = ZipfianGenerator(1000, 0.99, random.Random(1))
+        assert all(0 <= gen.next() < 1000 for _ in range(5000))
+
+    def test_rank_zero_is_most_popular(self):
+        gen = ZipfianGenerator(1000, 0.99, random.Random(2))
+        counts = Counter(gen.next() for _ in range(20000))
+        assert counts[0] == max(counts.values())
+
+    def test_higher_theta_more_skew(self):
+        def top1_share(theta):
+            gen = ZipfianGenerator(1000, theta, random.Random(3))
+            counts = Counter(gen.next() for _ in range(20000))
+            return counts[0] / 20000
+
+        assert top1_share(1.2) > top1_share(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=0)
+
+    def test_deterministic_with_seed(self):
+        a = ZipfianGenerator(100, 0.99, random.Random(7))
+        b = ZipfianGenerator(100, 0.99, random.Random(7))
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 10_000), theta=st.floats(0.3, 1.5).filter(lambda x: abs(x - 1) > 1e-3))
+    def test_property_in_range(self, n, theta):
+        gen = ZipfianGenerator(n, theta, random.Random(0))
+        assert all(0 <= gen.next() < n for _ in range(200))
+
+
+class TestScrambled:
+    def test_in_range(self):
+        gen = ScrambledZipfianGenerator(500, 0.99, random.Random(1))
+        assert all(0 <= gen.next() < 500 for _ in range(2000))
+
+    def test_hot_keys_not_clustered(self):
+        """Scrambling spreads the popular keys across the key space."""
+        gen = ScrambledZipfianGenerator(1000, 0.99, random.Random(4))
+        counts = Counter(gen.next() for _ in range(20000))
+        top10 = [k for k, _ in counts.most_common(10)]
+        assert max(top10) - min(top10) > 100
+
+    def test_still_skewed(self):
+        gen = ScrambledZipfianGenerator(1000, 0.99, random.Random(5))
+        counts = Counter(gen.next() for _ in range(20000))
+        top_share = sum(c for _, c in counts.most_common(100)) / 20000
+        assert top_share > 0.3  # top 10% of keys get a large share
+
+
+class TestUniform:
+    def test_roughly_flat(self):
+        gen = UniformGenerator(100, random.Random(6))
+        counts = Counter(gen.next() for _ in range(20000))
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestLatest:
+    def test_concentrates_on_small_hot_set(self):
+        gen = LatestGenerator(1000, 0.99, random.Random(8))
+        counts = Counter(gen.next() for _ in range(20000))
+        hot_share = sum(c for _, c in counts.most_common(50)) / 20000
+        assert hot_share > 0.5
+
+    def test_hot_set_scattered_across_keyspace(self):
+        gen = LatestGenerator(1000, 0.99, random.Random(8))
+        counts = Counter(gen.next() for _ in range(20000))
+        top10 = [k for k, _ in counts.most_common(10)]
+        assert max(top10) - min(top10) > 200
+
+    def test_grow_extends_range(self):
+        gen = LatestGenerator(100, 0.99, random.Random(9))
+        gen.grow(200)
+        assert gen.n == 200
+        counts = Counter(gen.next() for _ in range(5000))
+        assert any(k > 100 for k in counts)  # new range is used
+
+    def test_grow_ignores_shrink(self):
+        gen = LatestGenerator(100, 0.99, random.Random(10))
+        gen.grow(50)
+        assert gen.n == 100
