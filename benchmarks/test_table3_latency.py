@@ -51,3 +51,51 @@ def test_prism_avg_beats_lsm_stores_on_writes(results):
             results["Prism"]["A"].latency.average()
             < results[store]["A"].latency.average()
         ), store
+
+
+def test_metrics_histograms_match_recorders(results):
+    """Every run carries a metrics snapshot whose ``op.all`` histogram
+    agrees with the exact-sample recorder (log buckets are ~6% wide)."""
+    for store, by_wl in results.items():
+        for wl, run in by_wl.items():
+            hist = run.histogram("op.all")
+            assert hist["count"] == run.ops, (store, wl)
+            for key, exact in (
+                ("p50_us", run.latency.median()),
+                ("p99_us", run.latency.p99()),
+            ):
+                approx = hist[key]
+                tol = max(0.12 * exact, 0.5)
+                assert abs(approx - exact) <= tol, (store, wl, key, approx, exact)
+
+
+def test_prism_metrics_attribute_phase_latency(results):
+    """Prism runs break op latency into traced phases (the metrics
+    layer's reason to exist): the put path must show index lookup and
+    PWB append time, the read path its SSD wait."""
+    metrics = results["Prism"]["A"].metrics
+    hists = metrics["histograms"]
+    for phase in ("phase.put.index_lookup", "phase.put.pwb_append",
+                  "phase.put.publish", "phase.get.index_lookup"):
+        assert phase in hists, phase
+        assert hists[phase]["count"] > 0, phase
+    banner("Prism YCSB-A phase attribution (us)")
+    for name in sorted(hists):
+        if name.startswith("phase."):
+            h = hists[name]
+            print(f"  {name:32} n={h['count']:7} avg={h['avg_us']:8.2f} "
+                  f"p99={h['p99_us']:8.2f}")
+
+
+def test_prism_metrics_sample_devices(results):
+    """Per-SSD queue depth and utilization series are present and sane."""
+    metrics = results["Prism"]["A"].metrics
+    series = metrics["series"]
+    ssd_ids = {name.split(".")[1] for name in series if name.startswith("ssd.")}
+    assert len(ssd_ids) >= 1
+    for vs_id in ssd_ids:
+        qd = series[f"ssd.{vs_id}.queue_depth"]
+        util = series[f"ssd.{vs_id}.utilization"]
+        assert len(qd["t"]) > 2
+        assert all(v >= 0 for v in qd["v"])
+        assert all(0.0 <= v <= 1.0 for v in util["v"])

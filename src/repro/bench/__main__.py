@@ -16,26 +16,33 @@ import sys
 
 from repro.bench import experiments as ex
 from repro.bench.extensions import media_matrix
-from repro.bench.report import latency_table, throughput_table
+from repro.bench.report import (
+    latency_table,
+    metrics_payload,
+    throughput_table,
+    write_metrics_json,
+)
 
 
-def _fig7(args) -> None:
+def _fig7(args):
     results = ex.ycsb_comparison()
     print(throughput_table("Figure 7 — YCSB throughput", results,
                            ("LOAD", "A", "B", "C", "D", "E")))
     print()
     print(latency_table("Table 3 — latency (us)", results, ("A", "C", "E")))
+    return results
 
 
-def _fig8(args) -> None:
+def _fig8(args):
     results = ex.slmdb_comparison()
     print(throughput_table("Figure 8 — Prism vs SLM-DB", results,
                            ("LOAD", "A", "B", "C", "D", "E")))
     print()
     print(latency_table("Table 4 — latency (us)", results, ("A", "C", "E")))
+    return results
 
 
-def _fig9(args) -> None:
+def _fig9(args):
     results = ex.skew_sweep()
     thetas = sorted(next(iter(next(iter(results.values())).values())))
     print("Figure 9 — relative throughput vs Zipfian coefficient")
@@ -44,9 +51,10 @@ def _fig9(args) -> None:
             base = series[0.99].throughput
             rel = " ".join(f"{t}:{series[t].throughput / base:5.2f}" for t in thetas)
             print(f"  {store:14} {wl:3} {rel}")
+    return results
 
 
-def _fig10(args) -> None:
+def _fig10(args):
     big = ex.large_dataset()
     print(throughput_table("Figure 10a — large dataset", big,
                            ("A", "B", "C", "D", "E")))
@@ -54,9 +62,10 @@ def _fig10(args) -> None:
     print("\nFigure 10b — Nutanix mix")
     for name, result in nutanix.items():
         print(f"  {name:8} {result.kops:10.1f} Kops/s")
+    return {"large": big, "nutanix": nutanix}
 
 
-def _fig11(args) -> None:
+def _fig11(args):
     results = ex.thread_combining_sweep()
     print("Figure 11 — TC vs TA (YCSB-C)")
     print(f"{'QD':>4} {'TC Kops':>10} {'TA Kops':>10} {'TC avg':>8} {'TA avg':>8}")
@@ -64,9 +73,10 @@ def _fig11(args) -> None:
         tc, ta = results["TC"][qd], results["TA"][qd]
         print(f"{qd:>4} {tc.kops:>10.1f} {ta.kops:>10.1f} "
               f"{tc.latency.average():>8.1f} {ta.latency.average():>8.1f}")
+    return results
 
 
-def _fig12(args) -> None:
+def _fig12(args):
     results = ex.waf_sweep()
     print("Figure 12 — SSD-level WAF vs skew")
     for size, by_store in results.items():
@@ -74,18 +84,20 @@ def _fig12(args) -> None:
         for store, series in by_store.items():
             row = " ".join(f"{t}:{w:5.2f}" for t, w in sorted(series.items()))
             print(f"  {store:10} {row}")
+    return results
 
 
-def _fig13(args) -> None:
+def _fig13(args):
     results = ex.ssd_scaling()
     print("Figures 13–14 — #SSD scaling")
     for store, by_wl in results.items():
         for wl, series in by_wl.items():
             row = " ".join(f"{n}:{r.kops:7.1f}" for n, r in sorted(series.items()))
             print(f"  {store:8} {wl:3} {row}  Kops")
+    return results
 
 
-def _fig15(args) -> None:
+def _fig15(args):
     results = ex.buffer_size_sweep()
     print("Figure 15 — buffer sizing")
     for size, runs in sorted(results["pwb"].items()):
@@ -94,18 +106,20 @@ def _fig15(args) -> None:
     for size, runs in sorted(results["svc"].items()):
         print(f"  SVC {size >> 20:3}MB  C {runs['C'].kops:8.1f}  "
               f"E {runs['E'].kops:8.1f} Kops")
+    return results
 
 
-def _fig16(args) -> None:
+def _fig16(args):
     results = ex.multicore_scalability()
     print("Figure 16 — multicore scalability (Kops)")
     for store, by_wl in results.items():
         for wl, series in by_wl.items():
             row = " ".join(f"{t}:{r.kops:7.1f}" for t, r in sorted(series.items()))
             print(f"  {store:14} {wl:3} {row}")
+    return results
 
 
-def _fig17(args) -> None:
+def _fig17(args):
     result, store = ex.gc_timeline()
     print("Figure 17 — throughput timeline under GC")
     series = result.timeline.series()
@@ -114,30 +128,34 @@ def _fig17(args) -> None:
         marks = " <- GC" if i in result.timeline.events else ""
         print(f"  {i:4} {'#' * int(40 * rate / peak)}{marks}")
     print(f"  GC runs: {sum(vs.gc_runs for vs in store.storages)}")
+    return {"timeline": result}
 
 
-def _ablations(args) -> None:
+def _ablations(args):
     results = ex.ablations()
     print("§7.6 — ablations (Kops)")
     for variant, runs in results.items():
         row = " ".join(f"{wl}:{runs[wl].kops:8.1f}" for wl in ("A", "C", "E"))
         print(f"  {variant:18} {row}")
+    return results
 
 
-def _scalars(args) -> None:
+def _scalars(args):
     space = ex.nvm_space()
     print(f"NVM bytes/key: {space['bytes_per_key']:.1f} (paper ~54)")
     rec = ex.recovery_comparison()
     print(f"recovery: Prism {rec['prism_seconds'] * 1e3:.3f} ms "
           f"vs KVell {rec['kvell_seconds'] * 1e3:.3f} ms")
+    return {"nvm_space": space, "recovery": rec}
 
 
-def _media(args) -> None:
+def _media(args):
     results = media_matrix()
     print("Extension — emerging media (Kops)")
     for label, runs in results.items():
         row = " ".join(f"{wl}:{runs[wl].kops:8.1f}" for wl in ("A", "C", "E"))
         print(f"  {label:22} {row}")
+    return results
 
 
 COMMANDS = {
@@ -166,6 +184,11 @@ def main(argv=None) -> int:
         "--scale", type=float, default=None,
         help="dataset/op multiplier (sets REPRO_SCALE)",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="metrics JSON destination (default <experiment>.metrics.json; "
+             "'none' disables)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(COMMANDS):
@@ -173,7 +196,12 @@ def main(argv=None) -> int:
         return 0
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
-    COMMANDS[args.experiment](args)
+    results = COMMANDS[args.experiment](args)
+    if results is not None and args.metrics_out != "none":
+        out = args.metrics_out or f"{args.experiment}.metrics.json"
+        payload = metrics_payload(args.experiment, results)
+        write_metrics_json(out, payload)
+        print(f"\nmetrics: {out} ({len(payload['runs'])} runs)")
     return 0
 
 

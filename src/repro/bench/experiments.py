@@ -188,7 +188,7 @@ def slmdb_comparison(
 # Figure 9: skew sensitivity
 # ----------------------------------------------------------------------
 def skew_sweep(
-    thetas: Sequence[float] = (0.5, 0.9, 0.99, 1.2),
+    thetas: Sequence[float] = (0.5, 0.9, 0.99, 1.2, 1.5),
     workloads: Sequence[str] = ("A", "B", "C", "D", "E"),
     num_keys: Optional[int] = None,
     num_ops: Optional[int] = None,

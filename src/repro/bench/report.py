@@ -1,8 +1,9 @@
-"""Paper-style result tables."""
+"""Paper-style result tables and machine-readable metrics dumps."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import RunResult
 
@@ -79,3 +80,33 @@ def latency_table(
 def paper_expectation(label: str, expected: str, measured: str) -> str:
     """One line of paper-vs-measured comparison for EXPERIMENTS.md."""
     return f"  {label:40} paper: {expected:20} measured: {measured}"
+
+
+def iter_run_results(obj, prefix: Tuple = ()) -> Iterator[Tuple[str, RunResult]]:
+    """Walk an arbitrarily nested experiment result (dicts keyed by
+    store / workload / parameter, tuples, lists) and yield each
+    :class:`RunResult` with a ``/``-joined path naming where it sits."""
+    if isinstance(obj, RunResult):
+        yield "/".join(str(p) for p in prefix) or obj.workload, obj
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from iter_run_results(value, prefix + (key,))
+    elif isinstance(obj, (list, tuple)):
+        for idx, value in enumerate(obj):
+            yield from iter_run_results(value, prefix + (idx,))
+
+
+def metrics_payload(experiment: str, results) -> Dict[str, object]:
+    """Bundle every run's metrics snapshot for one experiment."""
+    runs: Dict[str, object] = {}
+    for path, run in iter_run_results(results):
+        if run.metrics is not None:
+            runs[path] = run.metrics
+    return {"experiment": experiment, "runs": runs}
+
+
+def write_metrics_json(path: str, payload: Dict[str, object]) -> None:
+    """Serialize a :func:`metrics_payload` bundle to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -15,10 +15,17 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import DeviceSampler
 from repro.sim.stats import LatencyRecorder, Timeline
 from repro.sim.vthread import VThread
 from repro.workloads.generator import InsertSequence, Op, OpStream, make_key, make_value
 from repro.workloads.ycsb import WorkloadSpec
+
+# Target number of device-state samples per run; the driver converts
+# this into an every-N-ops cadence so short and long runs both get a
+# usable timeseries without unbounded memory.
+SAMPLE_POINTS = 128
 
 
 @dataclass
@@ -34,6 +41,13 @@ class RunResult:
     waf: float
     stats: Dict[str, float] = field(default_factory=dict)
     timeline: Optional[Timeline] = None
+    metrics: Optional[Dict[str, object]] = None
+
+    def histogram(self, name: str) -> Dict[str, object]:
+        """A recorded histogram summary (e.g. ``op.all``) by name."""
+        if not self.metrics:
+            raise KeyError(f"run carries no metrics (wanted {name!r})")
+        return self.metrics["histograms"][name]
 
     @property
     def throughput(self) -> float:
@@ -103,6 +117,7 @@ def run_workload(
     seed: int = 2,
     timeline_bucket: Optional[float] = None,
     warmup_ops: int = 0,
+    collect_metrics: bool = True,
 ) -> RunResult:
     """Execute ``num_ops`` of ``spec`` against a loaded store.
 
@@ -111,6 +126,16 @@ def run_workload(
     mix in the workload name so back-to-back runs on one store do not
     replay identical key sequences (which would make every cache look
     perfect).
+
+    With ``collect_metrics`` (the default) the run gets a fresh
+    :class:`MetricsRegistry`: per-op latency histograms (``op.all``
+    plus ``op.<kind>``), periodic device samples (per-SSD queue depth
+    and utilization, NVM flush traffic, PWB occupancy), and the store's
+    structured GC/reclaim events from the measured window.  If the
+    store itself traces phases (``enable_metrics``), its registry is
+    swapped for the per-run one so phase histograms land in the same
+    snapshot.  Collection only reads virtual time — results are
+    bit-identical either way.
     """
     if num_ops < 1:
         raise ValueError(f"need at least one op: {num_ops}")
@@ -157,6 +182,20 @@ def run_workload(
     latency = LatencyRecorder("all")
     per_kind: Dict[str, LatencyRecorder] = {}
     timeline = Timeline(timeline_bucket) if timeline_bucket else None
+    registry: Optional[MetricsRegistry] = None
+    sampler: Optional[DeviceSampler] = None
+    restore_store_registry = None
+    sample_every = 0
+    if collect_metrics:
+        registry = MetricsRegistry()
+        own = getattr(store, "metrics", None)
+        if own is not None and own.enabled:
+            # Phase tracing is on: point the store at the per-run
+            # registry so phases and op latencies share one snapshot.
+            restore_store_registry = own
+            store.metrics = registry
+        sampler = DeviceSampler(registry, store)
+        sample_every = max(1, num_ops // SAMPLE_POINTS)
     start = max(t.now for t in threads)
     executed = 0
     heap = [(t.now, i) for i, t in enumerate(threads)]
@@ -164,24 +203,35 @@ def run_workload(
     live = set(range(num_threads))
     ssd_written_before = store.ssd_bytes_written()
     bytes_put_before = store.bytes_put
-    while live:
-        _, i = heapq.heappop(heap)
-        if i not in live:
-            continue
-        thread = threads[i]
-        op = next(iters[i], None)
-        if op is None:
-            live.discard(i)
-            continue
-        before = thread.now
-        _execute(store, op, thread)
-        elapsed = thread.now - before
-        latency.record(elapsed)
-        per_kind.setdefault(op.kind, LatencyRecorder(op.kind)).record(elapsed)
-        if timeline is not None:
-            timeline.record(thread.now - start)
-        executed += 1
-        heapq.heappush(heap, (thread.now, i))
+    if sampler is not None:
+        sampler.sample(start)
+    try:
+        while live:
+            _, i = heapq.heappop(heap)
+            if i not in live:
+                continue
+            thread = threads[i]
+            op = next(iters[i], None)
+            if op is None:
+                live.discard(i)
+                continue
+            before = thread.now
+            _execute(store, op, thread)
+            elapsed = thread.now - before
+            latency.record(elapsed)
+            per_kind.setdefault(op.kind, LatencyRecorder(op.kind)).record(elapsed)
+            if registry is not None:
+                registry.histogram("op.all").record(elapsed)
+                registry.histogram(f"op.{op.kind}").record(elapsed)
+            if timeline is not None:
+                timeline.record(thread.now - start)
+            executed += 1
+            if sampler is not None and executed % sample_every == 0:
+                sampler.sample(thread.now)
+            heapq.heappush(heap, (thread.now, i))
+    finally:
+        if restore_store_registry is not None:
+            store.metrics = restore_store_registry
     duration = max(t.now for t in threads) - start
     new_put = store.bytes_put - bytes_put_before
     new_ssd = store.ssd_bytes_written() - ssd_written_before
@@ -190,6 +240,23 @@ def run_workload(
         for at in getattr(store, "gc_events", []):
             if at >= start:
                 timeline.mark(at - start, "gc")
+    metrics_dict: Optional[Dict[str, object]] = None
+    if registry is not None:
+        if sampler is not None:
+            sampler.sample(start + duration)
+        store_events = getattr(store, "events", None)
+        if store_events is not None:
+            for event in getattr(store_events, "events", []):
+                if event["at"] >= start:
+                    registry.events(str(event["kind"])).events.append(dict(event))
+        registry.gauge("ops").set(executed)
+        registry.gauge("duration_s").set(duration)
+        if duration > 0:
+            registry.gauge("throughput_ops").set(executed / duration)
+        registry.gauge("waf").set(waf)
+        for key, value in store.stats().items():
+            registry.gauge(f"stats.{key}").set(value)
+        metrics_dict = registry.to_dict()
     return RunResult(
         store_name=store.name,
         workload=spec.name,
@@ -200,6 +267,7 @@ def run_workload(
         waf=waf,
         stats=store.stats(),
         timeline=timeline,
+        metrics=metrics_dict,
     )
 
 

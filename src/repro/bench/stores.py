@@ -57,6 +57,9 @@ def build_prism(
         if pwb_total is None:
             pwb_total = (dataset_bytes * 16) // 100
         overrides.setdefault("ssd_spec", _ssd_spec(ssd_capacity))
+        # Benchmarked instances trace per-op phases by default so every
+        # experiment's metrics JSON carries latency attribution.
+        overrides.setdefault("enable_metrics", True)
         config = PrismConfig(
             num_threads=num_threads,
             num_ssds=num_ssds,

@@ -65,6 +65,11 @@ class PrismConfig:
     # Epochs
     epoch_advance_every: int = 64  # ops between epoch-advance attempts
 
+    # Observability: when True the store builds a real MetricsRegistry
+    # and traces per-op phase latencies; when False (default) it holds
+    # the shared no-op registry and tracing costs nothing.
+    enable_metrics: bool = False
+
     def __post_init__(self) -> None:
         if self.num_threads < 1:
             raise ValueError(f"need at least one thread: {self.num_threads}")

@@ -32,6 +32,7 @@ from repro.core.pwb import PersistentWriteBuffer, PWBFullError
 from repro.core.svc import ScanAwareValueCache
 from repro.core.tcq import ThreadCombiner
 from repro.core.value_storage import RECORD_HEADER, ValueStorage
+from repro.obs.metrics import EventLog, MetricsRegistry, NULL_REGISTRY
 from repro.sim.clock import VirtualClock
 from repro.sim.vthread import VThread
 from repro.storage.dram import DRAMDevice
@@ -43,10 +44,24 @@ from repro.index.pactree import PACTree
 class Prism:
     """A key-value store for heterogeneous storage devices."""
 
-    def __init__(self, config: Optional[PrismConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PrismConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or PrismConfig()
         cfg = self.config
         self.clock = VirtualClock()
+        # Per-op phase tracing goes through this registry.  The no-op
+        # default keeps the hooks zero-cost; the benchmark driver swaps
+        # in a per-run registry when the store was built with
+        # ``enable_metrics``.
+        if metrics is not None:
+            self.metrics = metrics
+        elif cfg.enable_metrics:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = NULL_REGISTRY
 
         # --- devices ---------------------------------------------------
         self.nvm = NVMDevice(cfg.nvm_spec)
@@ -98,7 +113,9 @@ class Prism:
         self.deletes = 0
         self.scans = 0
         self.reclaims = 0
-        self.gc_events: List[float] = []
+        # Structured GC/reclaim history (always on: both are rare, and
+        # Figure 17 needs the events regardless of the metrics switch).
+        self.events = EventLog("prism")
         self._ops = 0
         self._rr_storage = itertools.count()
         self._crashed = False
@@ -109,6 +126,11 @@ class Prism:
     @property
     def name(self) -> str:
         return "Prism"
+
+    @property
+    def gc_events(self) -> List[float]:
+        """GC start times (compat shim over the structured event log)."""
+        return [float(e["at"]) for e in self.events.of_kind("gc")]
 
     def _thread(self, thread: Optional[VThread]) -> VThread:
         return thread if thread is not None else self._default_thread
@@ -153,26 +175,37 @@ class Prism:
         if not isinstance(value, (bytes, bytearray)) or not value:
             raise TypeError(f"values must be non-empty bytes, got {type(value)}")
         thread = self._thread(thread)
+        m = self.metrics
         self.epoch.enter(thread.tid)
         try:
+            t0 = thread.now
             idx = self.index.lookup(key, thread)
+            m.phase("put", "index_lookup", thread.now - t0)
             is_new = idx is None
             if is_new:
                 idx = self.hsit.allocate(thread)
             if self.config.enable_pwb:
                 pwb = self._pwb_for(thread)
+                t0 = thread.now
                 self._ensure_pwb_space(pwb, len(value), thread)
+                m.phase("put", "pwb_space_wait", thread.now - t0)
+                t0 = thread.now
                 offset = pwb.append(idx, value, thread)
+                m.phase("put", "pwb_append", thread.now - t0)
                 word = ptr.encode_pwb(pwb.pwb_id, offset)
             else:
+                t0 = thread.now
                 vs = self._pick_storage(thread.now)
                 chunk_id, off = vs.append_record_sync(thread, idx, value)
+                m.phase("put", "vs_append", thread.now - t0)
                 word = ptr.encode_vs(vs.vs_id, chunk_id, off)
                 self._maybe_gc(vs, thread.now)
+            t0 = thread.now
             old = self.hsit.publish_location(idx, word, thread)
             self._supersede(idx, old, thread)
             if is_new:
                 self.index.insert(key, idx, thread)
+            m.phase("put", "publish", thread.now - t0)
             self.bytes_put += len(value)
             self.puts += 1
             if self.config.enable_pwb:
@@ -229,6 +262,7 @@ class Prism:
             # An earlier reclamation is still in flight; chain after it.
             bg.wait_until(pwb.reclaim_done_at)
             pwb.poll(bg.now)
+        start_at = bg.now
         upto = pwb.head
         region = upto - pwb.tail
         if region <= 0:
@@ -262,6 +296,16 @@ class Prism:
         pwb.pending_release = (upto, bg.now)
         pwb.reclaim_done_at = bg.now
         self.reclaims += 1
+        self.events.emit(
+            start_at,
+            "reclaim",
+            pwb_id=pwb.pwb_id,
+            region_bytes=region,
+            scanned_records=count,
+            live_records=len(live),
+            live_bytes=sum(len(v) for _, v in live),
+            duration=bg.now - start_at,
+        )
 
     # ------------------------------------------------------------------
     # garbage collection in Value Storage (§5.2)
@@ -272,7 +316,8 @@ class Prism:
         bg = self._bg_gc
         if bg.now < at:
             bg.now = at
-        self.gc_events.append(bg.now)
+        start_at = bg.now
+        free_before = vs.free_chunks
         victims = vs.gc_victims(self.config.gc_batch_chunks)
         moves: List[Tuple[int, bytes, int, int]] = []
         read_done = bg.now
@@ -286,6 +331,16 @@ class Prism:
             )
         bg.wait_until(read_done)
         if not moves:
+            self.events.emit(
+                start_at,
+                "gc",
+                vs_id=vs.vs_id,
+                victim_chunks=len(victims),
+                moved_records=0,
+                moved_bytes=0,
+                chunks_freed=vs.free_chunks - free_before,
+                duration=bg.now - start_at,
+            )
             return
         placements, done = vs.write_records(
             bg.now, [(idx, value) for idx, value, _, _ in moves]
@@ -299,7 +354,18 @@ class Prism:
             )
             vs.invalidate(old_chunk, old_off)
         vs.gc_runs += 1
-        vs.gc_moved_bytes += sum(len(value) for _, value, _, _ in moves)
+        moved_bytes = sum(len(value) for _, value, _, _ in moves)
+        vs.gc_moved_bytes += moved_bytes
+        self.events.emit(
+            start_at,
+            "gc",
+            vs_id=vs.vs_id,
+            victim_chunks=len(victims),
+            moved_records=len(moves),
+            moved_bytes=moved_bytes,
+            chunks_freed=vs.free_chunks - free_before,
+            duration=bg.now - start_at,
+        )
 
     # ------------------------------------------------------------------
     # read path
@@ -308,10 +374,13 @@ class Prism:
         """Point lookup; returns None for missing keys."""
         self._check_key(key)
         thread = self._thread(thread)
+        m = self.metrics
         self.epoch.enter(thread.tid)
         try:
             self.gets += 1
+            t0 = thread.now
             idx = self.index.lookup(key, thread)
+            m.phase("get", "index_lookup", thread.now - t0)
             if idx is None:
                 return None
             return self._read_value(idx, key, thread)
@@ -320,25 +389,36 @@ class Prism:
             self._tick()
 
     def _read_value(self, idx: int, key: bytes, thread: VThread) -> Optional[bytes]:
+        m = self.metrics
         loc = self.hsit.read_location(idx, thread)
         if loc.is_null:
             return None
         if loc.in_pwb:
+            t0 = thread.now
             _, value = self.pwbs[loc.pwb_id].read(loc.pwb_offset, thread)
+            m.phase("get", "pwb_read", thread.now - t0)
+            m.counter("read.pwb_hits").inc()
             return value
         # Value Storage — try the DRAM cache first (Figure 2 ➍ over ➌).
         if self.config.enable_svc:
             entry_id = self.hsit.read_svc(idx, thread)
             if entry_id is not None:
+                t0 = thread.now
                 cached = self.svc.lookup(entry_id, thread)
                 if cached is not None:
+                    m.phase("get", "svc_hit", thread.now - t0)
+                    m.counter("read.svc_hits").inc()
                     return cached
+                m.phase("get", "svc_miss", thread.now - t0)
+        m.counter("read.svc_misses").inc()
         vs = self.storages[loc.vs_id]
         req = vs.record_request(loc.chunk_id, loc.vs_offset)
-        raw = self.combiners[loc.vs_id].read_one(thread, req)
+        raw = self.combiners[loc.vs_id].read_one(thread, req, m)
         _, value = ValueStorage.parse_record(raw)
         if self.config.enable_svc:
+            t0 = thread.now
             self.svc.admit(idx, key, value, thread)
+            m.phase("get", "svc_admit", thread.now - t0)
         return value
 
     # ------------------------------------------------------------------
@@ -350,9 +430,13 @@ class Prism:
         """Range scan: up to ``count`` pairs with key >= start."""
         self._check_key(start)
         thread = self._thread(thread)
+        m = self.metrics
         self.epoch.enter(thread.tid)
         try:
+            t0 = thread.now
             matches = self.index.scan(start, count, thread)
+            m.phase("scan", "index_scan", thread.now - t0)
+            t0 = thread.now
             results: Dict[bytes, bytes] = {}
             misses: Dict[int, List[Tuple[int, int, int, bytes]]] = {}
             chain_entries: List[Tuple[bytes, int]] = []
@@ -384,6 +468,7 @@ class Prism:
             if self.config.enable_svc and self.config.svc_scan_aware:
                 chain_entries.sort()
                 self.svc.link_scan_chain([eid for _, eid in chain_entries])
+            m.phase("scan", "fetch", thread.now - t0)
             self.scans += 1
             return [(key, results[key]) for key, _ in matches if key in results]
         finally:
@@ -431,7 +516,7 @@ class Prism:
                 )
             )
             spans.append(run)
-        self.combiners[vs_id].read(thread, requests)
+        self.combiners[vs_id].read(thread, requests, self.metrics)
         out: List[Tuple[int, bytes, bytes]] = []
         for req, run in zip(requests, spans):
             assert req.result is not None
@@ -450,14 +535,19 @@ class Prism:
         """Remove a key. Returns True when it existed."""
         self._check_key(key)
         thread = self._thread(thread)
+        m = self.metrics
         self.epoch.enter(thread.tid)
         try:
+            t0 = thread.now
             idx = self.index.lookup(key, thread)
+            m.phase("delete", "index_lookup", thread.now - t0)
             if idx is None:
                 return False
+            t0 = thread.now
             self.index.delete(key, thread)
             old = self.hsit.publish_location(idx, 0, thread)
             self._supersede(idx, old, thread)
+            m.phase("delete", "publish", thread.now - t0)
             # The HSIT entry rejoins the free list after two epochs (§5.4).
             self.epoch.retire(lambda i=idx: self.hsit.free(i))
             self.deletes += 1

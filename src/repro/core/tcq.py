@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.sim.vthread import VThread
 from repro.storage.iouring import (
     IORequest,
     IOUring,
     SQE_PREP_COST,
     SUBMIT_SYSCALL_COST,
+    split_into_batches,
 )
 
 # Leader's TCQ traversal window: the time it keeps collecting follower
@@ -68,14 +70,26 @@ class ThreadCombiner:
     def coalescing_limit(self) -> int:
         return self.ring.queue_depth
 
-    def read(self, thread: VThread, requests: Sequence[IORequest]) -> float:
+    def read(
+        self,
+        thread: VThread,
+        requests: Sequence[IORequest],
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> float:
         """Issue ``requests`` for one thread; returns (and advances the
-        thread to) the completion time of *its* requests."""
+        thread to) the completion time of *its* requests.
+
+        ``metrics`` attributes the thread's wait to two phases: the
+        combining wait (window close / batch hand-off) and the SSD wait
+        (device service after submission).
+        """
         if not requests:
             return thread.now
         if self.mode == MODE_SYNC:
+            start = thread.now
             done = self.ring.submit_and_wait(thread.now, requests)
             thread.wait_until(done)
+            metrics.phase("read", "ssd_wait", done - start)
             return done
         window = (
             self.combine_window
@@ -83,35 +97,67 @@ class ThreadCombiner:
             else self.timeout_window
         )
         t = thread.now
+        limit = self.coalescing_limit
+        if t > self._batch_close:
+            # The open batch's window has passed: its count must not
+            # leak into admission decisions for the next batch.
+            self._batch_count = 0
         joins = (
             t <= self._batch_close
-            and self._batch_count + len(requests) <= self.coalescing_limit
+            and self._batch_count + len(requests) <= limit
         )
+        done = t
         if joins:
             # Follower: swap into the TCQ and hand over the request.
             self._batch_count += len(requests)
             thread.spend(FOLLOWER_HANDOFF_COST)
             floor = self._batch_close
+            self.combined_requests += len(requests)
+            for req in requests:
+                done = max(done, self.ring.submit_one(floor, req))
         else:
-            # Leader: open a fresh batch; it submits at the window close.
-            self._batch_close = t + window
-            self._batch_count = len(requests)
-            self.batches += 1
-            thread.spend(SUBMIT_SYSCALL_COST + SQE_PREP_COST * len(requests))
-            floor = self._batch_close
-        self.combined_requests += len(requests)
-        done = floor
-        for req in requests:
-            completion = self.ring.submit_one(floor, req)
-            done = max(done, completion)
+            # Leader: open fresh batches.  A request list larger than
+            # the coalescing limit (the queue depth) is split at QD —
+            # each split is its own io_uring submission, so batch
+            # accounting (Figure 11) never sees an oversized batch.
+            chunks = split_into_batches(requests, limit)
+            floor = t
+            for i, chunk in enumerate(chunks):
+                last = i == len(chunks) - 1
+                if last and len(chunk) < limit:
+                    # Only a partial trailing batch waits out the
+                    # window for followers; full batches are closed
+                    # the moment they fill and submit immediately.
+                    self._batch_close = t + window
+                    self._batch_count = len(chunk)
+                    floor = self._batch_close
+                else:
+                    floor = t
+                self.batches += 1
+                self.combined_requests += len(chunk)
+                for req in chunk:
+                    done = max(done, self.ring.submit_one(floor, req))
+            if len(chunks[-1]) >= limit:
+                self._batch_close = t  # no partial batch left open
+                self._batch_count = 0
+            thread.spend(
+                SUBMIT_SYSCALL_COST * len(chunks)
+                + SQE_PREP_COST * len(requests)
+            )
+        submit_at = max(min(floor, done), t)
         thread.wait_until(done)
+        metrics.phase("read", "combining_wait", submit_at - t)
+        metrics.phase("read", "ssd_wait", max(0.0, done - submit_at))
         return done
 
     def read_one(
-        self, thread: VThread, request: IORequest
+        self,
+        thread: VThread,
+        request: IORequest,
+        metrics: MetricsRegistry = NULL_REGISTRY,
     ) -> bytes:
         """Convenience wrapper for a single-record read."""
-        self.read(thread, [request])
+        self.read(thread, [request], metrics)
         assert request.result is not None
         return request.result
 

@@ -1,0 +1,41 @@
+"""Observability: metrics, tracing, and device sampling.
+
+The paper's evaluation is built on distributions and timelines —
+tail-latency tables (Table 3), GC timelines (Figure 17), batch-size
+and device-utilization arguments (Figures 11/13) — none of which a
+flat counter dump can support.  This package provides the layer that
+makes those quantities observable in the reproduction:
+
+* :class:`MetricsRegistry` — counters, gauges, log-bucketed latency
+  histograms (p50/p90/p99/p999 in virtual time), timeseries, and
+  structured event logs, all created on first use;
+* :data:`NULL_REGISTRY` — the zero-cost disabled default: components
+  always hold a registry reference, and the no-op variant swallows
+  updates without touching virtual time;
+* :class:`DeviceSampler` — periodic per-SSD queue-depth/utilization,
+  NVM-flush, and PWB-occupancy sampling for the benchmark driver.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    EventLog,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    TimeSeries,
+)
+from repro.obs.sampler import DeviceSampler
+
+__all__ = [
+    "Counter",
+    "DeviceSampler",
+    "EventLog",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "TimeSeries",
+]

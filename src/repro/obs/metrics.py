@@ -1,0 +1,354 @@
+"""Metric primitives: counters, gauges, histograms, series, events.
+
+Everything here measures *virtual* time and simulated state — recording
+never advances any clock, so enabling metrics cannot change simulated
+results, only observe them.
+
+The registry comes in two flavours:
+
+* :class:`MetricsRegistry` — the real thing.  Instruments are created
+  on first use and keyed by name, so call sites stay one-liners.
+* :data:`NULL_REGISTRY` — a shared no-op registry.  Every instrument
+  it hands out swallows updates.  Components hold a registry reference
+  unconditionally and the disabled path costs one attribute lookup and
+  a no-op call, keeping the default configuration zero-cost.
+
+Latency histograms are log-bucketed (HDR-style: power-of-two octaves
+with 16 linear sub-buckets each, ≤ ~6% relative error per bucket) so
+p50/p90/p99/p999 come from O(1)-space state instead of sorted sample
+arrays, no matter how many operations a run records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+# Sub-bucket resolution: 16 linear buckets per power-of-two octave.
+_SUB_BITS = 4
+_SUB = 1 << _SUB_BITS  # 16
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class LatencyHistogram:
+    """Log-bucketed latency distribution over virtual seconds.
+
+    Values are quantized to integer nanoseconds and placed into
+    HDR-style buckets: values below 16 ns get their own bucket; above
+    that, each power-of-two octave is divided into 16 linear
+    sub-buckets, bounding relative error at ~6%.  Percentiles report
+    the bucket midpoint, in microseconds (the paper's unit).
+    """
+
+    __slots__ = ("name", "_buckets", "count", "total", "max_ns")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0  # seconds
+        self.max_ns = 0
+
+    # -- bucket arithmetic --------------------------------------------
+    @staticmethod
+    def _index(ns: int) -> int:
+        if ns < _SUB:
+            return ns
+        exp = ns.bit_length() - (_SUB_BITS + 1)
+        return (exp << _SUB_BITS) + (ns >> exp)
+
+    @staticmethod
+    def _midpoint_ns(index: int) -> float:
+        if index < 2 * _SUB:  # linear region covers indices [0, 32)
+            return float(index) + 0.5
+        exp = (index >> _SUB_BITS) - 1
+        mantissa = index - (exp << _SUB_BITS)
+        return (mantissa + 0.5) * (1 << exp)
+
+    # -- recording -----------------------------------------------------
+    def record(self, seconds: float) -> None:
+        # Clamp fp jitter from virtual-time subtraction; observation
+        # must never take the store down.
+        ns = int(seconds * 1e9) if seconds > 0 else 0
+        idx = self._index(ns)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += seconds
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    def __len__(self) -> int:
+        return self.count
+
+    # -- summaries -----------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile in microseconds (bucket midpoint)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0.0
+        target = (p / 100.0) * self.count
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= target:
+                return self._midpoint_ns(idx) / 1e3
+        return self.max_ns / 1e3  # pragma: no cover - fp safety net
+
+    def average(self) -> float:
+        """Mean latency in microseconds."""
+        if self.count == 0:
+            return 0.0
+        return (self.total / self.count) * 1e6
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def buckets(self) -> Iterator[Tuple[float, int]]:
+        """Yield (bucket midpoint in us, count), ascending."""
+        for idx in sorted(self._buckets):
+            yield self._midpoint_ns(idx) / 1e3, self._buckets[idx]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "avg_us": self.average(),
+            "p50_us": self.median(),
+            "p90_us": self.p90(),
+            "p99_us": self.p99(),
+            "p999_us": self.p999(),
+            "max_us": self.max_ns / 1e3,
+            "buckets_us": [[mid, n] for mid, n in self.buckets()],
+        }
+
+
+class TimeSeries:
+    """Samples of one quantity over virtual time."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        return {"t": self.times, "v": self.values}
+
+
+class EventLog:
+    """Structured events (GC runs, reclamations) in virtual time.
+
+    Each event is a plain dict carrying at least ``at`` (virtual time)
+    and ``kind``; emitters attach whatever structured fields describe
+    the event (victim counts, bytes moved, durations).
+    """
+
+    __slots__ = ("name", "events")
+
+    def __init__(self, name: str = "events") -> None:
+        self.name = name
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, at: float, kind: str, **fields: object) -> None:
+        event: Dict[str, object] = {"at": at, "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.events)
+
+    def to_list(self) -> List[Dict[str, object]]:
+        return list(self.events)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Phase attribution uses dotted names: ``phase.<op>.<name>`` for the
+    per-phase histograms and ``op.<kind>`` for whole-operation
+    latencies, so a JSON consumer can group them without a schema.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.event_logs: Dict[str, EventLog] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = LatencyHistogram(name)
+        return h
+
+    def timeseries(self, name: str) -> TimeSeries:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = TimeSeries(name)
+        return s
+
+    def events(self, name: str) -> EventLog:
+        e = self.event_logs.get(name)
+        if e is None:
+            e = self.event_logs[name] = EventLog(name)
+        return e
+
+    def attach_events(self, name: str, log: EventLog) -> None:
+        """Expose an externally owned event log through the registry."""
+        self.event_logs[name] = log
+
+    def phase(self, op: str, name: str, seconds: float) -> None:
+        """Attribute ``seconds`` of an ``op`` to one phase."""
+        self.histogram(f"phase.{op}.{name}").record(seconds)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self.histograms.items())
+            },
+            "series": {k: s.to_dict() for k, s in sorted(self.series.items())},
+            "events": {
+                k: e.to_list() for k, e in sorted(self.event_logs.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# the zero-cost disabled path
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(LatencyHistogram):
+    __slots__ = ()
+
+    def record(self, seconds: float) -> None:
+        pass
+
+
+class _NullTimeSeries(TimeSeries):
+    __slots__ = ()
+
+    def append(self, t: float, value: float) -> None:
+        pass
+
+
+class _NullEventLog(EventLog):
+    __slots__ = ()
+
+    def emit(self, at: float, kind: str, **fields: object) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Swallows every update; shared instruments, nothing stored."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+        self._series_null = _NullTimeSeries("null")
+        self._events = _NullEventLog("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        return self._histogram
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._series_null
+
+    def events(self, name: str) -> EventLog:
+        return self._events
+
+    def attach_events(self, name: str, log: EventLog) -> None:
+        pass
+
+    def phase(self, op: str, name: str, seconds: float) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

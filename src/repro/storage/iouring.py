@@ -137,6 +137,15 @@ class IOUring:
         self._reap(at)
         return len(self._outstanding)
 
+    def inflight_snapshot(self, at: float) -> int:
+        """Count requests still in service at ``at`` without reaping.
+
+        Pure observation for metrics sampling: :meth:`_reap` pops the
+        completion heap, and doing that at one thread's (possibly
+        ahead) clock would change stall decisions for threads still
+        behind it."""
+        return sum(1 for completion in self._outstanding if completion > at)
+
     def average_batch(self) -> float:
         if self.batches_submitted == 0:
             return 0.0

@@ -45,6 +45,7 @@ class NVMDevice(Device):
         self._undo: Dict[int, bytes] = {}
         self._brk = 0  # bump allocator
         self.flushes = 0
+        self.bytes_flushed = 0
         self.fences = 0
         self.crashes = 0
 
@@ -134,6 +135,7 @@ class NVMDevice(Device):
         for line in lines:
             del self._undo[line]
         self.flushes += 1
+        self.bytes_flushed += len(lines) * CACHE_LINE
         # The write to the DIMM media happens now.
         self.charge_write(thread, max(len(lines), 1) * CACHE_LINE)
 

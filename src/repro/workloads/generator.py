@@ -103,6 +103,16 @@ class OpStream:
                 yield Op(
                     "insert", key, make_value(key, self.value_size, self._version)
                 )
+                # The "latest" distribution follows the insert frontier:
+                # a fresh key becomes the hottest.  grow() is incremental
+                # (amortized O(1) per insert), so tracking every insert
+                # is affordable.
+                grow = getattr(self.chooser, "grow", None)
+                if grow is not None:
+                    idx = key_index(key)
+                    if idx >= self.num_keys:
+                        self.num_keys = idx + 1
+                        grow(self.num_keys)
 
 
 class InsertSequence:

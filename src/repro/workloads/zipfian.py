@@ -2,33 +2,65 @@
 
 The paper uses YCSB with a Zipfian coefficient of 0.99 by default and
 sweeps 0.5–1.5 for the skew experiment (Figure 9).
+
+Sampler choice: Gray et al.'s rejection-free closed form (YCSB's
+default) is only valid for 0 < theta < 1 — its exponent ``1/(1-theta)``
+diverges at 1 and goes negative beyond.  For theta >= 1 the generators
+switch to exact CDF inversion over the harmonic prefix sums, which is
+correct for any positive theta and still O(log n) per draw; both
+regimes support incremental key-space growth.
 """
 
 from __future__ import annotations
 
+import bisect
 import random
 import zlib
-from typing import Optional
+from typing import List, Optional
 
 
 class ZipfianGenerator:
-    """Gray et al.'s rejection-free zipfian sampler (as in YCSB).
+    """Zipfian rank sampler: ranks in ``[0, n)``, rank 0 most popular,
+    P(rank k) proportional to ``1 / (k + 1)**theta``.
 
-    Produces ranks in ``[0, n)`` where rank 0 is the most popular.
+    Two regimes, chosen by ``theta``:
+
+    * ``0 < theta < 1`` — Gray et al.'s rejection-free closed form, as
+      in YCSB.  Constant time per sample.
+    * ``theta >= 1`` — exact inversion of the CDF.  The closed form's
+      exponent ``alpha = 1/(1 - theta)`` diverges at ``theta == 1`` and
+      turns *negative* beyond it, mapping uniform draws to out-of-range
+      (huge or negative) ranks, so the Figure 9 sweep (0.5–1.5) cannot
+      use it.  Instead we keep the running prefix sums of the harmonic
+      weights ``k**-theta`` and binary-search a uniform draw into them:
+      exact for any ``theta > 0`` at O(log n) per sample and O(n) setup.
+
+    :meth:`grow` extends the key space incrementally (appending the new
+    ranks' weights / extending ``zeta_n``), so growing n times costs
+    O(n) total rather than O(n²) from rebuilding.
     """
 
     def __init__(self, n: int, theta: float = 0.99, rng: Optional[random.Random] = None):
         if n < 1:
             raise ValueError(f"need at least one item: {n}")
-        if theta <= 0 or theta == 1.0:
-            raise ValueError(f"theta must be positive and != 1: {theta}")
+        if theta <= 0:
+            raise ValueError(f"theta must be positive: {theta}")
         self.n = n
         self.theta = theta
         self.rng = rng or random.Random()
-        self.zeta_n = self._zeta(n, theta)
-        self.zeta_2 = self._zeta(2, theta)
-        self.alpha = 1.0 / (1.0 - theta)
-        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta_2 / self.zeta_n)
+        self._exact = theta >= 1.0
+        if self._exact:
+            self._cum: List[float] = []
+            total = 0.0
+            for i in range(1, n + 1):
+                total += i**-theta
+                self._cum.append(total)
+            self.zeta_n = total
+        else:
+            self.zeta_n = self._zeta(n, theta)
+            self.zeta_2 = self._zeta(2, theta)
+            self.alpha = 1.0 / (1.0 - theta)
+            self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta_2 / self.zeta_n)
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
@@ -37,11 +69,31 @@ class ZipfianGenerator:
     def next(self) -> int:
         u = self.rng.random()
         uz = u * self.zeta_n
+        if self._exact:
+            return min(bisect.bisect_left(self._cum, uz), self.n - 1)
         if uz < 1.0:
             return 0
         if uz < 1.0 + 0.5**self.theta:
             return 1
         return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+    def grow(self, new_n: int) -> None:
+        """Extend the key space to ``new_n`` items incrementally."""
+        if new_n <= self.n:
+            return
+        theta = self.theta
+        if self._exact:
+            total = self.zeta_n
+            for i in range(self.n + 1, new_n + 1):
+                total += i**-theta
+                self._cum.append(total)
+            self.zeta_n = total
+        else:
+            self.zeta_n += sum(i**-theta for i in range(self.n + 1, new_n + 1))
+            self.eta = (1 - (2.0 / new_n) ** (1 - theta)) / (
+                1 - self.zeta_2 / self.zeta_n
+            )
+        self.n = new_n
 
 
 class ScrambledZipfianGenerator:
@@ -93,7 +145,12 @@ class LatestGenerator:
         return zlib.crc32(recency_rank.to_bytes(8, "big")) % self.n
 
     def grow(self, new_n: int) -> None:
-        """Extend the key space after inserts."""
+        """Extend the key space after inserts.
+
+        Delegates to :meth:`ZipfianGenerator.grow`, which extends the
+        zeta prefix incrementally — growing one key at a time over n
+        inserts costs O(n) total, not the O(n²) a full rebuild per
+        grow would."""
         if new_n > self.n:
+            self._zipf.grow(new_n)
             self.n = new_n
-            self._zipf = ZipfianGenerator(new_n, self._zipf.theta, self._zipf.rng)

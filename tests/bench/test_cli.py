@@ -17,7 +17,27 @@ def test_unknown_command_rejected():
 
 def test_scalars_runs(capsys, monkeypatch):
     monkeypatch.setenv("REPRO_SCALE", "1.0")
-    assert main(["scalars", "--scale", "0.05"]) == 0
+    assert main(["scalars", "--scale", "0.05", "--metrics-out", "none"]) == 0
     out = capsys.readouterr().out
     assert "NVM bytes/key" in out
     assert "recovery" in out
+
+
+def test_experiment_emits_metrics_json(capsys, monkeypatch, tmp_path):
+    """Acceptance: running an experiment produces a metrics JSON with
+    latency histograms, device series, and structured events."""
+    import json
+
+    monkeypatch.setenv("REPRO_SCALE", "1.0")
+    out_path = tmp_path / "fig17.metrics.json"
+    assert main(["fig17", "--scale", "0.05", "--metrics-out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["experiment"] == "fig17"
+    assert payload["runs"]
+    run = next(iter(payload["runs"].values()))
+    hist = run["histograms"]["op.all"]
+    assert hist["count"] > 0
+    assert hist["p50_us"] > 0 and hist["p99_us"] > 0
+    assert any(name.endswith(".queue_depth") for name in run["series"])
+    assert any(name.endswith(".utilization") for name in run["series"])
+    assert "reclaim" in run["events"] or "gc" in run["events"]

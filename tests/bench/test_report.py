@@ -53,3 +53,32 @@ def test_run_result_properties():
     assert r.kops == r.throughput / 1e3
     empty = RunResult("X", "C", 0, 0.0, LatencyRecorder(), {}, 0.0)
     assert empty.throughput == 0.0
+
+
+def test_iter_run_results_walks_nested_structures():
+    from repro.bench.report import iter_run_results
+
+    nested = {
+        "Prism": {"A": _result("Prism", "A")},
+        "sweep": {64: {"C": _result("Prism", "C")}},
+        "pair": (_result("KVell", "A"), "not-a-result"),
+    }
+    found = dict(iter_run_results(nested))
+    assert set(found) == {"Prism/A", "sweep/64/C", "pair/0"}
+
+
+def test_metrics_payload_and_writer(tmp_path):
+    import json
+
+    from repro.bench.report import metrics_payload, write_metrics_json
+
+    with_metrics = _result("Prism", "A")
+    with_metrics.metrics = {"histograms": {"op.all": {"count": 3}}}
+    results = {"Prism": {"A": with_metrics, "B": _result("Prism", "B")}}
+    payload = metrics_payload("fig7", results)
+    assert payload["experiment"] == "fig7"
+    assert set(payload["runs"]) == {"Prism/A"}  # runs without metrics skipped
+    out = tmp_path / "fig7.metrics.json"
+    write_metrics_json(str(out), payload)
+    loaded = json.loads(out.read_text())
+    assert loaded["runs"]["Prism/A"]["histograms"]["op.all"]["count"] == 3

@@ -112,3 +112,70 @@ def test_multi_thread_throughput_exceeds_single(capsys):
     r1 = run_workload(one, WORKLOADS["A"], 1500, 500, num_threads=1, value_size=512)
     r8 = run_workload(many, WORKLOADS["A"], 1500, 500, num_threads=8, value_size=512)
     assert r8.throughput > 2 * r1.throughput
+
+
+def test_run_workload_collects_metrics(store):
+    """Acceptance: every measured run carries a metrics snapshot with
+    op latency histograms, per-SSD device series, and run gauges."""
+    preload(store, 300, value_size=128, num_threads=2)
+    result = run_workload(
+        store, WORKLOADS["A"], 800, 300, num_threads=2, value_size=128
+    )
+    m = result.metrics
+    assert m is not None
+    hist = result.histogram("op.all")
+    assert hist["count"] == 800
+    assert hist["p50_us"] > 0
+    assert hist["p99_us"] >= hist["p50_us"]
+    assert "op.read" in m["histograms"] or "op.update" in m["histograms"]
+    for vs_id in range(len(store.storages)):
+        assert f"ssd.{vs_id}.queue_depth" in m["series"]
+        assert f"ssd.{vs_id}.utilization" in m["series"]
+    assert m["gauges"]["ops"] == 800
+    assert m["gauges"]["throughput_ops"] == pytest.approx(result.throughput)
+
+
+def test_run_workload_metrics_opt_out(store):
+    preload(store, 200, value_size=128, num_threads=2)
+    result = run_workload(
+        store, WORKLOADS["C"], 200, 200, num_threads=2,
+        value_size=128, collect_metrics=False,
+    )
+    assert result.metrics is None
+    with pytest.raises(KeyError):
+        result.histogram("op.all")
+
+
+def test_metrics_collection_does_not_change_results(store):
+    """collect_metrics only observes: throughput and latency are
+    bit-identical with it on or off."""
+    preload(store, 200, value_size=128, num_threads=2)
+    on = run_workload(
+        store, WORKLOADS["B"], 300, 200, num_threads=2, value_size=128
+    )
+    other = Prism(small_prism_config(num_threads=4))
+    preload(other, 200, value_size=128, num_threads=2)
+    off = run_workload(
+        other, WORKLOADS["B"], 300, 200, num_threads=2,
+        value_size=128, collect_metrics=False,
+    )
+    assert on.duration == off.duration
+    assert on.latency.average() == off.latency.average()
+
+
+def test_back_to_back_runs_get_fresh_registries():
+    """A store reused across runs must not leak one run's samples into
+    the next run's snapshot."""
+    store = Prism(small_prism_config(num_threads=4, enable_metrics=True))
+    own = store.metrics
+    preload(store, 200, value_size=128, num_threads=2)
+    r1 = run_workload(store, WORKLOADS["A"], 300, 200, num_threads=2, value_size=128)
+    r2 = run_workload(store, WORKLOADS["A"], 300, 200, num_threads=2, value_size=128)
+    assert r1.histogram("op.all")["count"] == 300
+    assert r2.histogram("op.all")["count"] == 300
+    # Phase histograms in each snapshot only cover that run's ops.
+    p1 = r1.metrics["histograms"]["phase.put.pwb_append"]["count"]
+    p2 = r2.metrics["histograms"]["phase.put.pwb_append"]["count"]
+    assert p1 <= 300 and p2 <= 300
+    # The store's own registry is restored after each run.
+    assert store.metrics is own

@@ -142,3 +142,76 @@ def test_property_ring_roundtrip(values):
         live[offset] = (i, value)
         for off, (idx, val) in live.items():
             assert pwb.read(off) == (idx, val)
+
+
+# Sized so a few hundred appends force many trips around the ring.
+_WRAP_CAPACITY = 4096
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 600), min_size=1, max_size=300),
+    partial_release=st.booleans(),
+)
+def test_property_records_never_straddle_wrap(sizes, partial_release):
+    """Every record's ring footprint is physically contiguous: its
+    start position plus its padded size never crosses the capacity
+    boundary, no matter how appends and releases interleave."""
+    pwb = PersistentWriteBuffer(NVMDevice(), 0, capacity=_WRAP_CAPACITY)
+    for i, size in enumerate(sizes):
+        if not pwb.would_fit(size):
+            if partial_release and pwb._offsets and pwb.tail < pwb._offsets[-1]:
+                # Free only the older half, leaving live records behind
+                # the wrap point.
+                pwb.release_through(pwb._offsets[len(pwb._offsets) // 2])
+            if not pwb.would_fit(size):
+                pwb.release_through(pwb.head)
+        offset = pwb.append(i, b"w" * size)
+        pos = offset % pwb.capacity
+        assert pos + pwb.record_bytes(size) <= pwb.capacity, (offset, size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(1, 600), min_size=1, max_size=200))
+def test_property_would_fit_agrees_with_append(sizes):
+    """``would_fit`` is exactly the precondition of ``append``: when it
+    says yes the append succeeds, when it says no the append raises —
+    including around the wrap, where the skipped tail padding makes the
+    naive free-space check wrong."""
+    pwb = PersistentWriteBuffer(NVMDevice(), 0, capacity=_WRAP_CAPACITY)
+    for i, size in enumerate(sizes):
+        fits = pwb.would_fit(size)
+        if fits:
+            pwb.append(i, b"f" * size)
+        else:
+            head, tail = pwb.head, pwb.tail
+            with pytest.raises(PWBFullError):
+                pwb.append(i, b"f" * size)
+            assert (pwb.head, pwb.tail) == (head, tail)  # failed append is a no-op
+            pwb.release_through(pwb.head)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(1, 500), min_size=4, max_size=250))
+def test_property_offsets_roundtrip_across_wraps(sizes):
+    """Absolute offsets stay monotonic and resolvable across many
+    wraps: each live record reads back its own payload even after the
+    ring position has been reused by later generations."""
+    pwb = PersistentWriteBuffer(NVMDevice(), 0, capacity=_WRAP_CAPACITY)
+    last_offset = -1
+    live = {}
+    for i, size in enumerate(sizes):
+        if not pwb.would_fit(size):
+            pwb.release_through(pwb.head)
+            live.clear()
+        value = (i % 251).to_bytes(1, "little") * size
+        offset = pwb.append(i, value)
+        assert offset > last_offset  # absolute offsets never repeat
+        last_offset = offset
+        live[offset] = (i, value)
+        for off, (idx, val) in live.items():
+            assert pwb.read(off) == (idx, val)
+    wraps = pwb.head // pwb.capacity
+    # The generator sizes guarantee several trips around the ring.
+    if sum(pwb.record_bytes(s) for s in sizes) > 3 * _WRAP_CAPACITY:
+        assert wraps >= 2

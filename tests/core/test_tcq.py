@@ -115,5 +115,65 @@ class TestTimeoutStrawman:
         assert t1.now < t2.now
 
 
+class TestOversizedLeader:
+    def test_leader_splits_at_coalescing_limit(self, ring):
+        """A leader with more requests than QD submits multiple batches,
+        none above the limit."""
+        combiner = ThreadCombiner(ring, combine_window=1e-3)
+        t = VThread(0)
+        reqs = [_read(i * 4096) for i in range(150)]  # QD 64 -> 64+64+22
+        combiner.read(t, reqs)
+        assert combiner.batches == 3
+        assert combiner.combined_requests == 150
+        assert combiner.average_batch() <= combiner.coalescing_limit
+        assert all(r.completion is not None for r in reqs)
+
+    def test_exact_multiple_leaves_no_open_window(self, ring):
+        """Full batches close immediately: a follower arriving right
+        after a QD-multiple submission starts its own batch."""
+        clock = VirtualClock()
+        combiner = ThreadCombiner(ring, combine_window=1e-3)
+        a, b = VThread(0, clock), VThread(1, clock)
+        combiner.read(a, [_read(i * 4096) for i in range(128)])  # 2 full batches
+        b.now = 1e-7  # well inside what the window would have been
+        combiner.read(b, [_read(4096)])
+        assert combiner.batches == 3  # b led its own batch
+
+    def test_average_batch_never_exceeds_limit(self, ring):
+        """Acceptance criterion: no request mix can push the average
+        (or any) batch above the coalescing limit."""
+        import random
+
+        rng = random.Random(42)
+        combiner = ThreadCombiner(ring, combine_window=2e-6)
+        clock = VirtualClock()
+        now = 0.0
+        for i in range(60):
+            t = VThread(i, clock)
+            now += rng.choice([0.0, 0.3e-6, 5e-6])
+            t.now = now
+            combiner.read(t, [_read(j * 4096) for j in range(rng.randint(1, 100))])
+        assert combiner.average_batch() <= combiner.coalescing_limit
+
+    def test_stale_batch_count_does_not_block_followers(self, ring):
+        """After a batch's window expires, its count must not make the
+        next window reject followers that would fit."""
+        clock = VirtualClock()
+        combiner = ThreadCombiner(ring, combine_window=2e-6)
+        a = VThread(0, clock)
+        combiner.read(a, [_read(i * 4096) for i in range(60)])  # partial batch of 60
+        # Long after the window closed, a new leader opens a window...
+        b = VThread(1, clock)
+        b.now = 1.0
+        combiner.read(b, [_read(0)])
+        # ...and a follower with 10 requests must be admitted (1 + 10 <= 64);
+        # with the stale count of 60 leaking it would have been rejected.
+        c = VThread(2, clock)
+        c.now = 1.0 + 0.5e-6
+        combiner.read(c, [_read(i * 4096) for i in range(10)])
+        assert combiner.batches == 2  # 60-req leader batch, then b+c shared
+        assert combiner.combined_requests == 71
+
+
 def test_average_batch_empty(ring):
     assert ThreadCombiner(ring).average_batch() == 0.0

@@ -1,0 +1,175 @@
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    EventLog,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    TimeSeries,
+)
+
+
+class TestCounterGauge:
+    def test_counter(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(3.5)
+        assert g.value == 3.5
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = LatencyHistogram("lat")
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        assert h.average() == 0.0
+
+    def test_small_values_exact(self):
+        """Sub-16ns values get one bucket each: exact percentiles."""
+        h = LatencyHistogram("lat")
+        for ns in (3, 3, 3, 9):
+            h.record(ns * 1e-9)
+        # One bucket per integer ns below 16; midpoint is ns + 0.5.
+        assert h.percentile(50) == pytest.approx(3.5e-3, rel=1e-9)  # us
+
+    def test_percentile_accuracy_log_buckets(self):
+        """Log bucketing guarantees <= ~6% relative error anywhere."""
+        rng = random.Random(5)
+        samples = [rng.uniform(1e-6, 5e-3) for _ in range(20_000)]
+        h = LatencyHistogram("lat")
+        for s in samples:
+            h.record(s)
+        samples.sort()
+        for p in (50, 90, 99, 99.9):
+            exact_us = samples[min(len(samples) - 1, int(len(samples) * p / 100))] * 1e6
+            approx_us = h.percentile(p)
+            assert abs(approx_us - exact_us) / exact_us < 0.08, p
+
+    def test_average_tracks_true_mean(self):
+        h = LatencyHistogram("lat")
+        values = [1e-6, 2e-6, 3e-6, 4e-6]
+        for v in values:
+            h.record(v)
+        assert h.average() == pytest.approx(2.5, rel=1e-6)  # us
+
+    def test_max_recorded(self):
+        h = LatencyHistogram("lat")
+        h.record(1e-6)
+        h.record(9e-4)
+        assert h.to_dict()["max_us"] == pytest.approx(900.0, rel=1e-6)
+
+    def test_to_dict_shape(self):
+        h = LatencyHistogram("lat")
+        h.record(5e-6)
+        d = h.to_dict()
+        for key in ("count", "avg_us", "p50_us", "p90_us", "p99_us",
+                    "p999_us", "max_us", "buckets_us"):
+            assert key in d
+        assert d["count"] == 1
+
+    def test_negative_and_zero_clamped(self):
+        h = LatencyHistogram("lat")
+        h.record(0.0)
+        h.record(-1e-9)
+        assert h.count == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(1e-7, 1.0), min_size=1, max_size=300))
+    def test_property_percentiles_bounded_by_extremes(self, samples):
+        h = LatencyHistogram("lat")
+        for s in samples:
+            h.record(s)
+        lo, hi = min(samples) * 1e6, max(samples) * 1e6
+        for p in (0, 50, 99, 100):
+            v = h.percentile(p)
+            # Bucket midpoints stay within ~7% of the true support.
+            assert lo * 0.9 <= v <= hi * 1.07
+
+
+class TestTimeSeriesEvents:
+    def test_timeseries(self):
+        ts = TimeSeries("qd")
+        ts.append(0.0, 1)
+        ts.append(0.5, 3)
+        d = ts.to_dict()
+        assert d["t"] == [0.0, 0.5]
+        assert d["v"] == [1, 3]
+
+    def test_eventlog(self):
+        log = EventLog("gc")
+        log.emit(1.5, "gc", vs_id=2, moved=10)
+        log.emit(2.0, "reclaim", pwb_id=0)
+        assert len(log.events) == 2
+        gc = log.of_kind("gc")
+        assert gc == [{"at": 1.5, "kind": "gc", "vs_id": 2, "moved": 10}]
+        assert log.to_list()[1]["kind"] == "reclaim"
+
+
+class TestRegistry:
+    def test_instruments_are_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.timeseries("t") is reg.timeseries("t")
+        assert reg.events("e") is reg.events("e")
+
+    def test_phase_helper(self):
+        reg = MetricsRegistry()
+        reg.phase("put", "index_lookup", 2e-6)
+        h = reg.histogram("phase.put.index_lookup")
+        assert h.count == 1
+
+    def test_to_dict_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").record(1e-6)
+        reg.timeseries("t").append(0.0, 1)
+        reg.events("e").emit(0.0, "e", x=1)
+        d = reg.to_dict()
+        assert d["counters"]["c"] == 1
+        assert d["gauges"]["g"] == 1.0
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["series"]["t"]["v"] == [1]
+        assert d["events"]["e"][0]["x"] == 1
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        reg = NullRegistry()
+        reg.counter("a").inc(5)
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").record(1e-6)
+        reg.timeseries("d").append(0.0, 1)
+        reg.events("e").emit(0.0, "e", x=1)
+        reg.phase("put", "x", 1e-6)
+        d = reg.to_dict()
+        assert d["counters"] == {}
+        assert d["histograms"] == {}
+
+    def test_instruments_are_shared_singletons(self):
+        """The disabled path allocates nothing per call site."""
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("zzz")
+        assert reg.histogram("a") is reg.histogram("zzz")
+
+    def test_null_histogram_reports_zero(self):
+        h = NULL_REGISTRY.histogram("x")
+        h.record(1.0)
+        assert h.count == 0
+        assert h.percentile(99) == 0.0

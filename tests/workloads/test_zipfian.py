@@ -34,9 +34,19 @@ class TestZipfian:
         with pytest.raises(ValueError):
             ZipfianGenerator(0)
         with pytest.raises(ValueError):
-            ZipfianGenerator(10, theta=1.0)
-        with pytest.raises(ValueError):
             ZipfianGenerator(10, theta=0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=-0.5)
+
+    def test_theta_one_and_above_supported(self):
+        """The Figure 9 sweep needs theta up to 1.5; the Gray closed
+        form breaks at theta >= 1, so those use exact CDF inversion."""
+        for theta in (1.0, 1.2, 1.5):
+            gen = ZipfianGenerator(1000, theta, random.Random(11))
+            samples = [gen.next() for _ in range(5000)]
+            assert all(0 <= s < 1000 for s in samples)
+            counts = Counter(samples)
+            assert counts[0] == max(counts.values())
 
     def test_deterministic_with_seed(self):
         a = ZipfianGenerator(100, 0.99, random.Random(7))
@@ -44,10 +54,48 @@ class TestZipfian:
         assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
 
     @settings(max_examples=20, deadline=None)
-    @given(n=st.integers(1, 10_000), theta=st.floats(0.3, 1.5).filter(lambda x: abs(x - 1) > 1e-3))
+    @given(n=st.integers(1, 10_000), theta=st.floats(0.3, 1.5))
     def test_property_in_range(self, n, theta):
         gen = ZipfianGenerator(n, theta, random.Random(0))
         assert all(0 <= gen.next() < n for _ in range(200))
+
+    @pytest.mark.parametrize("theta", [0.5, 0.99, 1.2, 1.5])
+    def test_rank_frequencies_match_exponent(self, theta):
+        """Least-squares slope of log(frequency) vs log(rank) over the
+        head of the distribution recovers -theta, in both sampler
+        regimes (closed form below 1, exact inversion at/above)."""
+        import math
+
+        n, samples = 500, 120_000
+        gen = ZipfianGenerator(n, theta, random.Random(int(theta * 100)))
+        counts = Counter(gen.next() for _ in range(samples))
+        xs, ys = [], []
+        for rank in range(30):
+            c = counts.get(rank, 0)
+            assert c > 0, f"head rank {rank} never drawn at theta={theta}"
+            xs.append(math.log(rank + 1))
+            ys.append(math.log(c))
+        mx = sum(xs) / len(xs)
+        my = sum(ys) / len(ys)
+        slope = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sum(
+            (x - mx) ** 2 for x in xs
+        )
+        assert abs(slope + theta) < 0.1, (theta, slope)
+
+    @pytest.mark.parametrize("theta", [0.6, 1.3])
+    def test_grow_matches_fresh_generator(self, theta):
+        """Incremental growth lands on the same normalization (and, in
+        the exact regime, the same CDF) as building at full size."""
+        grown = ZipfianGenerator(10, theta, random.Random(1))
+        for n in range(11, 301):
+            grown.grow(n)
+        fresh = ZipfianGenerator(300, theta, random.Random(1))
+        assert grown.n == fresh.n
+        assert grown.zeta_n == pytest.approx(fresh.zeta_n, rel=1e-12)
+        if theta >= 1.0:
+            assert grown._cum == pytest.approx(fresh._cum, rel=1e-12)
+        else:
+            assert grown.eta == pytest.approx(fresh.eta, rel=1e-12)
 
 
 class TestScrambled:
