@@ -149,6 +149,19 @@ def _scalars(args):
     return {"nvm_space": space, "recovery": rec}
 
 
+def _faults(args):
+    results = ex.fault_recovery()
+    print("Robustness — YCSB-A under injected transient faults")
+    print(f"{'rate':>10} {'Kops':>9} {'injected':>9} {'retries':>8} "
+          f"{'audit':>6} {'recover(ms)':>12}")
+    for label, run in results["runs"].items():
+        stats = results["faults"][label]
+        print(f"{label:>10} {run.kops:>9.1f} {stats['injected']:>9.0f} "
+              f"{stats['retries']:>8.0f} {stats['audit_violations']:>6.0f} "
+              f"{stats['recovery_seconds'] * 1e3:>12.3f}")
+    return results
+
+
 def _media(args):
     results = media_matrix()
     print("Extension — emerging media (Kops)")
@@ -170,6 +183,7 @@ COMMANDS = {
     "fig16": _fig16,
     "fig17": _fig17,
     "ablations": _ablations,
+    "faults": _faults,
     "scalars": _scalars,
     "media": _media,
 }

@@ -648,3 +648,69 @@ def recovery_comparison(
         "prism_keys": float(report.recovered_keys),
         "kvell_seconds": kvell.recovery_time(),
     }
+
+
+# ----------------------------------------------------------------------
+# Robustness: throughput under injected faults + recovery after crash
+# ----------------------------------------------------------------------
+def fault_recovery(
+    error_rates: Sequence[float] = (0.0, 1e-3, 5e-3),
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    num_threads: int = NUM_THREADS,
+) -> Dict[str, object]:
+    """YCSB-A under seeded transient device faults.
+
+    For each error rate: run, report throughput degradation relative
+    to the fault-free baseline plus retry/injection counters, audit
+    the store (zero invariant violations expected despite faults),
+    then crash + recover and report the recovery virtual time.
+    """
+    from repro.core.checker import audit
+    from repro.faults.injector import FaultConfig
+
+    num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
+    num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
+    data = _dataset_bytes(num_keys, VALUE_SIZE)
+    out: Dict[str, object] = {"runs": {}, "faults": {}}
+    for rate in error_rates:
+        faults = None
+        if rate > 0.0:
+            faults = FaultConfig(
+                seed=13,
+                read_error_rate=rate,
+                write_error_rate=rate,
+                flush_error_rate=rate / 10,
+                stuck_rate=rate / 10,
+            )
+        store = build_prism(
+            num_threads=num_threads,
+            dataset_bytes=data,
+            expected_keys=num_keys * 3,
+            faults=faults,
+        )
+        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+        result = run_workload(
+            store,
+            WORKLOADS["A"],
+            num_ops,
+            num_keys,
+            num_threads,
+            VALUE_SIZE,
+            warmup_ops=num_ops // 4,
+        )
+        report = audit(store)
+        store.crash()
+        recovery = store.recover(recovery_threads=num_threads)
+        label = f"rate={rate:g}"
+        out["runs"][label] = result
+        out["faults"][label] = {
+            "injected": float(store.injector.total_injected) if store.injector else 0.0,
+            "retries": float(store.retry_exec.retries),
+            "audit_violations": float(len(report.violations)),
+            "recovered_keys": float(recovery.recovered_keys),
+            "recovery_seconds": recovery.duration,
+        }
+    return out
+
+

@@ -9,7 +9,10 @@ design choice the paper evaluates or ablates is a switch here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.faults.injector import FaultConfig
+from repro.faults.retry import RetryPolicy
 from repro.core.tcq import (
     COMBINE_WINDOW,
     MODE_SYNC,
@@ -69,6 +72,14 @@ class PrismConfig:
     # and traces per-op phase latencies; when False (default) it holds
     # the shared no-op registry and tracing costs nothing.
     enable_metrics: bool = False
+
+    # Fault injection: None (default) leaves every device on the no-op
+    # null injector — runs are bit-identical to a build without the
+    # fault subsystem.  A FaultConfig attaches a seeded injector to the
+    # SSDs and the NVM DIMM.
+    faults: Optional[FaultConfig] = None
+    # Retry/backoff/escalation for transient device errors.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:

@@ -31,6 +31,7 @@ from repro.core import pointers as ptr
 from repro.sim.resources import VLock
 from repro.sim.vthread import VThread
 from repro.storage.base import StorageError
+from repro.storage.crash import NULL_CRASH_POINT
 from repro.storage.nvm import NVMDevice
 
 ENTRY_BYTES = 16
@@ -39,6 +40,9 @@ _CAS_COST = 25e-9
 
 class HSIT:
     """Array-of-entries indirection table on NVM."""
+
+    # Crash-exploration hook; the owning store swaps in its own point.
+    crash_point = NULL_CRASH_POINT
 
     def __init__(self, nvm: NVMDevice, capacity: int) -> None:
         if capacity < 1:
@@ -151,15 +155,19 @@ class HSIT:
         """
         addr = self._addr(idx)
         old = self._load_word(thread, addr)
+        self.crash_point.maybe_crash("hsit.publish.pre")
         # (1) atomic store of the new pointer with the dirty bit set
         self._store_word(thread, addr, ptr.set_dirty(word))
         if thread is not None:
             thread.spend(_CAS_COST)
+        self.crash_point.maybe_crash("hsit.publish.dirty")
         # (2) flush + fence: the dirty pointer is now durable
         self.nvm.flush(thread, addr, 8)
         self.nvm.fence(thread)
+        self.crash_point.maybe_crash("hsit.publish.flushed")
         # (3) clear the dirty bit (flushed lazily by readers/recovery)
         self._store_word(thread, addr, ptr.clear_dirty(word))
+        self.crash_point.maybe_crash("hsit.publish.done")
         return ptr.decode(ptr.clear_dirty(old))
 
     def read_location(

@@ -26,19 +26,38 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import pointers as ptr
 from repro.core.config import PrismConfig
+from repro.core.containment import resolve_partial_publish
 from repro.core.epoch import EpochManager
 from repro.core.hsit import HSIT
 from repro.core.pwb import PersistentWriteBuffer, PWBFullError
 from repro.core.svc import ScanAwareValueCache
 from repro.core.tcq import ThreadCombiner
 from repro.core.value_storage import RECORD_HEADER, ValueStorage
+from repro.faults.errors import (
+    DeviceError,
+    NoHealthyStorageError,
+    ReadDegradedError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryExecutor
 from repro.obs.metrics import EventLog, MetricsRegistry, NULL_REGISTRY
 from repro.sim.clock import VirtualClock
 from repro.sim.vthread import VThread
+from repro.storage.crash import CrashPoint
 from repro.storage.dram import DRAMDevice
 from repro.storage.nvm import NVMDevice
 from repro.storage.ssd import SSDDevice
 from repro.index.pactree import PACTree
+
+
+class _WholeStoreCrash:
+    """Adapter letting a CrashPoint power-fail an entire store."""
+
+    def __init__(self, store: "Prism") -> None:
+        self.store = store
+
+    def power_failure(self) -> None:
+        self.store.crash()
 
 
 class Prism:
@@ -120,6 +139,35 @@ class Prism:
         self._rr_storage = itertools.count()
         self._crashed = False
 
+        # --- fault injection & retries ---------------------------------
+        self.retry_exec = RetryExecutor(
+            cfg.retry, injector=None, events=self.events, metrics=self.metrics
+        )
+        self.injector: Optional[FaultInjector] = None
+        if cfg.faults is not None:
+            self.injector = FaultInjector(
+                cfg.faults, events=self.events, metrics=self.metrics
+            )
+            self.retry_exec.injector = self.injector
+            self.nvm.attach_injector(self.injector)
+            for ssd in self.ssds:
+                ssd.attach_injector(self.injector)
+            # Failed flushes retry inside the device, covering every
+            # persist point (PWB appends, HSIT publishes) at once.
+            self.nvm.attach_retry(self.retry_exec)
+            for combiner in self.combiners:
+                combiner.retry = self.retry_exec
+
+        # --- crash exploration -----------------------------------------
+        # One store-wide crash point shared by every instrumented
+        # component; unarmed it costs one no-op call per label.
+        self.crash_point = CrashPoint(_WholeStoreCrash(self))
+        self.hsit.crash_point = self.crash_point
+        for pwb in self.pwbs:
+            pwb.crash_point = self.crash_point
+        for vs in self.storages:
+            vs.crash_point = self.crash_point
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
@@ -144,17 +192,55 @@ class Prism:
     def _pwb_for(self, thread: VThread) -> PersistentWriteBuffer:
         return self.pwbs[thread.tid % len(self.pwbs)]
 
+    def _vs_dead(self, vs: ValueStorage) -> bool:
+        return self.injector is not None and self.injector.is_dead(vs.ssd.name)
+
+    def _healthy_storages(self) -> List[ValueStorage]:
+        """Value Storages whose device still works (degraded mode §ISSUE).
+
+        With no injector every storage is healthy and this is the plain
+        list — zero overhead on the fault-free path.
+        """
+        if self.injector is None:
+            return self.storages
+        healthy = [vs for vs in self.storages if not self.injector.is_dead(vs.ssd.name)]
+        if not healthy:
+            raise NoHealthyStorageError("every Value Storage device is dead")
+        return healthy
+
+    def _retrying_write(
+        self, vs: ValueStorage, at: float, records: List[Tuple[int, bytes]]
+    ):
+        """write_records with the store's retry policy applied.
+
+        Safe to retry wholesale: on error write_records releases every
+        chunk it allocated, so a repeat attempt starts clean.
+        """
+        if self.injector is None:
+            return vs.write_records(at, records)
+        return self.retry_exec.run_at(
+            lambda t: vs.write_records(t, records),
+            at,
+            device=vs.ssd.name,
+            op="vs_write",
+        )
+
     def _pick_storage(self, at: float) -> ValueStorage:
-        """Prefer an idle Value Storage; otherwise least loaded (§5.2)."""
+        """Prefer an idle healthy Value Storage; else least loaded (§5.2)."""
+        candidates = self._healthy_storages()
         start = next(self._rr_storage)
-        n = len(self.storages)
+        n = len(candidates)
         for i in range(n):
-            vs = self.storages[(start + i) % n]
+            vs = candidates[(start + i) % n]
             if vs.ring.idle_at(at):
                 return vs
-        return min(self.storages, key=lambda s: s.ring.inflight_at(at))
+        return min(candidates, key=lambda s: s.ring.inflight_at(at))
 
     def _tick(self) -> None:
+        if self._crashed:
+            # A simulated power failure fired mid-operation; the unwind
+            # must not touch (or advance epochs over) post-crash state.
+            return
         self._ops += 1
         if self._ops % self.config.epoch_advance_every == 0:
             self.epoch.try_advance()
@@ -177,6 +263,9 @@ class Prism:
         thread = self._thread(thread)
         m = self.metrics
         self.epoch.enter(thread.tid)
+        is_new = False
+        inserted = False
+        idx = None
         try:
             t0 = thread.now
             idx = self.index.lookup(key, thread)
@@ -184,6 +273,7 @@ class Prism:
             is_new = idx is None
             if is_new:
                 idx = self.hsit.allocate(thread)
+                self.crash_point.maybe_crash("put.allocated")
             if self.config.enable_pwb:
                 pwb = self._pwb_for(thread)
                 t0 = thread.now
@@ -196,16 +286,19 @@ class Prism:
             else:
                 t0 = thread.now
                 vs = self._pick_storage(thread.now)
-                chunk_id, off = vs.append_record_sync(thread, idx, value)
+                chunk_id, off = self._append_sync_retrying(vs, thread, idx, value)
                 m.phase("put", "vs_append", thread.now - t0)
                 word = ptr.encode_vs(vs.vs_id, chunk_id, off)
                 self._maybe_gc(vs, thread.now)
+            self.crash_point.maybe_crash("put.appended")
             t0 = thread.now
             old = self.hsit.publish_location(idx, word, thread)
             self._supersede(idx, old, thread)
             if is_new:
                 self.index.insert(key, idx, thread)
+                inserted = True
             m.phase("put", "publish", thread.now - t0)
+            self.crash_point.maybe_crash("put.done")
             self.bytes_put += len(value)
             self.puts += 1
             if self.config.enable_pwb:
@@ -215,9 +308,33 @@ class Prism:
                     and pwb.pending_release is None
                 ):
                     self._reclaim(pwb, thread.now)
+        except DeviceError:
+            # The put failed after allocating a fresh HSIT entry but
+            # before the key reached the index: the entry would leak
+            # until the next recovery pass.  Return it now — the value
+            # record (if persisted) becomes ill-coupled garbage.
+            if is_new and idx is not None and not inserted:
+                try:
+                    self.hsit.free(idx, thread)
+                except DeviceError:
+                    pass  # NVM itself is failing; recovery will reclaim
+            raise
         finally:
             self.epoch.exit(thread.tid)
             self._tick()
+
+    def _append_sync_retrying(
+        self, vs: ValueStorage, thread: VThread, idx: int, value: bytes
+    ) -> Tuple[int, int]:
+        """append_record_sync with retry (no-PWB ablation path)."""
+        if self.injector is None:
+            return vs.append_record_sync(thread, idx, value)
+        return self.retry_exec.run(
+            lambda: vs.append_record_sync(thread, idx, value),
+            thread=thread,
+            device=vs.ssd.name,
+            op="vs_append",
+        )
 
     def _supersede(
         self, idx: int, old: ptr.Location, thread: Optional[VThread]
@@ -283,15 +400,50 @@ class Prism:
                 live.append((hsit_idx, value))
         self.nvm.charge_read(bg, min(region, pwb.capacity) + 16 * count)
         if live:
-            vs = self._pick_storage(bg.now)
-            placements, done = vs.write_records(bg.now, live)
-            bg.wait_until(done)
-            for (hsit_idx, _value), (chunk_id, offset, _size) in zip(
-                live, placements
-            ):
-                self.hsit.publish_location(
-                    hsit_idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+            try:
+                vs = self._pick_storage(bg.now)
+                placements, done = self._retrying_write(vs, bg.now, live)
+            except (DeviceError, NoHealthyStorageError):
+                # The write never stuck (write_records released its
+                # chunks).  Leave the PWB untouched: records stay
+                # readable in NVM and the next trigger retries, on a
+                # healthier storage if one exists.
+                self.events.emit(
+                    start_at, "reclaim_failed", pwb_id=pwb.pwb_id, phase="write"
                 )
+                self.metrics.counter("faults.reclaim_failures").inc()
+                return
+            bg.wait_until(done)
+            self.crash_point.maybe_crash("reclaim.pre_publish")
+            published = 0
+            try:
+                for (hsit_idx, _value), (chunk_id, offset, _size) in zip(
+                    live, placements
+                ):
+                    self.hsit.publish_location(
+                        hsit_idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+                    )
+                    published += 1
+            except DeviceError:
+                # Containment: placements that never published would be
+                # valid-but-unreachable; drop them.  Published entries
+                # stand, but the PWB window must NOT be released while
+                # any entry still points into it.
+                resolve_partial_publish(
+                    self.hsit,
+                    vs,
+                    [
+                        (hsit_idx, placement, None, 0, 0)
+                        for (hsit_idx, _v), placement in zip(live, placements)
+                    ],
+                    published,
+                )
+                self.events.emit(
+                    start_at, "reclaim_failed", pwb_id=pwb.pwb_id, phase="publish"
+                )
+                self.metrics.counter("faults.reclaim_failures").inc()
+                return
+            self.crash_point.maybe_crash("reclaim.published")
             self._maybe_gc(vs, bg.now)
         pwb.pending_release = (upto, bg.now)
         pwb.reclaim_done_at = bg.now
@@ -311,6 +463,8 @@ class Prism:
     # garbage collection in Value Storage (§5.2)
     # ------------------------------------------------------------------
     def _maybe_gc(self, vs: ValueStorage, at: float) -> None:
+        if self._vs_dead(vs):
+            return  # read-degraded storage: nothing to collect into
         if vs.free_fraction() >= self.config.gc_free_threshold:
             return
         bg = self._bg_gc
@@ -321,14 +475,20 @@ class Prism:
         victims = vs.gc_victims(self.config.gc_batch_chunks)
         moves: List[Tuple[int, bytes, int, int]] = []
         read_done = bg.now
-        for chunk_id in victims:
-            for slot in vs.live_records_of(chunk_id):
-                _, value = vs.read_record_raw(chunk_id, slot.offset)
-                moves.append((slot.hsit_idx, value, chunk_id, slot.offset))
-            read_done = max(
-                read_done,
-                vs.ssd.read_async(bg.now, chunk_id * vs.chunk_size, vs.chunk_size),
-            )
+        try:
+            for chunk_id in victims:
+                for slot in vs.live_records_of(chunk_id):
+                    _, value = vs.read_record_raw(chunk_id, slot.offset)
+                    moves.append((slot.hsit_idx, value, chunk_id, slot.offset))
+                read_done = max(
+                    read_done,
+                    vs.ssd.read_async(bg.now, chunk_id * vs.chunk_size, vs.chunk_size),
+                )
+        except DeviceError:
+            # Nothing moved or invalidated yet: abort this GC round.
+            self.events.emit(start_at, "gc_failed", vs_id=vs.vs_id, phase="read")
+            self.metrics.counter("faults.gc_failures").inc()
+            return
         bg.wait_until(read_done)
         if not moves:
             self.events.emit(
@@ -342,17 +502,42 @@ class Prism:
                 duration=bg.now - start_at,
             )
             return
-        placements, done = vs.write_records(
-            bg.now, [(idx, value) for idx, value, _, _ in moves]
-        )
-        bg.wait_until(done)
-        for (idx, value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
-            moves, placements
-        ):
-            self.hsit.publish_location(
-                idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+        try:
+            placements, done = self._retrying_write(
+                vs, bg.now, [(idx, value) for idx, value, _, _ in moves]
             )
-            vs.invalidate(old_chunk, old_off)
+        except DeviceError:
+            self.events.emit(start_at, "gc_failed", vs_id=vs.vs_id, phase="write")
+            self.metrics.counter("faults.gc_failures").inc()
+            return
+        bg.wait_until(done)
+        self.crash_point.maybe_crash("gc.pre_publish")
+        published = 0
+        try:
+            for (idx, value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
+                moves, placements
+            ):
+                self.hsit.publish_location(
+                    idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+                )
+                published += 1
+                vs.invalidate(old_chunk, old_off)
+        except DeviceError:
+            resolve_partial_publish(
+                self.hsit,
+                vs,
+                [
+                    (idx, placement, vs, old_chunk, old_off)
+                    for (idx, _v, old_chunk, old_off), placement in zip(
+                        moves, placements
+                    )
+                ],
+                published,
+            )
+            self.events.emit(start_at, "gc_failed", vs_id=vs.vs_id, phase="publish")
+            self.metrics.counter("faults.gc_failures").inc()
+            return
+        self.crash_point.maybe_crash("gc.published")
         vs.gc_runs += 1
         moved_bytes = sum(len(value) for _, value, _, _ in moves)
         vs.gc_moved_bytes += moved_bytes
@@ -412,6 +597,10 @@ class Prism:
                 m.phase("get", "svc_miss", thread.now - t0)
         m.counter("read.svc_misses").inc()
         vs = self.storages[loc.vs_id]
+        if self._vs_dead(vs):
+            # The durable copy sits on a dead device and no cached copy
+            # exists: the key is read-degraded, not silently missing.
+            raise ReadDegradedError(vs.ssd.name, key)
         req = vs.record_request(loc.chunk_id, loc.vs_offset)
         raw = self.combiners[loc.vs_id].read_one(thread, req, m)
         _, value = ValueStorage.parse_record(raw)
@@ -456,6 +645,8 @@ class Prism:
                             results[key] = cached
                             chain_entries.append((key, entry_id))
                             continue
+                if self._vs_dead(self.storages[loc.vs_id]):
+                    raise ReadDegradedError(self.storages[loc.vs_id].ssd.name, key)
                 misses.setdefault(loc.vs_id, []).append(
                     (loc.chunk_id, loc.vs_offset, idx, key)
                 )
@@ -543,11 +734,13 @@ class Prism:
             m.phase("delete", "index_lookup", thread.now - t0)
             if idx is None:
                 return False
+            self.crash_point.maybe_crash("delete.begin")
             t0 = thread.now
             self.index.delete(key, thread)
             old = self.hsit.publish_location(idx, 0, thread)
             self._supersede(idx, old, thread)
             m.phase("delete", "publish", thread.now - t0)
+            self.crash_point.maybe_crash("delete.published")
             # The HSIT entry rejoins the free list after two epochs (§5.4).
             self.epoch.retire(lambda i=idx: self.hsit.free(i))
             self.deletes += 1

@@ -23,6 +23,7 @@ from typing import Iterator, Optional, Tuple
 
 from repro.sim.vthread import VThread
 from repro.storage.base import StorageError
+from repro.storage.crash import NULL_CRASH_POINT
 from repro.storage.nvm import NVMDevice
 
 RECORD_HEADER = 12  # backward pointer (8B) + value size (4B)
@@ -35,6 +36,9 @@ class PWBFullError(StorageError):
 
 class PersistentWriteBuffer:
     """A per-thread append-only ring on NVM."""
+
+    # Crash-exploration hook; the owning store swaps in its own point.
+    crash_point = NULL_CRASH_POINT
 
     def __init__(self, nvm: NVMDevice, pwb_id: int, capacity: int) -> None:
         if capacity < 4096:
@@ -117,6 +121,7 @@ class PersistentWriteBuffer:
                 f"pwb {self.pwb_id}: {need}B append overflows "
                 f"(used {self.used}/{self.capacity})"
             )
+        self.crash_point.maybe_crash("pwb.append.pre")
         self.head = start + need
         record = (
             hsit_idx.to_bytes(8, "little")
@@ -124,6 +129,7 @@ class PersistentWriteBuffer:
             + value
         )
         self.nvm.persist(thread, self.base + start % self.capacity, record)
+        self.crash_point.maybe_crash("pwb.append.persisted")
         self._offsets.append(start)
         self.appends += 1
         self.bytes_appended += len(value)

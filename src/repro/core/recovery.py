@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.core import pointers as ptr
+from repro.core.containment import resolve_partial_publish
+from repro.faults.errors import DeviceError, NoHealthyStorageError
 from repro.sim.vthread import VThread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -55,6 +57,7 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
 
     # (1) the index restores its own invariants.
     prism.index.recover(rt)
+    prism.crash_point.maybe_crash("recover.index_done")
 
     # (2)–(4) walk reachable entries.
     live_vs: Dict[int, Dict[Tuple[int, int], Tuple[int, int]]] = {
@@ -94,6 +97,7 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
             dropped.append(key)
     for key in dropped:
         prism.index.delete(key)
+    prism.crash_point.maybe_crash("recover.walked")
 
     # Account the NVM scan: index leaves + one HSIT entry per key.
     scanned = prism.index.nvm_bytes() + 16 * len(reachable)
@@ -101,6 +105,10 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
     if vs_header_bytes:
         done = rt.now
         for vs in prism.storages:
+            if prism._vs_dead(vs):
+                # Record headers on a dead device were read through the
+                # simulator's omniscient view; no real IO to charge.
+                continue
             share = vs_header_bytes // max(len(prism.storages), 1)
             done = max(done, vs.ssd.read_async(rt.now, 0, max(share, 1)))
         rt.wait_until(done)
@@ -109,27 +117,54 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
     for vs in prism.storages:
         vs.rebuild_from(live_vs[vs.vs_id])
 
-    # (3) flush live PWB records out and reset the buffers.
+    # (3) flush live PWB records out and reset the buffers.  If the
+    # flush cannot complete (devices failing during recovery), the
+    # records — and the HSIT pointers naming them — stay in the PWBs,
+    # which therefore must NOT be reset: the store comes up consistent,
+    # just with non-empty write buffers.
     flushed = 0
+    flush_ok = True
     if pwb_flush:
         nvm_reread = sum(len(value) for _, _, value in pwb_flush)
         prism.nvm.charge_read(rt, nvm_reread)
-        vs = prism._pick_storage(rt.now)
         records = [(idx, value) for idx, _, value in pwb_flush]
-        placements, done = vs.write_records(rt.now, records)
-        rt.wait_until(done)
-        for (idx, _pwb_id, _value), (chunk_id, offset, _sz) in zip(
-            pwb_flush, placements
-        ):
-            prism.hsit.publish_location(
-                idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), rt
-            )
-        flushed = len(pwb_flush)
-    for pwb in prism.pwbs:
-        pwb.reset()
+        try:
+            vs = prism._pick_storage(rt.now)
+            placements, done = prism._retrying_write(vs, rt.now, records)
+        except (DeviceError, NoHealthyStorageError):
+            flush_ok = False
+        if flush_ok:
+            rt.wait_until(done)
+            published = 0
+            try:
+                for (idx, _pwb_id, _value), (chunk_id, offset, _sz) in zip(
+                    pwb_flush, placements
+                ):
+                    prism.hsit.publish_location(
+                        idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), rt
+                    )
+                    published += 1
+            except DeviceError:
+                resolve_partial_publish(
+                    prism.hsit,
+                    vs,
+                    [
+                        (idx, placement, None, 0, 0)
+                        for (idx, _p, _v), placement in zip(pwb_flush, placements)
+                    ],
+                    published,
+                )
+                flush_ok = False
+            else:
+                flushed = len(pwb_flush)
+    if flush_ok:
+        for pwb in prism.pwbs:
+            pwb.reset()
+    prism.crash_point.maybe_crash("recover.flushed")
 
     # (5) reclaim allocated-but-unreachable entries (crashed inserts).
     leaked = _reclaim_unreachable(prism, reachable, rt)
+    prism.crash_point.maybe_crash("recover.done")
 
     single_thread_time = rt.now - start
     duration = single_thread_time / recovery_threads

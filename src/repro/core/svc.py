@@ -23,11 +23,14 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.core.containment import resolve_partial_publish
 from repro.core.epoch import EpochManager
 from repro.core.hsit import HSIT
 from repro.core import pointers as ptr
 from repro.core.value_storage import ValueStorage
+from repro.faults.errors import DeviceError
 from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
 from repro.storage.dram import DRAMDevice
 
 # Fraction of cache capacity the active list may occupy.
@@ -67,6 +70,8 @@ class SVCEntry:
 
 class ScanAwareValueCache:
     """2Q value cache with scan-range writeback."""
+
+    volatile = True  # crashed first by CrashScenario.power_failure
 
     def __init__(
         self,
@@ -347,19 +352,50 @@ class ScanAwareValueCache:
         if len(movable) > 1:
             target = min(storages, key=lambda vs: vs.ring.inflight_at(bg.now))
             records = [(m.hsit_idx, m.value) for m in movable]
-            placements, done = target.write_records(bg.now, records)
-            bg.wait_until(done)
-            for member, (chunk_id, offset, size) in zip(movable, placements):
-                old = self.hsit.read_location(member.hsit_idx, bg)
-                self.hsit.publish_location(
-                    member.hsit_idx,
-                    ptr.encode_vs(target.vs_id, chunk_id, offset),
-                    bg,
-                )
-                if old.in_vs:
-                    storages[old.vs_id].invalidate(old.chunk_id, old.vs_offset)
-            self.scan_writebacks += 1
-            self.writeback_values += len(movable)
+            try:
+                placements, done = target.write_records(bg.now, records)
+            except StorageError:
+                # Reorganization is an optimization: on device trouble
+                # (or a full store) skip the rewrite — the durable
+                # copies stand and eviction proceeds as a plain drop.
+                placements = None
+            if placements is not None:
+                bg.wait_until(done)
+                olds = [self.hsit.read_location(m.hsit_idx, bg) for m in movable]
+                published = 0
+                try:
+                    for member, old, (chunk_id, offset, size) in zip(
+                        movable, olds, placements
+                    ):
+                        self.hsit.publish_location(
+                            member.hsit_idx,
+                            ptr.encode_vs(target.vs_id, chunk_id, offset),
+                            bg,
+                        )
+                        published += 1
+                        if old.in_vs:
+                            storages[old.vs_id].invalidate(
+                                old.chunk_id, old.vs_offset
+                            )
+                except DeviceError:
+                    resolve_partial_publish(
+                        self.hsit,
+                        target,
+                        [
+                            (
+                                m.hsit_idx,
+                                placement,
+                                storages[old.vs_id] if old.in_vs else None,
+                                old.chunk_id,
+                                old.vs_offset,
+                            )
+                            for m, old, placement in zip(movable, olds, placements)
+                        ],
+                        published,
+                    )
+                else:
+                    self.scan_writebacks += 1
+                    self.writeback_values += len(movable)
         # The chain's purpose — spatial locality on flash — is now
         # fulfilled, so dissolve it; only the evicted value leaves the
         # cache (Figure 3: the victim is freed, its range-mates were

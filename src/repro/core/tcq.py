@@ -48,6 +48,12 @@ MODE_SYNC = "sync"
 class ThreadCombiner:
     """Batches concurrent reads against one Value Storage ring."""
 
+    # Optional RetryExecutor (attached by the store when fault
+    # injection is on): transient errors on an SQE placement re-submit
+    # that request at a backed-off virtual time.  MODE_SYNC is the
+    # deliberately-naive baseline and is not retried.
+    retry = None
+
     def __init__(
         self,
         ring: IOUring,
@@ -114,7 +120,7 @@ class ThreadCombiner:
             floor = self._batch_close
             self.combined_requests += len(requests)
             for req in requests:
-                done = max(done, self.ring.submit_one(floor, req))
+                done = max(done, self._place(floor, req))
         else:
             # Leader: open fresh batches.  A request list larger than
             # the coalescing limit (the queue depth) is split at QD —
@@ -136,7 +142,7 @@ class ThreadCombiner:
                 self.batches += 1
                 self.combined_requests += len(chunk)
                 for req in chunk:
-                    done = max(done, self.ring.submit_one(floor, req))
+                    done = max(done, self._place(floor, req))
             if len(chunks[-1]) >= limit:
                 self._batch_close = t  # no partial batch left open
                 self._batch_count = 0
@@ -149,6 +155,18 @@ class ThreadCombiner:
         metrics.phase("read", "combining_wait", submit_at - t)
         metrics.phase("read", "ssd_wait", max(0.0, done - submit_at))
         return done
+
+    def _place(self, at: float, req: IORequest) -> float:
+        """Put one SQE on the ring, retrying transient faults if the
+        store attached a retry executor."""
+        if self.retry is None:
+            return self.ring.submit_one(at, req)
+        return self.retry.run_at(
+            lambda t: self.ring.submit_one(t, req),
+            at,
+            device=self.ring.device.name,
+            op="read",
+        )
 
     def read_one(
         self,

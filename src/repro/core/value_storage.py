@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.sim.resources import VLock
 from repro.sim.vthread import VThread
 from repro.storage.base import StorageError
+from repro.storage.crash import NULL_CRASH_POINT
 from repro.storage.iouring import IORequest, IOUring
 from repro.storage.ssd import SSDDevice
 
@@ -54,6 +55,9 @@ class _ChunkInfo:
 
 class ValueStorage:
     """One log-structured value store per SSD."""
+
+    # Crash-exploration hook; the owning store swaps in its own point.
+    crash_point = NULL_CRASH_POINT
 
     def __init__(
         self,
@@ -173,11 +177,26 @@ class ValueStorage:
             placements.append(placement)
         _seal()
 
-        for cid, buf, _ in pending:
-            req = IORequest("write", cid * self.chunk_size, len(buf), data=bytes(buf))
-            self.ring.submit(at, [req])
-            done = max(done, req.completion)
-            self.chunk_writes += 1
+        self.crash_point.maybe_crash("vs.write.pre")
+        try:
+            for cid, buf, _ in pending:
+                req = IORequest("write", cid * self.chunk_size, len(buf), data=bytes(buf))
+                self.ring.submit(at, [req])
+                done = max(done, req.completion)
+                self.chunk_writes += 1
+        except StorageError:
+            # Failure atomicity: no HSIT entry will ever point at these
+            # chunks (the caller aborts), so leaving their slots marked
+            # valid would fabricate valid-but-unreachable records.
+            # Release every chunk this call allocated — data already
+            # durable in earlier chunks of the batch is orphaned log
+            # garbage, which is exactly what reusing the chunk erases.
+            for cid, _, _ in pending:
+                if cid in self._chunks:
+                    del self._chunks[cid]
+                    self._free.append(cid)
+            raise
+        self.crash_point.maybe_crash("vs.write.done")
         return placements, done
 
     def append_record_sync(

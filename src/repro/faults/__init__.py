@@ -1,0 +1,52 @@
+"""Fault injection, retrying IO, degraded mode, and crash exploration.
+
+The subsystem has four layers:
+
+* :mod:`repro.faults.errors` — the typed failure hierarchy under
+  :class:`~repro.storage.base.StorageError`;
+* :mod:`repro.faults.injector` — a seeded, deterministic
+  :class:`FaultInjector` the simulated devices consult;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`/:class:`RetryExecutor`
+  for bounded retries with virtual-time backoff and escalation to
+  permanent device death;
+* :mod:`repro.faults.crash_sweep` — automated crash exploration: it
+  discovers every named crash point a workload reaches, crashes at each
+  one, recovers, and checks the durability contract and the cross-media
+  audit.
+
+See the "Fault model" section of ``docs/simulation-model.md``.
+"""
+
+from repro.faults.errors import (
+    DegradedError,
+    DeviceDeadError,
+    DeviceError,
+    FlushError,
+    NoHealthyStorageError,
+    ReadDegradedError,
+    RetryExhaustedError,
+    StuckIOError,
+    TransientIOError,
+    TransientReadError,
+    TransientWriteError,
+)
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.retry import RetryExecutor, RetryPolicy
+
+__all__ = [
+    "DegradedError",
+    "DeviceDeadError",
+    "DeviceError",
+    "FaultConfig",
+    "FaultInjector",
+    "FlushError",
+    "NoHealthyStorageError",
+    "ReadDegradedError",
+    "RetryExecutor",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "StuckIOError",
+    "TransientIOError",
+    "TransientReadError",
+    "TransientWriteError",
+]

@@ -1,0 +1,372 @@
+"""Automated crash exploration over Prism's named crash points.
+
+The sweep answers the question crash-consistency tests usually sample
+by hand: *for every instrumented point in the protocol, does a power
+failure there leave a recoverable, consistent store that honors the
+durability contract?*
+
+The contract it checks (§5.4–5.5 of the paper):
+
+* **acknowledged durability** — every operation that returned before
+  the crash is fully visible after recovery (puts readable with their
+  exact value, deletes absent);
+* **pending atomicity** — the one operation in flight when the crash
+  struck is either fully applied or fully invisible, never torn;
+* **auditable consistency** — :func:`repro.core.checker.audit` reports
+  zero cross-media invariant violations on the recovered store.
+
+Phases:
+
+1. *Discovery*: run the workload once with the store's
+   :class:`~repro.storage.crash.CrashPoint` in recording mode, then
+   crash + recover while still recording — yielding every label the
+   workload reaches and, separately, every label recovery reaches.
+2. *Sweep*: for each workload label, replay on a fresh store with that
+   label armed, let the simulated power failure fire, recover, and
+   verify the contract.  For each recovery-phase label (crash during
+   recovery), complete the workload, crash, arm, let recovery die at
+   the label, then recover *again* — recovery must be idempotent.
+3. *Fuzz* (optional): seeded random (label, occurrence) draws explore
+   later occurrences of each point, where state differs from the first
+   hit (ring wrap-around, GC pressure, chained reclamations).
+
+Run directly (CI smoke job)::
+
+    PYTHONPATH=src python -m repro.faults.crash_sweep --fuzz 5
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.crash import SimulatedCrash
+
+# One workload operation: ("put", key, value) | ("delete", key)
+#                       | ("get", key) | ("scan", key, count)
+Op = Tuple
+
+
+@dataclass
+class LabelOutcome:
+    """Verdict for one armed crash point."""
+
+    label: str
+    occurrence: int
+    fired: bool
+    audit_violations: List[str] = field(default_factory=list)
+    durability_violations: List[str] = field(default_factory=list)
+    recovered_keys: int = 0
+    during_recovery: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.fired and not self.audit_violations and not self.durability_violations
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.ok else "FAIL"
+        phase = " (during recovery)" if self.during_recovery else ""
+        return (
+            f"[{status}] {self.label}#{self.occurrence}{phase}: "
+            f"fired={self.fired} audit={len(self.audit_violations)} "
+            f"durability={len(self.durability_violations)}"
+        )
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep discovered and verified."""
+
+    workload_labels: Dict[str, int] = field(default_factory=dict)
+    recovery_labels: Dict[str, int] = field(default_factory=dict)
+    outcomes: List[LabelOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    def failures(self) -> List[LabelOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"crash sweep: {len(self.workload_labels)} workload labels, "
+            f"{len(self.recovery_labels)} recovery labels, "
+            f"{len(self.outcomes)} crashes injected"
+        ]
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                lines.append(f"  FAIL {outcome.label}#{outcome.occurrence}")
+                for v in outcome.audit_violations[:5]:
+                    lines.append(f"       audit: {v}")
+                for v in outcome.durability_violations[:5]:
+                    lines.append(f"       durability: {v}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+class CrashSweep:
+    """Discovers, arms, and verifies every reachable crash point."""
+
+    def __init__(
+        self,
+        store_factory: Callable[[], "Prism"],
+        ops: Sequence[Op],
+        recovery_threads: int = 2,
+    ) -> None:
+        self.store_factory = store_factory
+        self.ops = list(ops)
+        self.recovery_threads = recovery_threads
+
+    # ------------------------------------------------------------------
+    # workload application with an acknowledged-state model
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_op(store, op: Op) -> None:
+        kind = op[0]
+        if kind == "put":
+            store.put(op[1], op[2])
+        elif kind == "delete":
+            store.delete(op[1])
+        elif kind == "get":
+            store.get(op[1])
+        elif kind == "scan":
+            store.scan(op[1], op[2])
+        else:
+            raise ValueError(f"unknown workload op: {op!r}")
+
+    def _replay(self, store) -> Tuple[Dict[bytes, Optional[bytes]], Optional[Op]]:
+        """Run ops until completion or a simulated crash.
+
+        Returns ``(acked, pending)``: the mutations whose calls
+        returned (value, or None for a delete), and the op in flight
+        when the crash struck (None when the workload completed).  An
+        op is *acknowledged* exactly when its call returned — the
+        moment a real client would consider it durable.
+        """
+        acked: Dict[bytes, Optional[bytes]] = {}
+        for op in self.ops:
+            try:
+                self._apply_op(store, op)
+            except SimulatedCrash:
+                return acked, op
+            if op[0] == "put":
+                acked[op[1]] = op[2]
+            elif op[0] == "delete":
+                acked[op[1]] = None
+        return acked, None
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def discover(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Label → occurrence count, split into workload vs recovery phase."""
+        store = self.store_factory()
+        point = store.crash_point
+        point.start_recording()
+        for op in self.ops:
+            self._apply_op(store, op)
+        workload = dict(point.seen)
+        store.crash()
+        store.recover(self.recovery_threads)
+        total = point.stop_recording()
+        recovery = {
+            label: count - workload.get(label, 0)
+            for label, count in total.items()
+            if count > workload.get(label, 0)
+        }
+        return workload, recovery
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _verify_recovered(
+        self, store, acked: Dict[bytes, Optional[bytes]], pending: Optional[Op]
+    ) -> List[str]:
+        """Check acknowledged durability and pending-op atomicity."""
+        from repro.faults.errors import DegradedError
+
+        violations: List[str] = []
+        pend_key = pending[1] if pending and pending[0] in ("put", "delete") else None
+        for key, value in acked.items():
+            if key == pend_key:
+                continue
+            try:
+                got = store.get(key)
+            except DegradedError as exc:
+                violations.append(f"acked key {key!r} unreadable: {exc}")
+                continue
+            if value is None and got is not None:
+                violations.append(f"deleted key {key!r} resurrected as {got[:16]!r}")
+            elif value is not None and got != value:
+                shown = got[:16] if got is not None else None
+                violations.append(
+                    f"acked key {key!r} lost: expected {value[:16]!r}, got {shown!r}"
+                )
+        if pend_key is not None:
+            old = acked.get(pend_key)  # None covers both deleted and never-acked
+            new = pending[2] if pending[0] == "put" else None
+            got = store.get(pend_key)
+            if got != old and got != new:
+                shown = got[:16] if got is not None else None
+                violations.append(
+                    f"pending {pending[0]} on {pend_key!r} torn: got {shown!r}, "
+                    f"expected old or new state"
+                )
+        return violations
+
+    def verify_label(self, label: str, occurrence: int = 1) -> LabelOutcome:
+        """Crash at one workload-phase point, recover, verify."""
+        from repro.core.checker import audit
+
+        store = self.store_factory()
+        store.crash_point.arm(label, occurrence)
+        acked, pending = self._replay(store)
+        outcome = LabelOutcome(
+            label=label, occurrence=occurrence, fired=store.crash_point.fired == label
+        )
+        if not outcome.fired:
+            store.crash_point.disarm()
+            return outcome
+        report = store.recover(self.recovery_threads)
+        outcome.recovered_keys = report.recovered_keys
+        outcome.audit_violations = list(audit(store).violations)
+        outcome.durability_violations = self._verify_recovered(store, acked, pending)
+        return outcome
+
+    def verify_recovery_label(self, label: str, occurrence: int = 1) -> LabelOutcome:
+        """Crash *during recovery* at one point; recovery must be
+        idempotent, so a second pass has to produce a clean store."""
+        from repro.core.checker import audit
+
+        store = self.store_factory()
+        acked, pending = self._replay(store)
+        assert pending is None, "recovery sweep requires an unarmed workload"
+        store.crash()
+        store.crash_point.arm(label, occurrence)
+        fired = False
+        try:
+            store.recover(self.recovery_threads)
+        except SimulatedCrash:
+            fired = True
+        outcome = LabelOutcome(
+            label=label, occurrence=occurrence, fired=fired, during_recovery=True
+        )
+        if not fired:
+            store.crash_point.disarm()
+            return outcome
+        report = store.recover(self.recovery_threads)
+        outcome.recovered_keys = report.recovered_keys
+        outcome.audit_violations = list(audit(store).violations)
+        outcome.durability_violations = self._verify_recovered(store, acked, None)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # whole-sweep driver
+    # ------------------------------------------------------------------
+    def run(self) -> SweepReport:
+        report = SweepReport()
+        report.workload_labels, report.recovery_labels = self.discover()
+        for label in sorted(report.workload_labels):
+            report.outcomes.append(self.verify_label(label))
+        for label in sorted(report.recovery_labels):
+            report.outcomes.append(self.verify_recovery_label(label))
+        return report
+
+    def fuzz(self, trials: int, seed: int = 0) -> List[LabelOutcome]:
+        """Seeded random draws over (label, occurrence) pairs."""
+        workload, recovery = self.discover()
+        rng = random.Random(seed)
+        outcomes: List[LabelOutcome] = []
+        workload_pool = sorted(workload.items())
+        recovery_pool = sorted(recovery.items())
+        for _ in range(trials):
+            use_recovery = bool(recovery_pool) and rng.random() < 0.25
+            pool = recovery_pool if use_recovery else workload_pool
+            if not pool:
+                break
+            label, count = pool[rng.randrange(len(pool))]
+            occurrence = rng.randint(1, count)
+            if use_recovery:
+                outcomes.append(self.verify_recovery_label(label, occurrence))
+            else:
+                outcomes.append(self.verify_label(label, occurrence))
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# defaults for the CLI / CI smoke job
+# ----------------------------------------------------------------------
+def default_ops(num_ops: int = 300, num_keys: int = 60, seed: int = 7) -> List[Op]:
+    """A deterministic mixed workload dense in protocol transitions:
+    overwrites fragment the log (reclamation + GC), deletes exercise
+    entry freeing, gets/scans drive cache admission and writeback."""
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    for i in range(num_ops):
+        key = b"k%04d" % rng.randrange(num_keys)
+        roll = rng.random()
+        if roll < 0.55:
+            value = bytes([i % 256]) + rng.randbytes(rng.randrange(64, 320))
+            ops.append(("put", key, value))
+        elif roll < 0.65:
+            ops.append(("delete", key))
+        elif roll < 0.9:
+            ops.append(("get", key))
+        else:
+            ops.append(("scan", key, 8))
+    return ops
+
+
+def default_store_factory() -> "Prism":
+    """A store tight enough that the workload reaches reclamation and
+    GC labels, built fresh (and identically) for every replay."""
+    from repro.core.config import PrismConfig
+    from repro.core.prism import Prism
+    from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+    kb = 1024
+    return Prism(
+        PrismConfig(
+            num_threads=2,
+            num_ssds=2,
+            ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(512 * kb),
+            chunk_size=16 * kb,
+            pwb_capacity=32 * kb,
+            gc_free_threshold=0.4,
+            svc_capacity=32 * kb,
+            hsit_capacity=50_000,
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.crash_sweep",
+        description="Crash at every discovered crash point; verify recovery.",
+    )
+    parser.add_argument("--ops", type=int, default=300, help="workload length")
+    parser.add_argument("--keys", type=int, default=60, help="key-space size")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--fuzz", type=int, default=0, help="extra randomized (label, occurrence) trials"
+    )
+    args = parser.parse_args(argv)
+
+    sweep = CrashSweep(
+        default_store_factory, default_ops(args.ops, args.keys, args.seed)
+    )
+    report = sweep.run()
+    if args.fuzz:
+        report.outcomes.extend(sweep.fuzz(args.fuzz, seed=args.seed))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    import sys
+
+    sys.exit(main())

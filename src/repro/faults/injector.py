@@ -1,0 +1,163 @@
+"""Seeded, deterministic device-fault injection.
+
+A :class:`FaultInjector` is consulted by the timed device interfaces
+(:meth:`SSDDevice.read`/``write``/``*_async``, :meth:`NVMDevice.flush`)
+*before* any state changes or time is charged, and either returns (no
+fault) or raises a typed error from :mod:`repro.faults.errors`:
+
+* transient read/write errors at configured per-op rates;
+* stuck IO — the request hangs and the submitter loses a virtual-time
+  timeout before :class:`StuckIOError` surfaces (the retry layer
+  charges the timeout);
+* failed NVM flushes (the covered lines stay volatile);
+* permanent device death — explicit (:meth:`kill_device`) or declared
+  by the retry layer after too many consecutive failures.
+
+Determinism: faults are drawn from one ``random.Random(seed)`` in
+consult order, and a consult whose rates are all zero draws nothing.
+With no injector attached (the default ``NULL_INJECTOR`` in
+:mod:`repro.storage.base`) the hooks are no-ops that never touch
+virtual time or randomness, so a fault-free run is bit-identical to a
+build without the subsystem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.faults.errors import (
+    DeviceDeadError,
+    FlushError,
+    StuckIOError,
+    TransientReadError,
+    TransientWriteError,
+)
+from repro.obs.metrics import EventLog, MetricsRegistry, NULL_REGISTRY
+from repro.storage.base import NULL_INJECTOR  # re-export for convenience
+
+__all__ = ["FaultConfig", "FaultInjector", "NULL_INJECTOR"]
+
+
+@dataclass
+class FaultConfig:
+    """Knobs of one fault schedule.
+
+    Rates are per *consult* (one timed IO or flush).  ``stuck_timeout``
+    is the virtual time a submitter loses before a stuck request
+    surfaces as :class:`StuckIOError`.  ``max_faults`` bounds the total
+    number of injected faults (handy for "exactly one error" tests);
+    ``dead_devices`` names devices that are dead from the start.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    flush_error_rate: float = 0.0
+    stuck_rate: float = 0.0
+    stuck_timeout: float = 2e-3
+    max_faults: Optional[int] = None
+    dead_devices: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "flush_error_rate",
+            "stuck_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {rate}")
+        if self.stuck_timeout < 0:
+            raise ValueError(f"stuck_timeout must be >= 0: {self.stuck_timeout}")
+
+
+class FaultInjector:
+    """Decides, per IO, whether a device misbehaves."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        events: Optional[EventLog] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.events = events if events is not None else EventLog("faults")
+        self.metrics = metrics
+        self.dead: set = set(config.dead_devices)
+        self.injected: Dict[str, int] = {}
+        self.consults = 0
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _budget_left(self) -> bool:
+        limit = self.config.max_faults
+        return limit is None or self.total_injected < limit
+
+    def _emit(self, at: float, device: str, op: str, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        self.events.emit(at, "fault", device=device, op=op, fault=kind)
+        self.metrics.counter(f"faults.injected.{kind}").inc()
+
+    # ------------------------------------------------------------------
+    # permanent death
+    # ------------------------------------------------------------------
+    def kill_device(self, name: str, at: float = 0.0) -> None:
+        """Mark a device permanently failed (idempotent)."""
+        if name in self.dead:
+            return
+        self.dead.add(name)
+        self.events.emit(at, "device_dead", device=name)
+        self.metrics.counter("faults.device_deaths").inc()
+
+    def is_dead(self, name: str) -> bool:
+        return name in self.dead
+
+    # ------------------------------------------------------------------
+    # consult hooks (called by devices before charging any time)
+    # ------------------------------------------------------------------
+    def before_io(self, device, op: str, at: float) -> None:
+        """May raise a typed error for one read/write on ``device``."""
+        self.consults += 1
+        name = device.name
+        if name in self.dead:
+            raise DeviceDeadError(name, op)
+        cfg = self.config
+        rate = cfg.read_error_rate if op == "read" else cfg.write_error_rate
+        if rate > 0.0 and self._budget_left() and self.rng.random() < rate:
+            self._emit(at, name, op, f"{op}_error")
+            if op == "read":
+                raise TransientReadError(name, op)
+            raise TransientWriteError(name, op)
+        if (
+            cfg.stuck_rate > 0.0
+            and self._budget_left()
+            and self.rng.random() < cfg.stuck_rate
+        ):
+            self._emit(at, name, op, "stuck")
+            raise StuckIOError(name, op, timeout=cfg.stuck_timeout)
+
+    def before_flush(self, device, at: float) -> None:
+        """May fail one NVM cache-line flush on ``device``."""
+        self.consults += 1
+        name = device.name
+        if name in self.dead:
+            raise DeviceDeadError(name, "flush")
+        cfg = self.config
+        if (
+            cfg.flush_error_rate > 0.0
+            and self._budget_left()
+            and self.rng.random() < cfg.flush_error_rate
+        ):
+            self._emit(at, name, "flush", "flush_error")
+            raise FlushError(name)

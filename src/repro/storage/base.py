@@ -17,6 +17,33 @@ class OutOfSpaceError(StorageError):
     """Raised when an allocation exceeds device capacity."""
 
 
+class _NullFaultInjector:
+    """The default no-fault injector: hooks are no-ops.
+
+    The real injector lives in :mod:`repro.faults.injector`; devices
+    hold this shared sentinel until one is attached, so the fault-free
+    path costs one attribute lookup and a no-op call per IO and never
+    touches virtual time or randomness.
+    """
+
+    enabled = False
+
+    def before_io(self, device, op: str, at: float) -> None:
+        pass
+
+    def before_flush(self, device, at: float) -> None:
+        pass
+
+    def is_dead(self, name: str) -> bool:
+        return False
+
+    def kill_device(self, name: str, at: float = 0.0) -> None:
+        raise RuntimeError("no fault injector attached")
+
+
+NULL_INJECTOR = _NullFaultInjector()
+
+
 class Device:
     """Base class for all simulated devices.
 
@@ -40,6 +67,17 @@ class Device:
         )
         self.bytes_read = 0
         self.bytes_written = 0
+        # Fault injection: consulted by the timed IO paths of concrete
+        # devices.  The shared null sentinel keeps the default free.
+        self.injector = NULL_INJECTOR
+
+    # Crash ordering: volatile components are crashed first by
+    # CrashScenario.power_failure (DRAM subclasses override to True).
+    volatile = False
+
+    def attach_injector(self, injector) -> None:
+        """Route this device's timed IO through a fault injector."""
+        self.injector = injector
 
     @property
     def capacity(self) -> int:

@@ -4,11 +4,19 @@ A power failure hits every device at once: DRAM empties, NVM loses
 unflushed cache lines, completed SSD writes survive.  Tests register
 devices (and persistent heaps) with a :class:`CrashScenario` and pull
 the plug at chosen code points.
+
+:class:`CrashPoint` is the production-side hook: protocol code calls
+``maybe_crash("label")`` at every boundary where a power failure has a
+distinct outcome, and the crash-exploration harness
+(:mod:`repro.faults.crash_sweep`) discovers, arms, and fires those
+labels systematically.  Unarmed, non-recording points never touch
+virtual time, so instrumented code stays bit-identical to
+uninstrumented code.
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol, runtime_checkable
+from typing import Dict, List, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -33,8 +41,19 @@ class CrashScenario:
         return component
 
     def power_failure(self) -> None:
-        """Crash every registered component, volatile-first."""
-        for component in self._components:
+        """Crash every registered component, volatile-first.
+
+        Volatile components (a ``volatile = True`` attribute: DRAM, the
+        SVC) lose their contents before any persistent device rolls
+        back, so crash semantics do not depend on the order tests
+        registered components in — a DRAM cache can never be "read"
+        after NVM already reverted.
+        """
+        ordered = sorted(
+            self._components,
+            key=lambda c: not getattr(c, "volatile", False),
+        )
+        for component in ordered:
             component.crash()
         self.crash_count += 1
 
@@ -43,24 +62,69 @@ class CrashPoint:
     """A named point where a test may inject a crash.
 
     Production code calls ``maybe_crash("after-value-write")``; tests
-    arm the point they want.  Unarmed points are free.
+    arm the point they want — optionally at its Nth occurrence — and
+    the crash-sweep harness records every label reached.  Unarmed,
+    non-recording points are free.
     """
 
-    def __init__(self, scenario: CrashScenario) -> None:
+    def __init__(self, scenario) -> None:
+        # ``scenario`` needs only a ``power_failure()`` method: a real
+        # CrashScenario, or an adapter around a whole store.
         self.scenario = scenario
         self._armed: str = ""
+        self._countdown: int = 0
         self.fired: str = ""
+        self.recording = False
+        self.seen: Dict[str, int] = {}
 
-    def arm(self, label: str) -> None:
+    def arm(self, label: str, occurrence: int = 1) -> None:
+        """Crash at the ``occurrence``-th time ``label`` is reached."""
+        if occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1: {occurrence}")
         self._armed = label
+        self._countdown = occurrence
         self.fired = ""
 
+    def disarm(self) -> None:
+        self._armed = ""
+        self._countdown = 0
+
+    def start_recording(self) -> None:
+        """Begin counting every label reached (crash-point discovery)."""
+        self.recording = True
+        self.seen = {}
+
+    def stop_recording(self) -> Dict[str, int]:
+        self.recording = False
+        return dict(self.seen)
+
     def maybe_crash(self, label: str) -> None:
+        if self.recording:
+            self.seen[label] = self.seen.get(label, 0) + 1
         if self._armed and self._armed == label:
+            self._countdown -= 1
+            if self._countdown > 0:
+                return
             self.fired = label
             self._armed = ""
             self.scenario.power_failure()
             raise SimulatedCrash(label)
+
+
+class _NullCrashPoint(CrashPoint):
+    """Shared inert point for components used outside a store."""
+
+    def __init__(self) -> None:
+        super().__init__(scenario=None)
+
+    def arm(self, label: str, occurrence: int = 1) -> None:
+        raise RuntimeError("cannot arm the null crash point")
+
+    def maybe_crash(self, label: str) -> None:
+        pass
+
+
+NULL_CRASH_POINT = _NullCrashPoint()
 
 
 class SimulatedCrash(Exception):

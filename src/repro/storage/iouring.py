@@ -21,6 +21,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.storage.base import StorageError
 from repro.storage.ssd import SSDDevice
 
 # Cost of an io_uring_enter round trip (submission + later reap), paid
@@ -67,6 +68,7 @@ class IOUring:
         self.queue_depth = queue_depth
         self.batches_submitted = 0
         self.requests_submitted = 0
+        self.io_errors = 0  # CQEs that completed with an error
         self._outstanding: List[float] = []  # completion-time min-heap
 
     def _reap(self, now: float) -> None:
@@ -87,12 +89,19 @@ class IOUring:
         for req in requests:
             while len(self._outstanding) >= self.queue_depth:
                 t = max(t, heapq.heappop(self._outstanding))
-            if req.op == "read":
-                req.result = self.device.read_raw(req.offset, req.size)
-                req.completion = self.device.read_async(t, req.offset, req.size)
-            else:
-                assert req.data is not None
-                req.completion = self.device.write_async(t, req.offset, req.data)
+            try:
+                if req.op == "read":
+                    req.completion = self.device.read_async(t, req.offset, req.size)
+                    req.result = self.device.read_raw(req.offset, req.size)
+                else:
+                    assert req.data is not None
+                    req.completion = self.device.write_async(t, req.offset, req.data)
+            except StorageError:
+                # Errored CQE: earlier requests of the batch are already
+                # in flight (and, for writes, durable) — exactly the
+                # io_uring contract.  The caller retries or degrades.
+                self.io_errors += 1
+                raise
             heapq.heappush(self._outstanding, req.completion)
         self.batches_submitted += 1
         self.requests_submitted += len(requests)
@@ -109,12 +118,16 @@ class IOUring:
         self._reap(t)
         while len(self._outstanding) >= self.queue_depth:
             t = max(t, heapq.heappop(self._outstanding))
-        if req.op == "read":
-            req.result = self.device.read_raw(req.offset, req.size)
-            req.completion = self.device.read_async(t, req.offset, req.size)
-        else:
-            assert req.data is not None
-            req.completion = self.device.write_async(t, req.offset, req.data)
+        try:
+            if req.op == "read":
+                req.completion = self.device.read_async(t, req.offset, req.size)
+                req.result = self.device.read_raw(req.offset, req.size)
+            else:
+                assert req.data is not None
+                req.completion = self.device.write_async(t, req.offset, req.data)
+        except StorageError:
+            self.io_errors += 1
+            raise
         heapq.heappush(self._outstanding, req.completion)
         self.requests_submitted += 1
         return req.completion

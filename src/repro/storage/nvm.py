@@ -48,6 +48,16 @@ class NVMDevice(Device):
         self.bytes_flushed = 0
         self.fences = 0
         self.crashes = 0
+        # Optional RetryExecutor: when attached, failed flushes retry
+        # internally, which covers every persist point (PWB headers,
+        # HSIT publishes, bitmap commits) without touching call sites.
+        # A flush that fails leaves its lines volatile, so retrying is
+        # always safe.
+        self._retry = None
+
+    def attach_retry(self, executor) -> None:
+        """Retry failed flushes through ``executor`` (idempotent op)."""
+        self._retry = executor
 
     # ------------------------------------------------------------------
     # allocation
@@ -130,7 +140,21 @@ class NVMDevice(Device):
             thread.spend(5e-9)
 
     def flush(self, thread: Optional[VThread], addr: int, size: int) -> None:
-        """clwb/clflushopt: persist the cache lines covering the range."""
+        """clwb/clflushopt: persist the cache lines covering the range.
+
+        A fault-injected flush failure surfaces *before* any line is
+        persisted: the covered lines stay volatile, so the operation
+        can be retried wholesale (and is, when a retry executor is
+        attached)."""
+        def consult() -> None:
+            self.injector.before_flush(
+                self, thread.now if thread is not None else 0.0
+            )
+
+        if self._retry is not None:
+            self._retry.run(consult, thread=thread, device=self.name, op="flush")
+        else:
+            consult()
         lines = [l for l in self._lines(addr, size) if l in self._undo]
         for line in lines:
             del self._undo[line]

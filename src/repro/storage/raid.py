@@ -101,6 +101,11 @@ class RAID0:
     # ------------------------------------------------------------------
     # accounting over members
     # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power failure reaches every member of the stripe set."""
+        for dev in self.devices:
+            dev.crash()
+
     @property
     def bytes_written(self) -> int:
         return sum(d.bytes_written for d in self.devices)

@@ -78,6 +78,7 @@ class SSDDevice(Device):
     # ------------------------------------------------------------------
     def read(self, thread: Optional[VThread], offset: int, size: int) -> bytes:
         """Blocking read: the thread waits for device completion."""
+        self.injector.before_io(self, "read", thread.now if thread is not None else 0.0)
         data = self.read_raw(offset, size)
         self.read_ios += 1
         self.charge_read(thread, size)
@@ -85,6 +86,7 @@ class SSDDevice(Device):
 
     def write(self, thread: Optional[VThread], offset: int, data: bytes) -> None:
         """Blocking write."""
+        self.injector.before_io(self, "write", thread.now if thread is not None else 0.0)
         self.write_raw(offset, data)
         self.write_ios += 1
         self.charge_write(thread, len(data))
@@ -94,11 +96,13 @@ class SSDDevice(Device):
     # ------------------------------------------------------------------
     def read_async(self, at: float, offset: int, size: int) -> float:
         """Start a read at virtual time ``at``; returns completion time."""
+        self.injector.before_io(self, "read", at)
         self.read_ios += 1
         return self.charge_read_async(at, size)
 
     def write_async(self, at: float, offset: int, data: bytes) -> float:
         """Start a write at ``at``; data is durable at the returned time."""
+        self.injector.before_io(self, "write", at)
         self.write_raw(offset, data)
         self.write_ios += 1
         return self.charge_write_async(at, len(data))

@@ -219,3 +219,34 @@ class TestRandomizedCrashRecovery:
             assert store.get(key, t) == value, key
         scan = store.scan(b"x", 1000, t)
         assert scan == sorted(model.items())
+
+
+class TestCrashDuringRecovery:
+    """Recovery itself can lose power; a second pass must succeed and
+    produce the same consistent state (idempotence)."""
+
+    @pytest.mark.parametrize(
+        "label",
+        ["recover.index_done", "recover.walked", "recover.flushed", "recover.done"],
+    )
+    def test_interrupted_recovery_is_idempotent(self, label):
+        from repro.core.checker import audit
+        from repro.storage.crash import SimulatedCrash
+
+        store = Prism(small_prism_config())
+        t = VThread(0, store.clock)
+        model = {}
+        for i in range(120):
+            key = b"i%03d" % (i % 40)
+            value = b"v%03d" % i
+            store.put(key, value, t)
+            model[key] = value
+        store.crash()
+        store.crash_point.arm(label)
+        with pytest.raises(SimulatedCrash):
+            store.recover()
+        report = store.recover()  # second, uninterrupted pass
+        assert report.recovered_keys == len(model)
+        assert audit(store).ok
+        for key, value in model.items():
+            assert store.get(key, t) == value

@@ -1,0 +1,98 @@
+"""Degraded mode: a dead Value Storage yields typed errors for its
+keys while the rest of the store keeps serving — no index corruption."""
+
+import pytest
+
+from repro.core import pointers as ptr
+from repro.core.checker import audit
+from repro.core.prism import Prism
+from repro.faults.errors import ReadDegradedError
+from repro.faults.injector import FaultConfig
+from tests.conftest import KB, small_prism_config
+
+
+@pytest.fixture
+def store() -> Prism:
+    # Injector attached but silent (zero rates): faults only happen
+    # when the test kills a device.  No SVC, so every read goes to the
+    # owning medium and degraded reads cannot hide behind the cache.
+    return Prism(
+        small_prism_config(
+            pwb_capacity=16 * KB,
+            enable_svc=False,
+            faults=FaultConfig(),
+        )
+    )
+
+
+def _keys_by_vs(store):
+    """Map vs_id -> [keys whose record lives in that Value Storage]."""
+    out = {vs.vs_id: [] for vs in store.storages}
+    for key, idx in store.index.items():
+        loc = ptr.decode(ptr.clear_dirty(store.hsit.location_word(idx)))
+        if loc.in_vs:
+            out[loc.vs_id].append(key)
+    return out
+
+
+def _load(store, n=80):
+    for i in range(n):
+        store.put(b"k%04d" % i, bytes([i % 256]) * 700)
+    store.flush()
+
+
+def test_dead_vs_reads_are_typed_not_corrupt(store):
+    _load(store)
+    by_vs = _keys_by_vs(store)
+    assert by_vs[0] and by_vs[1], "expected records on both storages"
+    dead = store.storages[0].ssd.name
+    store.injector.kill_device(dead)
+
+    for key in by_vs[0]:
+        with pytest.raises(ReadDegradedError) as err:
+            store.get(key)
+        assert err.value.device == dead
+        assert err.value.key == key
+    for key in by_vs[1]:
+        assert store.get(key) is not None
+
+    # The index survives intact: the audit's omniscient view still
+    # proves cross-media invariants, dead device included.
+    assert audit(store).ok
+
+
+def test_scan_over_dead_vs_is_typed(store):
+    _load(store)
+    by_vs = _keys_by_vs(store)
+    store.injector.kill_device(store.storages[0].ssd.name)
+    with pytest.raises(ReadDegradedError):
+        store.scan(min(by_vs[0]), len(store))
+
+
+def test_writes_keep_flowing_to_healthy_storage(store):
+    _load(store)
+    store.injector.kill_device(store.storages[0].ssd.name)
+    healthy = store.storages[1].vs_id
+    for i in range(60):
+        store.put(b"new%04d" % i, b"x" * 700)
+    store.flush()
+    by_vs = _keys_by_vs(store)
+    fresh_on_dead = [k for k in by_vs[0] if k.startswith(b"new")]
+    assert not fresh_on_dead, "new data routed to a dead device"
+    assert any(k.startswith(b"new") for k in by_vs[healthy])
+    for i in range(60):
+        assert store.get(b"new%04d" % i) == b"x" * 700
+    assert audit(store).ok
+
+
+def test_all_storages_dead_degrades_without_corruption(store):
+    for vs in store.storages:
+        store.injector.kill_device(vs.ssd.name)
+    # Puts land in the PWB; reclamation cannot find a healthy target
+    # and must abort without releasing (or corrupting) the buffer.
+    for i in range(20):
+        store.put(b"p%03d" % i, b"y" * 700)
+    assert len(store.events.of_kind("reclaim_failed")) > 0
+    for i in range(20):
+        assert store.get(b"p%03d" % i) == b"y" * 700
+    assert audit(store).ok

@@ -1,0 +1,57 @@
+"""Fault and retry activity is observable through the PR-1 obs layer:
+structured events on the store's EventLog, counters in the registry."""
+
+from repro.core.prism import Prism
+from repro.faults.injector import FaultConfig
+from tests.conftest import small_prism_config
+
+
+def _faulty_store() -> Prism:
+    # Flush errors fire on the put path's HSIT publish, so a handful of
+    # puts is enough to exercise inject -> retry -> success.
+    return Prism(
+        small_prism_config(
+            enable_metrics=True,
+            faults=FaultConfig(seed=2, flush_error_rate=0.2, max_faults=4),
+        )
+    )
+
+
+def test_fault_and_retry_events_reach_the_store_log():
+    store = _faulty_store()
+    for i in range(60):
+        store.put(b"k%03d" % i, b"v" * 300)
+    faults = store.events.of_kind("fault")
+    retries = store.events.of_kind("retry")
+    assert len(faults) == 4  # max_faults cap respected
+    assert len(retries) == 4  # every one masked by a retry
+    for event in faults:
+        assert event["fault"] == "flush_error"
+        assert event["device"] == store.nvm.name
+    for event in retries:
+        assert event["op"] == "flush"
+        assert event["error"] == "FlushError"
+        assert event["attempt"] >= 1
+
+
+def test_counters_track_injections_and_retries():
+    store = _faulty_store()
+    for i in range(60):
+        store.put(b"k%03d" % i, b"v" * 300)
+    counters = store.metrics.counters
+    assert counters["faults.injected.flush_error"].value == 4
+    assert counters["faults.retries"].value == 4
+    assert "faults.retry_exhausted" not in counters  # nothing gave up
+    assert store.injector.total_injected == 4
+    assert store.retry_exec.retries == 4
+
+
+def test_silent_injector_emits_nothing():
+    store = Prism(
+        small_prism_config(enable_metrics=True, faults=FaultConfig())
+    )
+    for i in range(30):
+        store.put(b"k%03d" % i, b"v" * 300)
+    assert store.events.of_kind("fault") == []
+    assert store.events.of_kind("retry") == []
+    assert not any(name.startswith("faults.") for name in store.metrics.counters)

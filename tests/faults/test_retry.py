@@ -1,0 +1,102 @@
+"""RetryExecutor: backoff, exhaustion, escalation to device death."""
+
+import pytest
+
+from repro.faults.errors import (
+    DeviceDeadError,
+    RetryExhaustedError,
+    StuckIOError,
+    TransientWriteError,
+)
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.retry import RetryExecutor, RetryPolicy
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+
+
+def _thread():
+    return VThread(0, VirtualClock())
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, exc=None):
+        self.failures = failures
+        self.calls = 0
+        self.exc = exc or TransientWriteError("dev", "write")
+
+    def __call__(self, at=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return "ok" if at is None else at
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+def test_delay_is_exponential():
+    policy = RetryPolicy(backoff_base=10e-6, backoff_factor=2.0)
+    assert policy.delay(0) == pytest.approx(10e-6)
+    assert policy.delay(3) == pytest.approx(80e-6)
+
+
+def test_run_retries_then_succeeds_charging_backoff():
+    policy = RetryPolicy(max_retries=4, backoff_base=10e-6, backoff_factor=2.0)
+    exe = RetryExecutor(policy)
+    thread = _thread()
+    fn = Flaky(2)
+    assert exe.run(fn, thread=thread, device="dev", op="write") == "ok"
+    assert fn.calls == 3
+    assert exe.retries == 2
+    # two backoffs: 10us + 20us
+    assert thread.now == pytest.approx(30e-6)
+    assert exe.consecutive["dev"] == 0  # success resets the streak
+
+
+def test_run_exhausts_into_typed_error():
+    exe = RetryExecutor(RetryPolicy(max_retries=2, backoff_base=0.0))
+    with pytest.raises(RetryExhaustedError) as err:
+        exe.run(Flaky(99), thread=_thread(), device="dev", op="write")
+    assert err.value.attempts == 3
+    assert exe.exhausted == 1
+
+
+def test_stuck_io_timeout_added_to_backoff():
+    exe = RetryExecutor(RetryPolicy(max_retries=1, backoff_base=10e-6))
+    thread = _thread()
+    stuck = StuckIOError("dev", "read", timeout=1e-3)
+    exe.run(Flaky(1, exc=stuck), thread=thread, device="dev", op="read")
+    assert thread.now == pytest.approx(1e-3 + 10e-6)
+
+
+def test_run_at_shifts_start_time():
+    exe = RetryExecutor(RetryPolicy(max_retries=4, backoff_base=10e-6))
+    fn = Flaky(1)
+    done = exe.run_at(fn, at=1.0, device="dev", op="write")
+    assert done == pytest.approx(1.0 + 10e-6)
+
+
+def test_escalation_kills_device_through_injector():
+    injector = FaultInjector(FaultConfig())
+    policy = RetryPolicy(max_retries=0, backoff_base=0.0, fail_threshold=3)
+    exe = RetryExecutor(policy, injector=injector)
+    for _ in range(2):
+        with pytest.raises(RetryExhaustedError):
+            exe.run(Flaky(99), thread=_thread(), device="dev", op="write")
+    with pytest.raises(DeviceDeadError):
+        exe.run(Flaky(99), thread=_thread(), device="dev", op="write")
+    assert injector.is_dead("dev")
+
+
+def test_non_transient_errors_propagate_unretried():
+    exe = RetryExecutor(RetryPolicy())
+    fn = Flaky(99, exc=DeviceDeadError("dev"))
+    with pytest.raises(DeviceDeadError):
+        exe.run(fn, thread=_thread(), device="dev", op="read")
+    assert fn.calls == 1

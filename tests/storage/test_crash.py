@@ -43,3 +43,56 @@ def test_crash_point_ignores_other_labels():
     point.arm("b")
     point.maybe_crash("a")
     assert scenario.crash_count == 0
+
+
+def test_power_failure_volatile_components_crash_first():
+    order = []
+
+    class Dev:
+        def __init__(self, name, volatile):
+            self.name = name
+            self.volatile = volatile
+
+        def crash(self):
+            order.append(self.name)
+
+    scenario = CrashScenario()
+    scenario.register(Dev("nvm", volatile=False))
+    scenario.register(Dev("dram", volatile=True))
+    scenario.register(Dev("ssd", volatile=False))
+    scenario.register(Dev("svc", volatile=True))
+    scenario.power_failure()
+    assert order[:2] == ["dram", "svc"]  # volatile first, stable order
+    assert order[2:] == ["nvm", "ssd"]
+
+
+def test_crash_point_nth_occurrence():
+    point = CrashPoint(CrashScenario())
+    with pytest.raises(ValueError):
+        point.arm("loop", occurrence=0)
+    point.arm("loop", occurrence=3)
+    point.maybe_crash("loop")
+    point.maybe_crash("loop")
+    with pytest.raises(SimulatedCrash) as err:
+        point.maybe_crash("loop")
+    assert err.value.label == "loop"
+
+
+def test_crash_point_recording_counts_labels():
+    point = CrashPoint(CrashScenario())
+    point.start_recording()
+    for _ in range(3):
+        point.maybe_crash("a")
+    point.maybe_crash("b")
+    seen = point.stop_recording()
+    assert seen == {"a": 3, "b": 1}
+    point.maybe_crash("a")  # recording stopped
+    assert point.seen == seen
+
+
+def test_null_crash_point_is_inert():
+    from repro.storage.crash import NULL_CRASH_POINT
+
+    NULL_CRASH_POINT.maybe_crash("anything")
+    with pytest.raises(RuntimeError):
+        NULL_CRASH_POINT.arm("anything")

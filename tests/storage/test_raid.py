@@ -81,3 +81,20 @@ def test_scan_time_parallel(raid, members):
     alone = members[0].scan_time(4 * MB)
     together = raid.scan_time(4 * MB)
     assert together < alone
+
+
+def test_crash_propagates_to_members(thread):
+    class CountingSSD(SSDDevice):
+        crashes = 0
+
+        def crash(self):
+            self.crashes += 1
+
+    spec = FLASH_SSD_GEN4_SPEC.with_capacity(16 * MB)
+    members = [CountingSSD(spec, name=f"c{i}") for i in range(4)]
+    raid = RAID0(members, stripe_size=STRIPE)
+    raid.write(thread, 0, b"w" * (4 * STRIPE))
+    raid.crash()
+    assert [m.crashes for m in members] == [1, 1, 1, 1]
+    # an SSD power failure is harmless to completed writes
+    assert raid.read(thread, 0, 4) == b"wwww"
