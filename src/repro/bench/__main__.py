@@ -162,6 +162,33 @@ def _faults(args):
     return results
 
 
+def _scrub(args):
+    if getattr(args, "smoke", False):
+        results = ex.scrub_sweep(
+            bitflip_rates=(0.0, 1e-3), num_keys=600, num_ops=600, num_threads=2
+        )
+    else:
+        results = ex.scrub_sweep()
+    print("Integrity — YCSB-A with checksums, mirroring, scrub + rebuild")
+    print(f"{'rate':>12} {'Kops':>8} {'injected':>9} {'detected':>9} "
+          f"{'repaired':>9} {'unrec':>6} {'wrong':>6} {'degraded':>9} "
+          f"{'rebuild(ms)':>12}")
+    ok = True
+    for label, run in results["runs"].items():
+        stats = results["scrub"][label]
+        print(f"{label:>12} {run.kops:>8.1f} {stats['silent_injected']:>9.0f} "
+              f"{stats['detected']:>9.0f} {stats['repaired']:>9.0f} "
+              f"{stats['unrecoverable']:>6.0f} {stats['wrong_values']:>6.0f} "
+              f"{stats['degraded_reads']:>9.0f} "
+              f"{stats['rebuild_seconds'] * 1e3:>12.3f}")
+        if stats["wrong_values"] or stats["degraded_reads"]:
+            ok = False
+    print("integrity check:", "PASS" if ok else "FAIL")
+    if not ok:
+        raise SystemExit(1)
+    return results
+
+
 def _media(args):
     results = media_matrix()
     print("Extension — emerging media (Kops)")
@@ -185,6 +212,7 @@ COMMANDS = {
     "ablations": _ablations,
     "faults": _faults,
     "scalars": _scalars,
+    "scrub": _scrub,
     "media": _media,
 }
 
@@ -202,6 +230,10 @@ def main(argv=None) -> int:
         "--metrics-out", default=None, metavar="PATH",
         help="metrics JSON destination (default <experiment>.metrics.json; "
              "'none' disables)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fast configuration (CI smoke; scrub only)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

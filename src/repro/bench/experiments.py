@@ -714,3 +714,143 @@ def fault_recovery(
     return out
 
 
+
+
+# ----------------------------------------------------------------------
+# Integrity: YCSB-A under silent corruption + scrub/repair/rebuild
+# ----------------------------------------------------------------------
+def scrub_sweep(
+    bitflip_rates: Sequence[float] = (0.0, 1e-3, 1e-2),
+    corrupt_fraction: float = 0.01,
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    num_threads: int = NUM_THREADS,
+) -> Dict[str, object]:
+    """End-to-end integrity sweep (checksums + mirroring enabled).
+
+    For each write-path bit-flip rate: run YCSB-A, then (1) corrupt
+    ``corrupt_fraction`` of the stored records at rest, (2) run one
+    background scrub pass (detect + repair), (3) kill one Value
+    Storage device and rebuild it onto the survivors, and (4) re-read
+    every key against a pre-corruption snapshot.  The store must end
+    with zero wrong values and zero degraded reads — every corrupted
+    record either repaired or reported as a typed unrecoverable loss.
+    """
+    import random as _random
+
+    from repro.faults.errors import ReadDegradedError, UnrecoverableCorruptionError
+    from repro.faults.injector import FaultConfig
+    from repro.repair import Scrubber, rebuild_storage
+
+    num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
+    num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
+    data = _dataset_bytes(num_keys, VALUE_SIZE)
+    counter_names = (
+        "corruption.detected",
+        "corruption.repaired",
+        "corruption.unrecoverable",
+        "scrub.chunks_scanned",
+        "scrub.mirrors_refreshed",
+    )
+    out: Dict[str, object] = {"runs": {}, "scrub": {}}
+    for rate in bitflip_rates:
+        # The injector is always attached here: even the rate-0 leg
+        # needs it for at-rest corruption and the device kill.
+        faults = FaultConfig(seed=29, bitflip_rate=rate, torn_write_rate=rate / 10)
+        store = build_prism(
+            num_threads=num_threads,
+            dataset_bytes=data,
+            expected_keys=num_keys * 3,
+            faults=faults,
+            enable_checksums=True,
+            mirror_chunks=True,
+        )
+        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+        result = run_workload(
+            store,
+            WORKLOADS["A"],
+            num_ops,
+            num_keys,
+            num_threads,
+            VALUE_SIZE,
+            warmup_ops=num_ops // 4,
+        )
+        # Snapshot every key before injecting at-rest damage; these
+        # reads are checksum-verified (and may already heal write-path
+        # bit flips), so the snapshot is trustworthy.
+        expected: Dict[bytes, bytes] = {}
+        lost_before = 0
+        for key, _idx in list(store.index.items()):
+            try:
+                value = store.get(key)
+            except UnrecoverableCorruptionError:
+                lost_before += 1
+                continue
+            if value is not None:
+                expected[key] = value
+        # (1) seeded bit-rot on a fraction of the stored records.
+        records = []
+        for vs in store.storages:
+            for chunk_id, info in vs._chunks.items():
+                for offset, slot in info.slots.items():
+                    if slot.valid:
+                        records.append((vs, chunk_id, offset, slot.size))
+        rng = _random.Random(31)
+        n_corrupt = int(len(records) * corrupt_fraction)
+        for vs, chunk_id, offset, size in rng.sample(records, n_corrupt):
+            store.injector.corrupt_at_rest(
+                vs.ssd,
+                chunk_id * vs.chunk_size + offset,
+                vs.header_size + size,
+                at=store.clock.now,
+            )
+        # (2) one background scrub pass.
+        scrub = Scrubber(store).scrub_once()
+        # (3) lose a whole Value Storage, rebuild it onto survivors.
+        victim = store.storages[0]
+        store.injector.kill_device(victim.ssd.name, store.clock.now)
+        rebuild = rebuild_storage(store, victim.vs_id)
+        # (4) verify every snapshotted key.
+        wrong = degraded = unrecoverable = 0
+        for key, value in expected.items():
+            try:
+                got = store.get(key)
+            except ReadDegradedError:
+                degraded += 1
+            except UnrecoverableCorruptionError:
+                unrecoverable += 1
+            else:
+                if got != value:
+                    wrong += 1
+        # Fold the integrity counters into the run's metrics snapshot
+        # (scrub and rebuild happen after the workload's registry swap).
+        if result.metrics is not None:
+            counters = result.metrics.setdefault("counters", {})
+            for name in counter_names:
+                counters[name] = float(counters.get(name, 0)) + float(
+                    store.metrics.counter(name).value
+                )
+            result.metrics.setdefault("gauges", {})["repair.rebuild_seconds"] = (
+                store.metrics.gauge("repair.rebuild_seconds").value
+            )
+        label = f"rate={rate:g}"
+        combined = result.metrics["counters"] if result.metrics else {}
+        out["runs"][label] = result
+        out["scrub"][label] = {
+            "silent_injected": float(store.injector.silent_injected),
+            "at_rest_corrupted": float(n_corrupt),
+            "detected": float(combined.get("corruption.detected", 0.0)),
+            "repaired": float(combined.get("corruption.repaired", 0.0)),
+            "unrecoverable": float(combined.get("corruption.unrecoverable", 0.0)),
+            "chunks_scanned": float(scrub.chunks_scanned),
+            "scrub_repaired": float(scrub.repaired),
+            "mirrors_refreshed": float(scrub.mirrors_refreshed),
+            "rebuild_records": float(rebuild.records_repaired),
+            "rebuild_lost": float(rebuild.records_lost),
+            "rebuild_seconds": rebuild.duration,
+            "wrong_values": float(wrong),
+            "degraded_reads": float(degraded),
+            "unrecoverable_reads": float(unrecoverable),
+            "lost_before_snapshot": float(lost_before),
+        }
+    return out

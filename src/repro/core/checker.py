@@ -14,7 +14,10 @@ I4  Value Storage pointers name records whose validity bit is set, and
 I5  SVC words point at live cache entries for the same HSIT slot, and
     cache capacity accounting matches the sum of live entries;
 I6  no forward pointer is left durably dirty outside an in-flight
-    update.
+    update;
+I7  (with checksums enabled) every valid record's stored CRC32 matches
+    its header + payload — on Value Storage and in the PWB live
+    windows alike; silent corruption never hides from an audit.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple, TYPE_CHECKING
 
 from repro.core import pointers as ptr
+from repro.faults.errors import CorruptionError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.prism import Prism
@@ -111,12 +115,16 @@ def audit(store: "Prism") -> AuditReport:
                     f"(chunk {loc.chunk_id} off {loc.vs_offset})"
                 )
                 continue
-            back, _value = vs.read_record_raw(loc.chunk_id, loc.vs_offset)
-            if back != idx:
-                report.fail(
-                    f"I2: ill-coupled VS record for {key!r}: backward "
-                    f"pointer {back} != entry {idx}"
-                )
+            try:
+                back, _value = vs.read_record_raw(loc.chunk_id, loc.vs_offset)
+            except CorruptionError as exc:
+                report.fail(f"I7: corrupt VS record for {key!r}: {exc}")
+            else:
+                if back != idx:
+                    report.fail(
+                        f"I2: ill-coupled VS record for {key!r}: backward "
+                        f"pointer {back} != entry {idx}"
+                    )
             reachable_vs[loc.vs_id].add((loc.chunk_id, loc.vs_offset))
 
         entry_id = store.hsit.read_svc(idx)
@@ -149,6 +157,36 @@ def audit(store: "Prism") -> AuditReport:
                     report.fail(
                         f"I4: valid record vs{vs.vs_id} chunk {chunk_id} "
                         f"off {offset} (entry {slot.hsit_idx}) is unreachable"
+                    )
+    # I7: every valid record still passes its checksum.  Reachable VS
+    # records were already verified (and reported) during the key walk;
+    # this sweep covers valid-but-unreachable slots and the PWB live
+    # windows.
+    if store.config.enable_checksums:
+        for vs in store.storages:
+            for chunk_id, info in vs._chunks.items():
+                for offset, slot in info.slots.items():
+                    if not slot.valid:
+                        continue
+                    if (chunk_id, offset) in reachable_vs[vs.vs_id]:
+                        continue
+                    try:
+                        vs.read_record_raw(chunk_id, offset)
+                    except CorruptionError as exc:
+                        report.fail(
+                            f"I7: corrupt VS record at vs{vs.vs_id} chunk "
+                            f"{chunk_id} off {offset}: {exc}"
+                        )
+        for pwb in store.pwbs:
+            for off in list(pwb._offsets):
+                if not pwb.tail <= off < pwb.head:
+                    continue
+                try:
+                    pwb.read(off)
+                except CorruptionError as exc:
+                    report.fail(
+                        f"I7: corrupt PWB record at pwb {pwb.pwb_id} "
+                        f"off {off}: {exc}"
                     )
     # I5 (capacity): accounted bytes match live entries.
     live_bytes = sum(

@@ -73,6 +73,20 @@ class PrismConfig:
     # the shared no-op registry and tracing costs nothing.
     enable_metrics: bool = False
 
+    # End-to-end integrity (ISSUE 3).  All off by default: with every
+    # switch off the on-media record format, IO sizes, and timings are
+    # bit-identical to a build without the integrity subsystem.
+    # enable_checksums grows the record header by a CRC32 (verified on
+    # every read path; mismatch -> typed CorruptionError).
+    enable_checksums: bool = False
+    # mirror_chunks duplicates every Value Storage chunk write onto a
+    # dedicated mirror SSD per storage (repair source for corrupt or
+    # dead primaries).
+    mirror_chunks: bool = False
+    # Background scrubber read budget in bytes of chunk scans per
+    # virtual second.
+    scrub_bandwidth: float = 64 * MB
+
     # Fault injection: None (default) leaves every device on the no-op
     # null injector — runs are bit-identical to a build without the
     # fault subsystem.  A FaultConfig attaches a seeded injector to the
@@ -91,6 +105,10 @@ class PrismConfig:
         if not 0.0 <= self.gc_free_threshold < 1.0:
             raise ValueError(
                 f"gc threshold must be in [0, 1): {self.gc_free_threshold}"
+            )
+        if self.scrub_bandwidth <= 0:
+            raise ValueError(
+                f"scrub_bandwidth must be positive: {self.scrub_bandwidth}"
             )
         if self.read_batching not in (
             MODE_THREAD_COMBINING,

@@ -32,8 +32,9 @@ from repro.core.hsit import HSIT
 from repro.core.pwb import PersistentWriteBuffer, PWBFullError
 from repro.core.svc import ScanAwareValueCache
 from repro.core.tcq import ThreadCombiner
-from repro.core.value_storage import RECORD_HEADER, ValueStorage
+from repro.core.value_storage import ValueStorage
 from repro.faults.errors import (
+    CorruptionError,
     DeviceError,
     NoHealthyStorageError,
     ReadDegradedError,
@@ -88,17 +89,35 @@ class Prism:
         self.ssds: List[SSDDevice] = [
             SSDDevice(cfg.ssd_spec, name=f"ssd{i}") for i in range(cfg.num_ssds)
         ]
+        # Chunk mirroring (ISSUE 3): one dedicated mirror SSD per Value
+        # Storage — a different device, so chunk addresses never collide
+        # and a primary death leaves every record recoverable.
+        self.mirror_ssds: List[SSDDevice] = []
+        if cfg.mirror_chunks:
+            self.mirror_ssds = [
+                SSDDevice(cfg.ssd_spec, name=f"ssd{i}m")
+                for i in range(cfg.num_ssds)
+            ]
 
         # --- components --------------------------------------------------
         self.epoch = EpochManager()
         self.hsit = HSIT(self.nvm, cfg.hsit_capacity)
         self.index = PACTree(self.nvm, leaf_capacity=cfg.index_leaf_capacity)
         self.pwbs: List[PersistentWriteBuffer] = [
-            PersistentWriteBuffer(self.nvm, i, cfg.pwb_capacity)
+            PersistentWriteBuffer(
+                self.nvm, i, cfg.pwb_capacity, checksums=cfg.enable_checksums
+            )
             for i in range(cfg.num_threads)
         ]
         self.storages: List[ValueStorage] = [
-            ValueStorage(i, ssd, cfg.chunk_size, cfg.queue_depth)
+            ValueStorage(
+                i,
+                ssd,
+                cfg.chunk_size,
+                cfg.queue_depth,
+                checksums=cfg.enable_checksums,
+                mirror=self.mirror_ssds[i] if self.mirror_ssds else None,
+            )
             for i, ssd in enumerate(self.ssds)
         ]
         self.combiners: List[ThreadCombiner] = [
@@ -151,6 +170,8 @@ class Prism:
             self.retry_exec.injector = self.injector
             self.nvm.attach_injector(self.injector)
             for ssd in self.ssds:
+                ssd.attach_injector(self.injector)
+            for ssd in self.mirror_ssds:
                 ssd.attach_injector(self.injector)
             # Failed flushes retry inside the device, covering every
             # persist point (PWB appends, HSIT publishes) at once.
@@ -478,7 +499,29 @@ class Prism:
         try:
             for chunk_id in victims:
                 for slot in vs.live_records_of(chunk_id):
-                    _, value = vs.read_record_raw(chunk_id, slot.offset)
+                    try:
+                        _, value = vs.read_record_raw(chunk_id, slot.offset)
+                    except CorruptionError:
+                        # A rotted record would poison the GC move; heal
+                        # it from a repair source, or leave it in place
+                        # (it stays valid; a later read surfaces the
+                        # typed error and retries the repair).
+                        self.metrics.counter("corruption.detected").inc()
+                        from repro.repair import fetch_value
+
+                        fetched = fetch_value(
+                            self, slot.hsit_idx, vs.vs_id, chunk_id, slot.offset
+                        )
+                        if fetched is None:
+                            self.events.emit(
+                                bg.now,
+                                "gc_skipped_corrupt",
+                                vs_id=vs.vs_id,
+                                chunk=chunk_id,
+                                offset=slot.offset,
+                            )
+                            continue
+                        value = fetched[0]
                     moves.append((slot.hsit_idx, value, chunk_id, slot.offset))
                 read_done = max(
                     read_done,
@@ -598,17 +641,55 @@ class Prism:
         m.counter("read.svc_misses").inc()
         vs = self.storages[loc.vs_id]
         if self._vs_dead(vs):
-            # The durable copy sits on a dead device and no cached copy
-            # exists: the key is read-degraded, not silently missing.
-            raise ReadDegradedError(vs.ssd.name, key)
-        req = vs.record_request(loc.chunk_id, loc.vs_offset)
-        raw = self.combiners[loc.vs_id].read_one(thread, req, m)
-        _, value = ValueStorage.parse_record(raw)
+            # The durable copy sits on a dead device.  With a repair
+            # source configured the read re-materialises the record
+            # onto healthy storage (read-repair); otherwise the key is
+            # read-degraded, not silently missing.
+            value = self._repair_read(
+                idx, key, loc.vs_id, loc.chunk_id, loc.vs_offset, thread,
+                dead_device=True,
+            )
+        else:
+            req = vs.record_request(loc.chunk_id, loc.vs_offset)
+            raw = self.combiners[loc.vs_id].read_one(thread, req, m)
+            try:
+                _, value = vs.parse_record(raw)
+            except CorruptionError:
+                m.counter("corruption.detected").inc()
+                value = self._repair_read(
+                    idx, key, loc.vs_id, loc.chunk_id, loc.vs_offset, thread
+                )
         if self.config.enable_svc:
             t0 = thread.now
             self.svc.admit(idx, key, value, thread)
             m.phase("get", "svc_admit", thread.now - t0)
         return value
+
+    def _repair_read(
+        self,
+        idx: int,
+        key: bytes,
+        vs_id: int,
+        chunk_id: int,
+        offset: int,
+        thread: VThread,
+        dead_device: bool = False,
+    ) -> bytes:
+        """Heal one unreadable Value Storage record in the read path.
+
+        Re-materialises the value from a repair source (mirror chunk,
+        then an unreclaimed PWB copy), rewrites it through the normal
+        publish path onto healthy storage, and returns it.  Raises
+        :class:`UnrecoverableCorruptionError` when no intact copy
+        exists — typed loss, never silently wrong bytes.  A dead device
+        without a mirror keeps PR 2's :class:`ReadDegradedError`.
+        """
+        vs = self.storages[vs_id]
+        if dead_device and vs.mirror is None:
+            raise ReadDegradedError(vs.ssd.name, key)
+        from repro.repair import read_repair
+
+        return read_repair(self, idx, key, vs_id, chunk_id, offset, thread)
 
     # ------------------------------------------------------------------
     # scan (§4.4)
@@ -646,7 +727,15 @@ class Prism:
                             chain_entries.append((key, entry_id))
                             continue
                 if self._vs_dead(self.storages[loc.vs_id]):
-                    raise ReadDegradedError(self.storages[loc.vs_id].ssd.name, key)
+                    value = self._repair_read(
+                        idx, key, loc.vs_id, loc.chunk_id, loc.vs_offset,
+                        thread, dead_device=True,
+                    )
+                    results[key] = value
+                    if self.config.enable_svc:
+                        entry_id = self.svc.admit(idx, key, value, thread)
+                        chain_entries.append((key, entry_id))
+                    continue
                 misses.setdefault(loc.vs_id, []).append(
                     (loc.chunk_id, loc.vs_offset, idx, key)
                 )
@@ -686,7 +775,7 @@ class Prism:
             size = vs.slot_size(chunk_id, offset)
             if runs:
                 last = runs[-1][-1]
-                last_end = last[1] + RECORD_HEADER + vs.slot_size(last[0], last[1])
+                last_end = last[1] + vs.header_size + vs.slot_size(last[0], last[1])
                 if last[0] == chunk_id and offset == last_end:
                     runs[-1].append(item)
                     continue
@@ -698,7 +787,7 @@ class Prism:
         for run in runs:
             first_chunk, first_off, _, _ = run[0]
             last_chunk, last_off, _, _ = run[-1]
-            end = last_off + RECORD_HEADER + vs.slot_size(last_chunk, last_off)
+            end = last_off + vs.header_size + vs.slot_size(last_chunk, last_off)
             requests.append(
                 IORequest(
                     "read",
@@ -715,7 +804,13 @@ class Prism:
             for chunk_id, offset, idx, key in run:
                 rel = offset - base
                 raw = req.result[rel:]
-                _, value = ValueStorage.parse_record(raw)
+                try:
+                    _, value = vs.parse_record(raw)
+                except CorruptionError:
+                    self.metrics.counter("corruption.detected").inc()
+                    value = self._repair_read(
+                        idx, key, vs_id, chunk_id, offset, thread
+                    )
                 out.append((idx, key, value))
         return out
 
@@ -778,6 +873,8 @@ class Prism:
         self.dram.crash()
         self.svc.crash()
         for ssd in self.ssds:
+            ssd.crash()
+        for ssd in self.mirror_ssds:
             ssd.crash()
         self._crashed = True
 

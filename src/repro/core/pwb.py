@@ -21,12 +21,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator, Optional, Tuple
 
+from repro.core.value_storage import record_crc
+from repro.faults.errors import CorruptionError
 from repro.sim.vthread import VThread
 from repro.storage.base import StorageError
 from repro.storage.crash import NULL_CRASH_POINT
 from repro.storage.nvm import NVMDevice
 
 RECORD_HEADER = 12  # backward pointer (8B) + value size (4B)
+CHECKED_RECORD_HEADER = 16  # backward pointer (8B) + size (4B) + CRC32 (4B)
 _ALIGN = 8
 
 
@@ -40,12 +43,20 @@ class PersistentWriteBuffer:
     # Crash-exploration hook; the owning store swaps in its own point.
     crash_point = NULL_CRASH_POINT
 
-    def __init__(self, nvm: NVMDevice, pwb_id: int, capacity: int) -> None:
+    def __init__(
+        self,
+        nvm: NVMDevice,
+        pwb_id: int,
+        capacity: int,
+        checksums: bool = False,
+    ) -> None:
         if capacity < 4096:
             raise ValueError(f"PWB too small: {capacity}")
         self.nvm = nvm
         self.pwb_id = pwb_id
         self.capacity = capacity
+        self.checksums = checksums
+        self.header_size = CHECKED_RECORD_HEADER if checksums else RECORD_HEADER
         self.base = nvm.alloc(capacity, align=256)
         # Absolute (monotonic) offsets; ring position = offset % capacity.
         self.head = 0
@@ -79,10 +90,27 @@ class PersistentWriteBuffer:
     def utilization(self) -> float:
         return self.used / self.capacity
 
-    @staticmethod
-    def record_bytes(value_len: int) -> int:
-        raw = RECORD_HEADER + value_len
+    def record_bytes(self, value_len: int) -> int:
+        raw = self.header_size + value_len
         return -(-raw // _ALIGN) * _ALIGN
+
+    def _frame(self, hsit_idx: int, value: bytes) -> bytes:
+        """Build one on-NVM record: header (+ optional CRC32) + value."""
+        header = hsit_idx.to_bytes(8, "little") + len(value).to_bytes(4, "little")
+        if not self.checksums:
+            return header + value
+        return header + record_crc(header, value).to_bytes(4, "little") + value
+
+    def _parse(self, header: bytes, value: bytes, offset: int) -> Tuple[int, bytes]:
+        """Verify (when enabled) and split a record already loaded."""
+        hsit_idx = int.from_bytes(header[:8], "little")
+        if self.checksums:
+            stored = int.from_bytes(header[12:16], "little")
+            if record_crc(header[:12], value) != stored:
+                raise CorruptionError(
+                    self.nvm.name, f"pwb {self.pwb_id} off {offset}"
+                )
+        return hsit_idx, value
 
     def _advance_over_wrap(self, offset: int, need: int) -> int:
         """Skip tail padding so the record stays contiguous."""
@@ -123,11 +151,7 @@ class PersistentWriteBuffer:
             )
         self.crash_point.maybe_crash("pwb.append.pre")
         self.head = start + need
-        record = (
-            hsit_idx.to_bytes(8, "little")
-            + len(value).to_bytes(4, "little")
-            + value
-        )
+        record = self._frame(hsit_idx, value)
         self.nvm.persist(thread, self.base + start % self.capacity, record)
         self.crash_point.maybe_crash("pwb.append.persisted")
         self._offsets.append(start)
@@ -145,11 +169,10 @@ class PersistentWriteBuffer:
                 f"[{self.tail}, {self.head})"
             )
         pos = self.base + offset % self.capacity
-        header = self.nvm.load(thread, pos, RECORD_HEADER)
-        hsit_idx = int.from_bytes(header[:8], "little")
+        header = self.nvm.load(thread, pos, self.header_size)
         size = int.from_bytes(header[8:12], "little")
-        value = self.nvm.load(None, pos + RECORD_HEADER, size)
-        return hsit_idx, value
+        value = self.nvm.load(None, pos + self.header_size, size)
+        return self._parse(header, value, offset)
 
     def read_backptr(self, offset: int, thread: Optional[VThread] = None) -> int:
         pos = self.base + offset % self.capacity
@@ -170,10 +193,10 @@ class PersistentWriteBuffer:
             if offset < lo:
                 continue
             pos = self.base + offset % self.capacity
-            raw = self.nvm.load(None, pos, RECORD_HEADER)
-            hsit_idx = int.from_bytes(raw[:8], "little")
+            raw = self.nvm.load(None, pos, self.header_size)
             size = int.from_bytes(raw[8:12], "little")
-            value = self.nvm.load(None, pos + RECORD_HEADER, size)
+            value = self.nvm.load(None, pos + self.header_size, size)
+            hsit_idx, value = self._parse(raw, value, offset)
             yield offset, hsit_idx, value
 
     def release_through(self, upto: int) -> None:

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.core import pointers as ptr
 from repro.core.containment import resolve_partial_publish
-from repro.faults.errors import DeviceError, NoHealthyStorageError
+from repro.faults.errors import CorruptionError, DeviceError, NoHealthyStorageError
 from repro.sim.vthread import VThread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -46,6 +46,11 @@ class RecoveryReport:
     leaked_entries_reclaimed: int
     ill_coupled_dropped: int
     duration: float  # virtual seconds
+    # With checksums enabled the scan CRC-verifies every Value Storage
+    # record; corrupt records are re-materialised from the mirror copy
+    # (repaired) or left in place with a typed error on read (lost).
+    corrupt_records_repaired: int = 0
+    corrupt_records_lost: int = 0
 
 
 def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
@@ -64,6 +69,8 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
         vs.vs_id: {} for vs in prism.storages
     }
     pwb_flush: List[Tuple[int, int, bytes]] = []  # (hsit_idx, pwb_id, value)
+    repair_flush: List[Tuple[int, bytes]] = []  # corrupt records healed from mirror
+    corrupt_lost = 0
     reachable = set()
     dropped: List[bytes] = []
     vs_header_bytes = 0
@@ -83,12 +90,41 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
             pwb_flush.append((idx, loc.pwb_id, value))
         elif loc.in_vs:
             vs = prism.storages[loc.vs_id]
-            raw = vs.ssd.read_raw(
-                loc.chunk_id * vs.chunk_size + loc.vs_offset, 12
-            )
-            back = int.from_bytes(raw[:8], "little")
-            size = int.from_bytes(raw[8:12], "little")
-            vs_header_bytes += 12
+            base = loc.chunk_id * vs.chunk_size + loc.vs_offset
+            header = vs.ssd.read_raw(base, vs.header_size)
+            back = int.from_bytes(header[:8], "little")
+            size = int.from_bytes(header[8:12], "little")
+            vs_header_bytes += vs.header_size
+            if vs.checksums:
+                # CRC-verify the full record before trusting the
+                # coupling check — a corrupt header would otherwise be
+                # indistinguishable from an ill-coupled stale record.
+                room = vs.chunk_size - loc.vs_offset - vs.header_size
+                span = max(0, min(size, room))
+                payload = vs.ssd.read_raw(base + vs.header_size, span)
+                vs_header_bytes += span
+                try:
+                    back, _value = vs.parse_record(
+                        header + payload,
+                        where=(
+                            f"vs{loc.vs_id} chunk {loc.chunk_id} "
+                            f"off {loc.vs_offset}"
+                        ),
+                    )
+                except CorruptionError:
+                    prism.metrics.counter("corruption.detected").inc()
+                    # Keep the slot (with the clamped stored size) so
+                    # the pointer never dangles: reads of a lost record
+                    # surface a typed error, never a silent absence.
+                    live_vs[loc.vs_id][(loc.chunk_id, loc.vs_offset)] = (idx, span)
+                    value = _mirror_copy(prism, vs, loc, idx)
+                    if value is not None:
+                        vs_header_bytes += vs.header_size + len(value)
+                        repair_flush.append((idx, value))
+                    else:
+                        corrupt_lost += 1
+                        prism.metrics.counter("corruption.unrecoverable").inc()
+                    continue
             if back != idx:
                 dropped.append(key)
                 continue
@@ -123,26 +159,33 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
     # which therefore must NOT be reset: the store comes up consistent,
     # just with non-empty write buffers.
     flushed = 0
+    corrupt_repaired = 0
     flush_ok = True
-    if pwb_flush:
+    publish_items = [(idx, value) for idx, _, value in pwb_flush] + repair_flush
+    if publish_items:
         nvm_reread = sum(len(value) for _, _, value in pwb_flush)
-        prism.nvm.charge_read(rt, nvm_reread)
-        records = [(idx, value) for idx, _, value in pwb_flush]
+        if nvm_reread:
+            prism.nvm.charge_read(rt, nvm_reread)
         try:
             vs = prism._pick_storage(rt.now)
-            placements, done = prism._retrying_write(vs, rt.now, records)
+            placements, done = prism._retrying_write(vs, rt.now, publish_items)
         except (DeviceError, NoHealthyStorageError):
             flush_ok = False
         if flush_ok:
             rt.wait_until(done)
             published = 0
             try:
-                for (idx, _pwb_id, _value), (chunk_id, offset, _sz) in zip(
-                    pwb_flush, placements
+                for i, ((idx, _value), (chunk_id, offset, _sz)) in enumerate(
+                    zip(publish_items, placements)
                 ):
-                    prism.hsit.publish_location(
+                    old = prism.hsit.publish_location(
                         idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), rt
                     )
+                    if i >= len(pwb_flush):
+                        # Repaired records replace a corrupt VS slot
+                        # that the bitmap rebuild above re-created;
+                        # retire the old copy.
+                        prism._supersede(idx, old, rt)
                     published += 1
             except DeviceError:
                 resolve_partial_publish(
@@ -150,13 +193,16 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
                     vs,
                     [
                         (idx, placement, None, 0, 0)
-                        for (idx, _p, _v), placement in zip(pwb_flush, placements)
+                        for (idx, _v), placement in zip(publish_items, placements)
                     ],
                     published,
                 )
                 flush_ok = False
             else:
                 flushed = len(pwb_flush)
+                corrupt_repaired = len(repair_flush)
+                for _ in repair_flush:
+                    prism.metrics.counter("corruption.repaired").inc()
     if flush_ok:
         for pwb in prism.pwbs:
             pwb.reset()
@@ -175,7 +221,36 @@ def recover(prism: "Prism", recovery_threads: int = 4) -> RecoveryReport:
         leaked_entries_reclaimed=leaked,
         ill_coupled_dropped=len(dropped),
         duration=duration,
+        corrupt_records_repaired=corrupt_repaired,
+        corrupt_records_lost=corrupt_lost,
     )
+
+
+def _mirror_copy(prism: "Prism", vs, loc: ptr.Location, idx: int):
+    """An intact, well-coupled mirror copy of the record at ``loc``,
+    or None when the mirror is absent, dead, rotted, or stale."""
+    if vs.mirror is None:
+        return None
+    if prism.injector is not None and prism.injector.is_dead(vs.mirror.name):
+        return None
+    base = loc.chunk_id * vs.chunk_size + loc.vs_offset
+    header = vs.mirror.read_raw(base, vs.header_size)
+    size = int.from_bytes(header[8:12], "little")
+    room = vs.chunk_size - loc.vs_offset - vs.header_size
+    if not 0 <= size <= room:
+        return None
+    payload = vs.mirror.read_raw(base + vs.header_size, size)
+    try:
+        back, value = vs.parse_record(
+            header + payload,
+            where=f"mirror of vs{loc.vs_id} chunk {loc.chunk_id}",
+            device=vs.mirror.name,
+        )
+    except CorruptionError:
+        return None
+    if back != idx:
+        return None
+    return value
 
 
 def _reclaim_unreachable(prism: "Prism", reachable: set, rt: VThread) -> int:

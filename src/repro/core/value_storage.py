@@ -2,7 +2,11 @@
 
 Space is divided into fixed-size chunks (512 KB by default).  A chunk
 holds records of ``[backward pointer (8B)][size (4B)][value]`` — the
-per-value metadata that makes recovery possible without logs.  Each
+per-value metadata that makes recovery possible without logs.  With
+``checksums`` enabled the header grows a CRC32 over header + payload
+(``[backptr (8B)][size (4B)][crc32 (4B)][value]``), verified on every
+read path; a mismatch raises a typed
+:class:`~repro.faults.errors.CorruptionError`.  Each
 chunk keeps a validity bitmap *in DRAM* (rebuildable from the HSIT, so
 it needs no persistence), tracking which records are up to date.
 
@@ -18,10 +22,12 @@ bitmaps — not index traversals — decide liveness.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.errors import CorruptionError
 from repro.sim.resources import VLock
 from repro.sim.vthread import VThread
 from repro.storage.base import StorageError
@@ -30,7 +36,14 @@ from repro.storage.iouring import IORequest, IOUring
 from repro.storage.ssd import SSDDevice
 
 RECORD_HEADER = 12  # backward pointer (8B) + value size (4B)
+# Checksummed framing adds a CRC32 over header + payload (ISSUE 3).
+CHECKED_RECORD_HEADER = 16  # backward pointer (8B) + size (4B) + CRC32 (4B)
 DEFAULT_CHUNK_SIZE = 512 * 1024
+
+
+def record_crc(header12: bytes, value: bytes) -> int:
+    """CRC32 over the logical header (backptr + size) and the payload."""
+    return zlib.crc32(value, zlib.crc32(header12))
 
 
 @dataclass
@@ -65,12 +78,26 @@ class ValueStorage:
         ssd: SSDDevice,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         queue_depth: int = 64,
+        checksums: bool = False,
+        mirror: Optional[SSDDevice] = None,
     ) -> None:
         if chunk_size < 4096:
             raise ValueError(f"chunk size too small: {chunk_size}")
+        if mirror is not None and mirror.capacity < ssd.capacity:
+            raise ValueError(
+                f"mirror {mirror.name} smaller than primary {ssd.name}"
+            )
         self.vs_id = vs_id
         self.ssd = ssd
         self.chunk_size = chunk_size
+        self.checksums = checksums
+        self.header_size = CHECKED_RECORD_HEADER if checksums else RECORD_HEADER
+        # Optional chunk-level redundancy: every chunk write is
+        # duplicated onto a different SSD; the repair layer reads the
+        # mirror copy when the primary record fails its checksum or the
+        # primary device dies.  Off (None) by default.
+        self.mirror = mirror
+        self.mirror_write_failures = 0
         self.ring = IOUring(ssd, queue_depth)
         self.num_chunks = ssd.capacity // chunk_size
         self._free: deque = deque(range(self.num_chunks))
@@ -114,12 +141,31 @@ class ValueStorage:
             if thread is not None:
                 self._alloc_lock.release(thread)
 
-    @staticmethod
-    def record_bytes(value_len: int) -> int:
-        return RECORD_HEADER + value_len
+    def record_bytes(self, value_len: int) -> int:
+        return self.header_size + value_len
 
     def chunk_payload_capacity(self) -> int:
         return self.chunk_size
+
+    def _frame(self, hsit_idx: int, value: bytes) -> bytes:
+        """Build one on-media record: header (+ optional CRC) + value."""
+        header = hsit_idx.to_bytes(8, "little") + len(value).to_bytes(4, "little")
+        if not self.checksums:
+            return header + value
+        return header + record_crc(header, value).to_bytes(4, "little") + value
+
+    def _mirror_write(self, at: float, offset: int, data: bytes) -> float:
+        """Best-effort duplicate of a chunk write onto the mirror SSD.
+
+        A failing mirror never blocks the primary write path — the
+        record merely loses its redundant copy (counted).
+        """
+        assert self.mirror is not None
+        try:
+            return self.mirror.write_async(at, offset, data)
+        except StorageError:
+            self.mirror_write_failures += 1
+            return at
 
     # ------------------------------------------------------------------
     # writes (always whole chunks, always async)
@@ -164,9 +210,7 @@ class ValueStorage:
                 _seal()
                 chunk_id = self._allocate_chunk(thread)
             offset = len(buffer)
-            buffer += hsit_idx.to_bytes(8, "little")
-            buffer += len(value).to_bytes(4, "little")
-            buffer += value
+            buffer += self._frame(hsit_idx, value)
             info = self._chunks[chunk_id]
             info.slots[offset] = _Slot(hsit_idx, offset, len(value))
             info.live_records += 1
@@ -184,6 +228,11 @@ class ValueStorage:
                 self.ring.submit(at, [req])
                 done = max(done, req.completion)
                 self.chunk_writes += 1
+                if self.mirror is not None:
+                    done = max(
+                        done,
+                        self._mirror_write(at, cid * self.chunk_size, bytes(buf)),
+                    )
         except StorageError:
             # Failure atomicity: no HSIT entry will ever point at these
             # chunks (the caller aborts), so leaving their slots marked
@@ -217,7 +266,7 @@ class ValueStorage:
             info = self._chunks[chunk_id]
             self._open_sync[tid] = chunk_id
         offset = info.write_head
-        record = hsit_idx.to_bytes(8, "little") + len(value).to_bytes(4, "little") + value
+        record = self._frame(hsit_idx, value)
         io_size = min(-(-need // 4096) * 4096, self.chunk_size - offset)
         req = IORequest(
             "write",
@@ -227,6 +276,8 @@ class ValueStorage:
         )
         at = thread.now if thread is not None else 0.0
         done = self.ring.submit_one(at, req)
+        if self.mirror is not None:
+            self._mirror_write(at, chunk_id * self.chunk_size + offset, record)
         if thread is not None:
             thread.wait_until(done)
         info.slots[offset] = _Slot(hsit_idx, offset, len(value))
@@ -248,27 +299,57 @@ class ValueStorage:
         return IORequest(
             "read",
             chunk_id * self.chunk_size + offset,
-            RECORD_HEADER + slot.size,
+            self.header_size + slot.size,
             context=(chunk_id, offset),
         )
 
     def slot_size(self, chunk_id: int, offset: int) -> int:
         return self._slot(chunk_id, offset).size
 
-    @staticmethod
-    def parse_record(raw: bytes) -> Tuple[int, bytes]:
-        """Split a raw record into (backward pointer, value)."""
+    def parse_record(
+        self, raw: bytes, where: str = "", device: str = ""
+    ) -> Tuple[int, bytes]:
+        """Split a raw record into (backward pointer, value).
+
+        With checksums enabled the stored CRC32 is verified over header
+        + payload; a mismatch raises :class:`CorruptionError` naming
+        ``device`` (defaults to the primary SSD) and ``where``.
+        """
         hsit_idx = int.from_bytes(raw[:8], "little")
         size = int.from_bytes(raw[8:12], "little")
-        return hsit_idx, raw[12 : 12 + size]
+        if not self.checksums:
+            return hsit_idx, raw[12 : 12 + size]
+        stored = int.from_bytes(raw[12:16], "little")
+        value = raw[16 : 16 + size]
+        if len(value) != size or record_crc(raw[:12], value) != stored:
+            raise CorruptionError(
+                device or self.ssd.name, where or f"vs{self.vs_id} record"
+            )
+        return hsit_idx, value
 
     def read_record_raw(self, chunk_id: int, offset: int) -> Tuple[int, bytes]:
-        """Untimed record read (recovery, GC, tests)."""
+        """Untimed record read (recovery, GC, tests); checksum-verified."""
         slot = self._slot(chunk_id, offset)
         raw = self.ssd.read_raw(
-            chunk_id * self.chunk_size + offset, RECORD_HEADER + slot.size
+            chunk_id * self.chunk_size + offset, self.header_size + slot.size
         )
-        return self.parse_record(raw)
+        return self.parse_record(
+            raw, where=f"vs{self.vs_id} chunk {chunk_id} off {offset}"
+        )
+
+    def read_record_mirror(self, chunk_id: int, offset: int) -> Tuple[int, bytes]:
+        """Untimed record read from the mirror copy; checksum-verified."""
+        if self.mirror is None:
+            raise StorageError(f"vs{self.vs_id}: no mirror configured")
+        slot = self._slot(chunk_id, offset)
+        raw = self.mirror.read_raw(
+            chunk_id * self.chunk_size + offset, self.header_size + slot.size
+        )
+        return self.parse_record(
+            raw,
+            where=f"mirror of vs{self.vs_id} chunk {chunk_id} off {offset}",
+            device=self.mirror.name,
+        )
 
     # ------------------------------------------------------------------
     # validity bitmap
@@ -345,6 +426,6 @@ class ValueStorage:
                 info.slots[offset] = _Slot(hsit_idx, offset, size)
                 info.live_records += 1
                 info.live_bytes += size
-                info.write_head = max(info.write_head, offset + RECORD_HEADER + size)
+                info.write_head = max(info.write_head, offset + self.header_size + size)
             self._chunks[chunk_id] = info
         self._free = remaining

@@ -337,6 +337,9 @@ def default_store_factory() -> "Prism":
             gc_free_threshold=0.4,
             svc_capacity=32 * kb,
             hsit_capacity=50_000,
+            # Checksummed framing so every post-recovery audit also
+            # exercises invariant I7 (stored CRCs match).
+            enable_checksums=True,
         )
     )
 

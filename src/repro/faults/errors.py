@@ -89,6 +89,43 @@ class RetryExhaustedError(DeviceError):
         self.attempts = attempts
 
 
+class CorruptionError(StorageError):
+    """Stored bytes fail their checksum — silent corruption detected.
+
+    Raised by the checksum-verifying parse paths (Value Storage record
+    reads, PWB reads, recovery scans) when the CRC32 carried in a
+    record's header does not match its content.  ``device`` names the
+    medium holding the bad copy and ``where`` localizes it (chunk and
+    offset, or PWB id and offset).
+    """
+
+    def __init__(self, device: str, where: str = "", message: str = "") -> None:
+        super().__init__(
+            message or f"{device}: checksum mismatch at {where or 'record'}"
+        )
+        self.device = device
+        self.where = where
+
+
+class UnrecoverableCorruptionError(CorruptionError):
+    """Corruption with no intact copy anywhere — typed data loss.
+
+    Raised after the repair layer exhausted every source (mirror chunk,
+    unreclaimed PWB copy): the value cannot be served, but the loss is
+    reported explicitly instead of returning wrong bytes.
+    """
+
+    def __init__(self, device: str, where: str = "", key: bytes = b"") -> None:
+        super().__init__(
+            device,
+            where,
+            f"value for {key!r} lost: no intact copy ({device} at {where})"
+            if key
+            else f"record at {where or '?'} on {device} lost: no intact copy",
+        )
+        self.key = key
+
+
 class DegradedError(StorageError):
     """Base for typed degraded-mode answers from the store."""
 

@@ -57,6 +57,11 @@ class FaultConfig:
     flush_error_rate: float = 0.0
     stuck_rate: float = 0.0
     stuck_timeout: float = 2e-3
+    # Silent corruption (never raises — only checksums can catch it):
+    # per SSD write, probability the stored bytes get one flipped bit /
+    # get truncated mid-record while the device still reports success.
+    bitflip_rate: float = 0.0
+    torn_write_rate: float = 0.0
     max_faults: Optional[int] = None
     dead_devices: Tuple[str, ...] = ()
 
@@ -66,6 +71,8 @@ class FaultConfig:
             "write_error_rate",
             "flush_error_rate",
             "stuck_rate",
+            "bitflip_rate",
+            "torn_write_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -92,6 +99,10 @@ class FaultInjector:
         self.dead: set = set(config.dead_devices)
         self.injected: Dict[str, int] = {}
         self.consults = 0
+        # Silent corruptions delivered so far (bit flips, torn writes,
+        # at-rest rot) — the scrubber uses this to know whether a scan
+        # pass can possibly find anything.
+        self.silent_injected = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -161,3 +172,65 @@ class FaultInjector:
         ):
             self._emit(at, name, "flush", "flush_error")
             raise FlushError(name)
+
+    # ------------------------------------------------------------------
+    # silent corruption (never raises — only checksums can catch it)
+    # ------------------------------------------------------------------
+    def silent_corruption_possible(self) -> bool:
+        """True when this schedule can (or did) corrupt stored bytes."""
+        cfg = self.config
+        return (
+            cfg.bitflip_rate > 0.0
+            or cfg.torn_write_rate > 0.0
+            or self.silent_injected > 0
+        )
+
+    def corrupt_write(self, device, at: float, offset: int, data: bytes) -> bytes:
+        """Maybe mutate the bytes an SSD write is about to store.
+
+        Called by the timed write paths after :meth:`before_io` — the
+        device still reports success; the caller stores the returned
+        bytes.  Zero rates return ``data`` untouched without drawing
+        randomness, keeping fault-free runs bit-identical.
+        """
+        cfg = self.config
+        if cfg.bitflip_rate <= 0.0 and cfg.torn_write_rate <= 0.0:
+            return data
+        if not data or not self._budget_left():
+            return data
+        if cfg.bitflip_rate > 0.0 and self.rng.random() < cfg.bitflip_rate:
+            bit = self.rng.randrange(len(data) * 8)
+            mutated = bytearray(data)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            self.silent_injected += 1
+            self._emit(at, device.name, "write", "bitflip")
+            return bytes(mutated)
+        if (
+            cfg.torn_write_rate > 0.0
+            and len(data) > 1
+            and self.rng.random() < cfg.torn_write_rate
+        ):
+            cut = self.rng.randrange(1, len(data))
+            self.silent_injected += 1
+            self._emit(at, device.name, "write", "torn_write")
+            return data[:cut]
+        return data
+
+    def corrupt_at_rest(
+        self, device, offset: int, size: int, at: float = 0.0
+    ) -> int:
+        """Flip one seeded bit inside ``[offset, offset + size)`` on
+        ``device`` (bit-rot while the data sat on media).
+
+        Explicit test/benchmark hook — not consulted by any IO path.
+        Returns the absolute byte offset that was corrupted.
+        """
+        if size <= 0:
+            raise ValueError(f"corrupt_at_rest needs a positive size: {size}")
+        bit = self.rng.randrange(size * 8)
+        raw = bytearray(device.read_raw(offset + bit // 8, 1))
+        raw[0] ^= 1 << (bit % 8)
+        device.write_raw(offset + bit // 8, bytes(raw))
+        self.silent_injected += 1
+        self._emit(at, device.name, "at_rest", "bitrot")
+        return offset + bit // 8

@@ -1,0 +1,229 @@
+"""Record repair: re-materialise corrupt or dead Value Storage records.
+
+Repair sources, in order:
+
+1. **Mirror chunk** — when the storage was built with ``mirror_chunks``
+   every chunk write was duplicated onto a dedicated mirror SSD; the
+   copy is checksum-verified and well-coupledness-checked before use.
+2. **Unreclaimed PWB copy** — a record whose reclamation published the
+   Value Storage pointer but whose PWB window has not been released yet
+   still has its exact bytes on NVM.  A PWB copy is accepted only when
+   it is unambiguous: per buffer the *newest* well-coupled record wins
+   (append order is version order within one thread), and matches from
+   different buffers must agree byte-for-byte — ambiguity could serve a
+   stale version, which would be silent wrongness.
+
+A successful repair rewrites the value through the normal publish path
+(chunk write on a healthy storage, HSIT pointer flip, old-slot
+invalidation), so the healed record is indistinguishable from a fresh
+write.  When every source fails the caller gets a typed
+:class:`UnrecoverableCorruptionError` — loss is reported, never served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core import pointers as ptr
+from repro.faults.errors import UnrecoverableCorruptionError
+from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.prism import Prism
+
+
+def _mirror_dead(store: "Prism", vs) -> bool:
+    return (
+        vs.mirror is not None
+        and store.injector is not None
+        and store.injector.is_dead(vs.mirror.name)
+    )
+
+
+def fetch_value(
+    store: "Prism",
+    idx: int,
+    vs_id: int,
+    chunk_id: int,
+    offset: int,
+    at: Optional[float] = None,
+) -> Optional[Tuple[bytes, str]]:
+    """Find an intact copy of the record at (vs_id, chunk_id, offset).
+
+    Returns ``(value, source)`` — source is ``"mirror"`` or ``"pwb"`` —
+    or ``None`` when no trustworthy copy exists.  ``at`` (optional)
+    timestamps the mirror read for bandwidth accounting.
+    """
+    vs = store.storages[vs_id]
+    # 1. mirror copy (checksum- and coupling-verified)
+    if vs.mirror is not None and not _mirror_dead(store, vs):
+        try:
+            nbytes = vs.header_size + vs.slot_size(chunk_id, offset)
+            back, value = vs.read_record_mirror(chunk_id, offset)
+            if back == idx:
+                if at is not None:
+                    vs.mirror.charge_read_async(at, nbytes)
+                return value, "mirror"
+        except StorageError:
+            pass  # mirror copy rotted too (or slot gone); fall through
+    # 2. latest unambiguous PWB copy
+    candidates: List[bytes] = []
+    scanned = 0
+    for pwb in store.pwbs:
+        best: Optional[bytes] = None
+        try:
+            for _off, back, value in pwb.records_between(pwb.tail, pwb.head):
+                scanned += pwb.header_size + len(value)
+                if back == idx:
+                    best = value  # newest wins within one buffer
+        except StorageError:
+            continue  # corrupt PWB region: distrust this buffer entirely
+        if best is not None:
+            candidates.append(best)
+    if scanned:
+        store.nvm.charge_read(None, scanned)
+    if candidates and all(c == candidates[0] for c in candidates):
+        return candidates[0], "pwb"
+    return None
+
+
+def read_repair(
+    store: "Prism",
+    idx: int,
+    key: bytes,
+    vs_id: int,
+    chunk_id: int,
+    offset: int,
+    thread: VThread,
+) -> bytes:
+    """Heal one record in place: fetch an intact copy, rewrite it
+    through the normal publish path, and flip the pointer.
+
+    The caller's thread pays the repair latency (this *is* read-repair).
+    Raises :class:`UnrecoverableCorruptionError` when no source has an
+    intact copy.
+    """
+    at = thread.now
+    vs = store.storages[vs_id]
+    where = f"vs{vs_id} chunk {chunk_id} off {offset}"
+    fetched = fetch_value(store, idx, vs_id, chunk_id, offset, at=at)
+    if fetched is None:
+        store.metrics.counter("corruption.unrecoverable").inc()
+        store.events.emit(
+            at,
+            "corruption_unrecoverable",
+            vs_id=vs_id,
+            chunk=chunk_id,
+            offset=offset,
+        )
+        raise UnrecoverableCorruptionError(vs.ssd.name, where, key)
+    value, source = fetched
+    target = store._pick_storage(thread.now)
+    placements, done = store._retrying_write(target, thread.now, [(idx, value)])
+    thread.wait_until(done)
+    new_chunk, new_off, _size = placements[0]
+    old = store.hsit.publish_location(
+        idx, ptr.encode_vs(target.vs_id, new_chunk, new_off), thread
+    )
+    store._supersede(idx, old, thread)
+    store.metrics.counter("corruption.repaired").inc()
+    store.events.emit(
+        at,
+        "repair",
+        vs_id=vs_id,
+        chunk=chunk_id,
+        offset=offset,
+        source=source,
+        target_vs=target.vs_id,
+    )
+    return value
+
+
+@dataclass
+class RebuildReport:
+    """Outcome of one full dead-storage rebuild."""
+
+    vs_id: int
+    records_repaired: int = 0
+    records_lost: int = 0
+    bytes_restored: int = 0
+    duration: float = 0.0  # virtual seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.records_lost == 0
+
+
+def rebuild_storage(
+    store: "Prism", vs_id: int, batch: int = 64
+) -> RebuildReport:
+    """Re-materialise every record of one Value Storage onto the
+    remaining healthy devices (background, virtual-time-charged).
+
+    Walks the index, finds every key whose durable copy lives on
+    ``vs_id``, repairs each from a source (mirror first, then PWB), and
+    publishes the new locations in batches through the normal write
+    path.  Records with no intact copy anywhere are counted as lost —
+    their pointers stay, so reads surface typed errors rather than
+    silent absence.
+    """
+    vs = store.storages[vs_id]
+    rt = VThread(-8, store.clock, name=f"rebuild-vs{vs_id}", background=True)
+    rt.now = store.clock.now
+    start = rt.now
+    report = RebuildReport(vs_id=vs_id)
+    pending: List[Tuple[int, bytes]] = []
+
+    def _flush_batch() -> None:
+        if not pending:
+            return
+        target = store._pick_storage(rt.now)
+        placements, done = store._retrying_write(target, rt.now, list(pending))
+        rt.wait_until(done)
+        for (idx, value), (chunk_id, offset, _sz) in zip(pending, placements):
+            old = store.hsit.publish_location(
+                idx, ptr.encode_vs(target.vs_id, chunk_id, offset), rt
+            )
+            store._supersede(idx, old, rt)
+            report.records_repaired += 1
+            report.bytes_restored += len(value)
+            store.metrics.counter("corruption.repaired").inc()
+        pending.clear()
+
+    for _key, idx in list(store.index.items()):
+        word = store.hsit.location_word(idx)
+        loc = ptr.decode(ptr.clear_dirty(word))
+        if not loc.in_vs or loc.vs_id != vs_id:
+            continue
+        fetched = fetch_value(
+            store, idx, vs_id, loc.chunk_id, loc.vs_offset, at=rt.now
+        )
+        if fetched is None:
+            report.records_lost += 1
+            store.metrics.counter("corruption.unrecoverable").inc()
+            store.events.emit(
+                rt.now,
+                "rebuild_lost",
+                vs_id=vs_id,
+                chunk=loc.chunk_id,
+                offset=loc.vs_offset,
+            )
+            continue
+        pending.append((idx, fetched[0]))
+        if len(pending) >= batch:
+            _flush_batch()
+    _flush_batch()
+    report.duration = rt.now - start
+    store.metrics.gauge("repair.rebuild_seconds").set(report.duration)
+    store.events.emit(
+        start,
+        "rebuild",
+        vs_id=vs_id,
+        records=report.records_repaired,
+        lost=report.records_lost,
+        bytes=report.bytes_restored,
+        duration=report.duration,
+    )
+    return report

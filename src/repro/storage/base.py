@@ -34,6 +34,9 @@ class _NullFaultInjector:
     def before_flush(self, device, at: float) -> None:
         pass
 
+    def corrupt_write(self, device, at: float, offset: int, data: bytes) -> bytes:
+        return data
+
     def is_dead(self, name: str) -> bool:
         return False
 

@@ -4,6 +4,14 @@ The paper's baselines aggregate eight SSDs with mdadm/dm-stripe RAID-0
 (§7.1).  Prism itself does *not* use RAID — it manages one Value
 Storage per SSD — so this module exists for the baselines (and for the
 #SSD sweeps of Figures 13–14, where KVell runs on a stripe set).
+
+Fault behaviour: every IO consults each member's fault injector, and a
+member failure surfaces as the device's own :class:`StorageError` with
+``raid_member`` set to the failing member's index — RAID-0 has no
+redundancy, so the stripe set cannot mask the error.  The one
+concession is :meth:`RAID0.degraded_read`, which (with exactly one
+member dead) returns the surviving extents and reports the dead ones
+as missing ranges instead of failing the whole read.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
 from repro.storage.ssd import SSDDevice
 
 
@@ -26,8 +35,10 @@ class RAID0:
         self.stripe_size = stripe_size
         self.capacity = min(d.capacity for d in self.devices) * len(self.devices)
 
-    def _extents(self, offset: int, size: int) -> List[Tuple[SSDDevice, int, int]]:
-        """Map a logical range to (device, device_offset, length) pieces."""
+    def _extents(
+        self, offset: int, size: int
+    ) -> List[Tuple[int, SSDDevice, int, int]]:
+        """Map a logical range to (member, device, dev_offset, length)."""
         if offset < 0 or size < 0 or offset + size > self.capacity:
             raise ValueError(f"RAID0 access [{offset}, {offset + size}) out of range")
         pieces = []
@@ -36,21 +47,41 @@ class RAID0:
         remaining = size
         while remaining > 0:
             stripe_idx, stripe_off = divmod(pos, self.stripe_size)
-            dev = self.devices[stripe_idx % n]
+            member = stripe_idx % n
+            dev = self.devices[member]
             dev_stripe = stripe_idx // n
             take = min(self.stripe_size - stripe_off, remaining)
-            pieces.append((dev, dev_stripe * self.stripe_size + stripe_off, take))
+            pieces.append((member, dev, dev_stripe * self.stripe_size + stripe_off, take))
             pos += take
             remaining -= take
         return pieces
+
+    @staticmethod
+    def _consult(member: int, dev: SSDDevice, op: str, at: float) -> None:
+        """Let the member's injector veto the IO; tag failures with the
+        member index so callers know which leg of the stripe died."""
+        try:
+            dev.injector.before_io(dev, op, at)
+        except StorageError as exc:
+            exc.raid_member = member
+            raise
+
+    def _dead_members(self) -> List[int]:
+        return [
+            i
+            for i, dev in enumerate(self.devices)
+            if dev.injector.is_dead(dev.name)
+        ]
 
     # ------------------------------------------------------------------
     # timed IO — pieces proceed in parallel, caller waits for the last
     # ------------------------------------------------------------------
     def read(self, thread: Optional[VThread], offset: int, size: int) -> bytes:
         chunks = []
-        done = thread.now if thread is not None else 0.0
-        for dev, dev_off, length in self._extents(offset, size):
+        at = thread.now if thread is not None else 0.0
+        done = at
+        for member, dev, dev_off, length in self._extents(offset, size):
+            self._consult(member, dev, "read", at)
             chunks.append(dev.read_raw(dev_off, length))
             dev.read_ios += 1
             if thread is not None:
@@ -64,9 +95,11 @@ class RAID0:
         return b"".join(chunks)
 
     def write(self, thread: Optional[VThread], offset: int, data: bytes) -> None:
-        done = thread.now if thread is not None else 0.0
+        at = thread.now if thread is not None else 0.0
+        done = at
         pos = 0
-        for dev, dev_off, length in self._extents(offset, len(data)):
+        for member, dev, dev_off, length in self._extents(offset, len(data)):
+            self._consult(member, dev, "write", at)
             dev.write_raw(dev_off, data[pos : pos + length])
             dev.write_ios += 1
             pos += length
@@ -79,22 +112,71 @@ class RAID0:
         if thread is not None:
             thread.wait_until(done)
 
+    def degraded_read(
+        self, thread: Optional[VThread], offset: int, size: int
+    ) -> Tuple[bytes, List[Tuple[int, int]]]:
+        """Best-effort read with exactly one member dead.
+
+        Extents on the dead member come back zero-filled and their
+        logical ``(offset, length)`` ranges are reported in the second
+        return value; surviving members are read (and timed) normally.
+        Raises :class:`StorageError` when no member is dead (use
+        :meth:`read`) or when two or more are (nothing meaningful
+        survives a RAID-0 double failure).
+        """
+        dead = self._dead_members()
+        if len(dead) != 1:
+            raise StorageError(
+                f"degraded_read needs exactly one dead member, have {dead}"
+            )
+        chunks = []
+        missing: List[Tuple[int, int]] = []
+        at = thread.now if thread is not None else 0.0
+        done = at
+        pos = offset
+        for member, dev, dev_off, length in self._extents(offset, size):
+            if member == dead[0]:
+                chunks.append(b"\0" * length)
+                missing.append((pos, length))
+                pos += length
+                continue
+            self._consult(member, dev, "read", at)
+            chunks.append(dev.read_raw(dev_off, length))
+            dev.read_ios += 1
+            dev.bytes_read += length
+            if thread is not None:
+                end = dev.read_channel.request(thread.now, length, dev.spec.read_latency)
+                done = max(done, end)
+            pos += length
+        if thread is not None:
+            thread.wait_until(done)
+        return b"".join(chunks), missing
+
     # ------------------------------------------------------------------
     # async IO
     # ------------------------------------------------------------------
     def read_async(self, at: float, offset: int, size: int) -> Tuple[bytes, float]:
         chunks = []
         done = at
-        for dev, dev_off, length in self._extents(offset, size):
+        for member, dev, dev_off, length in self._extents(offset, size):
+            try:
+                completion = dev.read_async(at, dev_off, length)
+            except StorageError as exc:
+                exc.raid_member = member
+                raise
             chunks.append(dev.read_raw(dev_off, length))
-            done = max(done, dev.read_async(at, dev_off, length))
+            done = max(done, completion)
         return b"".join(chunks), done
 
     def write_async(self, at: float, offset: int, data: bytes) -> float:
         done = at
         pos = 0
-        for dev, dev_off, length in self._extents(offset, len(data)):
-            done = max(done, dev.write_async(at, dev_off, data[pos : pos + length]))
+        for member, dev, dev_off, length in self._extents(offset, len(data)):
+            try:
+                done = max(done, dev.write_async(at, dev_off, data[pos : pos + length]))
+            except StorageError as exc:
+                exc.raid_member = member
+                raise
             pos += length
         return done
 

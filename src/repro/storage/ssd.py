@@ -9,8 +9,12 @@ background log writes emerges naturally.
 Durability: a write is durable once its device service completes.  The
 cross-media protocols under test never rely on SSD write atomicity —
 Prism's commit point is the HSIT update on NVM — so the device does
-not model torn block writes (the paper's Value Storage assumes the
-same, recovering purely from HSIT).
+not model torn block writes by default (the paper's Value Storage
+assumes the same, recovering purely from HSIT).  With a fault injector
+attached, the timed write paths additionally consult
+``injector.corrupt_write``: seeded *silent* bit flips and torn writes
+mutate the stored bytes while the device still reports success, so
+only record checksums can catch them.
 """
 
 from __future__ import annotations
@@ -86,8 +90,12 @@ class SSDDevice(Device):
 
     def write(self, thread: Optional[VThread], offset: int, data: bytes) -> None:
         """Blocking write."""
-        self.injector.before_io(self, "write", thread.now if thread is not None else 0.0)
-        self.write_raw(offset, data)
+        at = thread.now if thread is not None else 0.0
+        self.injector.before_io(self, "write", at)
+        # Silent-corruption hook: the stored bytes may differ from the
+        # submitted ones (bit flip / torn write) while the device still
+        # reports success — timing and accounting cover the full size.
+        self.write_raw(offset, self.injector.corrupt_write(self, at, offset, data))
         self.write_ios += 1
         self.charge_write(thread, len(data))
 
@@ -103,7 +111,7 @@ class SSDDevice(Device):
     def write_async(self, at: float, offset: int, data: bytes) -> float:
         """Start a write at ``at``; data is durable at the returned time."""
         self.injector.before_io(self, "write", at)
-        self.write_raw(offset, data)
+        self.write_raw(offset, self.injector.corrupt_write(self, at, offset, data))
         self.write_ios += 1
         return self.charge_write_async(at, len(data))
 

@@ -128,3 +128,56 @@ class TestCorruptionDetected:
         store.svc.used += 1234
         report = audit(store)
         assert any("accounting drift" in v for v in report.violations)
+
+
+class TestChecksumInvariant:
+    def _checked_store(self):
+        return Prism(small_prism_config(enable_checksums=True))
+
+    def test_clean_checked_store_passes(self, t):
+        store = self._checked_store()
+        store.put(b"k", b"v" * 100, t)
+        store.flush()
+        assert audit(store).ok
+
+    def test_corrupt_vs_record_fails_i7(self, t):
+        store = self._checked_store()
+        store.put(b"k", b"v" * 100, t)
+        store.flush()
+        idx = store.index.lookup(b"k")
+        loc = store.hsit.read_location(idx)
+        vs = store.storages[loc.vs_id]
+        addr = loc.chunk_id * vs.chunk_size + loc.vs_offset + vs.header_size
+        raw = bytearray(vs.ssd.read_raw(addr, 1))
+        raw[0] ^= 0x20
+        vs.ssd.write_raw(addr, bytes(raw))
+        report = audit(store)
+        assert not report.ok
+        assert any("I7" in v for v in report.violations)
+
+    def test_corrupt_pwb_record_fails_i7(self, t):
+        store = self._checked_store()
+        store.put(b"k", b"v" * 100, t)  # still in the PWB
+        idx = store.index.lookup(b"k")
+        loc = store.hsit.read_location(idx)
+        pwb = store.pwbs[loc.pwb_id]
+        pos = pwb.base + loc.pwb_offset % pwb.capacity + pwb.header_size
+        raw = bytearray(store.nvm._read_raw(pos, 1))
+        raw[0] ^= 0x20
+        store.nvm._write_raw(pos, bytes(raw))
+        report = audit(store)
+        assert any("I7" in v for v in report.violations)
+
+    def test_unchecked_store_skips_i7_sweep(self, store, t):
+        # Legacy framing carries no CRC: flipping a payload bit is
+        # undetectable (the documented reason enable_checksums exists).
+        store.put(b"k", b"v" * 100, t)
+        store.flush()
+        idx = store.index.lookup(b"k")
+        loc = store.hsit.read_location(idx)
+        vs = store.storages[loc.vs_id]
+        addr = loc.chunk_id * vs.chunk_size + loc.vs_offset + vs.header_size
+        raw = bytearray(vs.ssd.read_raw(addr, 1))
+        raw[0] ^= 0x20
+        vs.ssd.write_raw(addr, bytes(raw))
+        assert audit(store).ok

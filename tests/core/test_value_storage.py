@@ -48,7 +48,7 @@ class TestWriteRead:
 
     def test_parse_record(self, vs):
         raw = (5).to_bytes(8, "little") + (3).to_bytes(4, "little") + b"xyz!!"
-        assert ValueStorage.parse_record(raw) == (5, b"xyz")
+        assert vs.parse_record(raw) == (5, b"xyz")
 
     def test_unknown_slot_rejected(self, vs):
         with pytest.raises(StorageError):

@@ -98,3 +98,56 @@ def test_crash_propagates_to_members(thread):
     assert [m.crashes for m in members] == [1, 1, 1, 1]
     # an SSD power failure is harmless to completed writes
     assert raid.read(thread, 0, 4) == b"wwww"
+
+
+class TestMemberFaults:
+    """Per-member fault surfacing and single-failure degraded reads."""
+
+    @staticmethod
+    def _inject(members, dead=None):
+        from repro.faults.injector import FaultConfig, FaultInjector
+
+        inj = FaultInjector(FaultConfig(seed=5))
+        for m in members:
+            m.attach_injector(inj)
+        if dead is not None:
+            inj.kill_device(members[dead].name)
+        return inj
+
+    def test_member_failure_reports_index(self, raid, members, thread):
+        from repro.faults.errors import DeviceDeadError
+
+        raid.write(thread, 0, b"q" * (4 * STRIPE))
+        self._inject(members, dead=2)
+        with pytest.raises(DeviceDeadError) as err:
+            raid.read(thread, 2 * STRIPE, 16)
+        assert err.value.raid_member == 2
+        with pytest.raises(DeviceDeadError) as werr:
+            raid.write(thread, 2 * STRIPE, b"nope")
+        assert werr.value.raid_member == 2
+
+    def test_healthy_members_unaffected(self, raid, members, thread):
+        raid.write(thread, 0, b"q" * (4 * STRIPE))
+        self._inject(members, dead=2)
+        assert raid.read(thread, 0, 16) == b"q" * 16  # member 0's stripe
+
+    def test_degraded_read_zero_fills_dead_extents(self, raid, members, thread):
+        data = bytes(i % 251 for i in range(4 * STRIPE))
+        raid.write(thread, 0, data)
+        self._inject(members, dead=1)
+        got, missing = raid.degraded_read(thread, 0, 4 * STRIPE)
+        assert missing == [(STRIPE, STRIPE)]
+        expect = data[:STRIPE] + b"\0" * STRIPE + data[2 * STRIPE :]
+        assert got == expect
+
+    def test_degraded_read_requires_exactly_one_dead(self, raid, members, thread):
+        from repro.storage.base import StorageError
+
+        raid.write(thread, 0, b"q" * (4 * STRIPE))
+        inj = self._inject(members)
+        with pytest.raises(StorageError):
+            raid.degraded_read(thread, 0, STRIPE)  # nobody dead: use read()
+        inj.kill_device(members[0].name)
+        inj.kill_device(members[3].name)
+        with pytest.raises(StorageError):
+            raid.degraded_read(thread, 0, STRIPE)  # double failure
