@@ -189,6 +189,45 @@ def _scrub(args):
     return results
 
 
+def _cluster(args):
+    from repro.bench import cluster as cl
+
+    if getattr(args, "smoke", False):
+        scaling = cl.cluster_scaling(
+            shard_counts=(1, 4), num_keys=2000, num_ops=4000,
+            clients_per_shard=2,
+        )
+        baseline, killed = cl.cluster_failover(
+            num_shards=2, num_keys=1500, num_ops=3000, clients_per_shard=2,
+        )
+    else:
+        scaling = cl.cluster_scaling()
+        baseline, killed = cl.cluster_failover()
+    print("Cluster — aggregate throughput vs shard count (YCSB-C uniform, RF=1)")
+    base = scaling[min(scaling)].throughput
+    for shards, res in sorted(scaling.items()):
+        print(f"  {shards:2} shards {res.run.kops:10.1f} Kops/s  "
+              f"({res.throughput / base:4.2f}x)  "
+              f"p99 {res.run.latency.p99():6.1f}us")
+    ok_scale, scale_msg = cl.check_scaling(scaling)
+    print(f"  scaling gate: {'PASS' if ok_scale else 'FAIL'} — {scale_msg}")
+    print("\nCluster — failover under load (YCSB-A uniform, RF=2, quorum)")
+    print(f"  baseline {baseline.run.kops:10.1f} Kops/s  "
+          f"ok/shed/failed {baseline.ops_ok}/{baseline.ops_shed}/"
+          f"{baseline.ops_failed}")
+    print(f"  killed   {killed.run.kops:10.1f} Kops/s  "
+          f"ok/shed/failed {killed.ops_ok}/{killed.ops_shed}/"
+          f"{killed.ops_failed}")
+    ok_fail, fail_msg = cl.check_failover(killed)
+    print(f"  failover gate: {'PASS' if ok_fail else 'FAIL'} — {fail_msg}")
+    if not (ok_scale and ok_fail):
+        raise SystemExit(1)
+    return {
+        "scaling": {n: r.run for n, r in scaling.items()},
+        "failover": {"baseline": baseline.run, "killed": killed.run},
+    }
+
+
 def _media(args):
     results = media_matrix()
     print("Extension — emerging media (Kops)")
@@ -210,6 +249,7 @@ COMMANDS = {
     "fig16": _fig16,
     "fig17": _fig17,
     "ablations": _ablations,
+    "cluster": _cluster,
     "faults": _faults,
     "scalars": _scalars,
     "scrub": _scrub,
@@ -233,7 +273,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="tiny fast configuration (CI smoke; scrub only)",
+        help="tiny fast configuration (CI smoke; scrub and cluster only)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -1,0 +1,150 @@
+"""Cluster experiments: throughput scaling and failover under load.
+
+Two questions the serving layer must answer:
+
+* **scaling** — does aggregate throughput grow with shard count?
+  Shards share nothing but the virtual clock, so uniform YCSB-C
+  (read-only, no hot keys) should scale near-linearly; the acceptance
+  gate requires 4 shards ≥ 2.5× the 1-shard aggregate.
+* **failover** — with replication factor 2 and quorum acks, killing a
+  shard mid-run must lose **zero** acknowledged writes, and the
+  background re-replication must complete (recovery time recorded in
+  the metrics snapshot).
+
+Both run through :func:`repro.cluster.runner.run_cluster_workload`
+with client counts proportional to the cluster (``clients_per_shard``
+virtual threads per shard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bench.experiments import scaled
+from repro.bench.runner import preload
+from repro.cluster.router import ClusterConfig, PrismCluster
+from repro.cluster.runner import ClusterRunResult, KillPlan, run_cluster_workload
+from repro.workloads.ycsb import WorkloadSpec
+
+# Uniform key choice isolates scaling from skew: a Zipfian hot set
+# would concentrate on whichever shard owns the hot keys.
+YCSB_C_UNIFORM = WorkloadSpec(
+    name="C-uniform", read=1.0, distribution="uniform",
+    description="Read-only, uniform keys (scaling probe)",
+)
+YCSB_A_UNIFORM = WorkloadSpec(
+    name="A-uniform", read=0.5, update=0.5, distribution="uniform",
+    description="50/50 read/update, uniform keys (failover probe)",
+)
+
+
+def _build(
+    num_shards: int,
+    replication_factor: int,
+    replication_mode: str,
+    num_keys: int,
+    preload_threads: int = 4,
+) -> PrismCluster:
+    cluster = PrismCluster(
+        ClusterConfig(
+            num_shards=num_shards,
+            replication_factor=replication_factor,
+            replication_mode=replication_mode,
+        )
+    )
+    preload(cluster, num_keys, num_threads=preload_threads, seed=1)
+    return cluster
+
+
+def cluster_scaling(
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    clients_per_shard: int = 4,
+) -> Dict[int, ClusterRunResult]:
+    """Aggregate YCSB-C throughput vs shard count at RF=1."""
+    num_keys = num_keys if num_keys is not None else scaled(20_000)
+    num_ops = num_ops if num_ops is not None else scaled(40_000)
+    results: Dict[int, ClusterRunResult] = {}
+    for shards in shard_counts:
+        cluster = _build(shards, 1, "quorum", num_keys)
+        results[shards] = run_cluster_workload(
+            cluster,
+            YCSB_C_UNIFORM,
+            num_ops,
+            num_keys,
+            clients_per_shard=clients_per_shard,
+            seed=2,
+        )
+        cluster.close()
+    return results
+
+
+def cluster_failover(
+    num_shards: int = 4,
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    clients_per_shard: int = 4,
+    kill_shard: int = 1,
+    kill_fraction: float = 0.4,
+    replication_mode: str = "quorum",
+) -> Tuple[ClusterRunResult, ClusterRunResult]:
+    """YCSB-A at RF=2 with and without a mid-run shard death.
+
+    Returns ``(baseline, killed)``: the same workload on identical
+    clusters, one undisturbed, one losing ``kill_shard`` at
+    ``kill_fraction`` of the ops.
+    """
+    num_keys = num_keys if num_keys is not None else scaled(10_000)
+    num_ops = num_ops if num_ops is not None else scaled(20_000)
+
+    def one(plan: Optional[KillPlan]) -> ClusterRunResult:
+        cluster = _build(num_shards, 2, replication_mode, num_keys)
+        result = run_cluster_workload(
+            cluster,
+            YCSB_A_UNIFORM,
+            num_ops,
+            num_keys,
+            clients_per_shard=clients_per_shard,
+            seed=3,
+            kill_plan=plan,
+        )
+        cluster.close()
+        return result
+
+    return one(None), one(KillPlan(shard_id=kill_shard, at_fraction=kill_fraction))
+
+
+def check_scaling(results: Dict[int, ClusterRunResult]) -> Tuple[bool, str]:
+    """The acceptance gate: 4-shard aggregate ≥ 2.5× 1-shard."""
+    if 1 not in results or 4 not in results:
+        return True, "scaling gate skipped (need 1- and 4-shard runs)"
+    base = results[1].throughput
+    four = results[4].throughput
+    speedup = four / base if base else 0.0
+    ok = speedup >= 2.5
+    return ok, f"4-shard speedup {speedup:.2f}x (gate: >= 2.5x)"
+
+
+def check_failover(result: ClusterRunResult) -> Tuple[bool, str]:
+    """The acceptance gate: no acked write lost, recovery completed."""
+    problems = []
+    lost = result.audit.get("lost_acked")
+    wrong = result.audit.get("wrong_value")
+    if lost != 0:
+        problems.append(f"{lost} acked writes lost")
+    if wrong:
+        problems.append(f"{wrong} wrong final values")
+    if result.killed_shard is None:
+        problems.append("kill never triggered")
+    if result.recovery_seconds is None:
+        problems.append("re-replication never ran")
+    stats = result.run.stats
+    if stats.get("cluster_shards_down") != 1.0:
+        problems.append("down-shard count != 1")
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"zero lost acked writes over {result.audit.get('keys_checked', 0)} keys; "
+        f"recovery {result.recovery_seconds:.6f}s virtual"
+    )

@@ -1,0 +1,35 @@
+"""Sharded, replicated cluster serving layer.
+
+Scales the single-node Prism simulation out: N independent Prism
+instances (shards) share one virtual clock behind a consistent-hash
+router with primary/replica replication, failover with background
+re-replication, and per-shard admission control.  See
+``docs/simulation-model.md`` ("Cluster model") for the semantics.
+"""
+
+from repro.cluster.admission import AdmissionController, TokenBucket
+from repro.cluster.errors import (
+    ClusterError,
+    ShardOverloadedError,
+    ShardUnavailableError,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (
+    ClusterConfig,
+    PrismCluster,
+    default_shard_factory,
+)
+from repro.cluster.shard import Shard
+
+__all__ = [
+    "AdmissionController",
+    "ClusterConfig",
+    "ClusterError",
+    "HashRing",
+    "PrismCluster",
+    "Shard",
+    "ShardOverloadedError",
+    "ShardUnavailableError",
+    "TokenBucket",
+    "default_shard_factory",
+]

@@ -1,0 +1,290 @@
+"""Crash exploration at cluster scope: a shard dies at every reachable
+crash point, and the *router* must keep its contract.
+
+The single-store sweep (:mod:`repro.faults.crash_sweep`) verifies that
+power failure + recovery preserves durability on one node.  Here the
+failure model is harsher — the crashed shard never comes back.  The
+cluster-level contract, at replication factor ≥ 2 with quorum acks:
+
+* **acknowledged durability** — every mutation the router acknowledged
+  before the crash is served afterwards with its exact value (reads
+  route around the dead shard; re-replication restores RF);
+* **pending atomicity** — the operation in flight when the crash point
+  fired is observed either fully applied or fully absent, never torn
+  and never half-replicated into view;
+* **no stale reads** — a key overwritten after the failover must never
+  be served at its pre-failover value.
+
+Mechanics: shard 0's :class:`~repro.storage.crash.CrashPoint` runs the
+discovery pass (every label its store reaches while serving its slice
+of the workload); then, per label, a fresh identical cluster replays
+the workload with that label armed.  When the simulated crash fires the
+driver — playing the client — treats shard 0 as dead
+(:meth:`PrismCluster.fail_shard`), finishes the workload on the
+survivors, and verifies the contract with reads through the router.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.faults.crash_sweep --cluster
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.errors import ClusterError
+from repro.cluster.router import ClusterConfig, PrismCluster
+from repro.core.config import PrismConfig
+from repro.core.prism import Prism
+from repro.faults.crash_sweep import Op, default_ops
+from repro.faults.errors import StorageError
+from repro.faults.injector import FaultConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import VirtualClock
+from repro.storage.crash import SimulatedCrash
+from repro.storage.specs import FLASH_SSD_GEN4_SPEC
+
+CRASH_SHARD = 0  # the member whose crash points are explored
+
+
+@dataclass
+class ClusterLabelOutcome:
+    """Verdict for one armed label at cluster scope."""
+
+    label: str
+    occurrence: int
+    fired: bool
+    violations: List[str] = field(default_factory=list)
+    keys_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.fired and not self.violations
+
+
+@dataclass
+class ClusterSweepReport:
+    labels: Dict[str, int] = field(default_factory=dict)
+    outcomes: List[ClusterLabelOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster crash sweep: {len(self.labels)} labels on shard "
+            f"{CRASH_SHARD}, {len(self.outcomes)} shard deaths injected"
+        ]
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                lines.append(f"  FAIL {outcome.label}#{outcome.occurrence}")
+                for v in outcome.violations[:5]:
+                    lines.append(f"       {v}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def default_cluster_factory() -> PrismCluster:
+    """A 3-shard RF=2 quorum cluster of deliberately tight stores, so
+    the per-shard workload slice reaches reclamation and GC labels."""
+
+    def shard_factory(shard_id: int, clock: VirtualClock) -> Prism:
+        kb = 1024
+        return Prism(
+            PrismConfig(
+                num_threads=2,
+                num_ssds=2,
+                ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(512 * kb),
+                chunk_size=16 * kb,
+                pwb_capacity=32 * kb,
+                gc_free_threshold=0.4,
+                svc_capacity=32 * kb,
+                hsit_capacity=50_000,
+                enable_checksums=True,
+                faults=FaultConfig(seed=9000 + shard_id),
+            ),
+            metrics=MetricsRegistry(prefix=f"shard{shard_id}/"),
+            clock=clock,
+        )
+
+    return PrismCluster(
+        ClusterConfig(
+            num_shards=3, replication_factor=2, replication_mode="quorum"
+        ),
+        shard_factory=shard_factory,
+    )
+
+
+class ClusterCrashSweep:
+    """Kills one shard at every reachable crash point; audits the router."""
+
+    def __init__(
+        self,
+        cluster_factory: Callable[[], PrismCluster] = default_cluster_factory,
+        ops: Optional[List[Op]] = None,
+    ) -> None:
+        self.cluster_factory = cluster_factory
+        self.ops = list(ops) if ops is not None else default_ops()
+
+    @staticmethod
+    def _apply_op(cluster: PrismCluster, op: Op) -> None:
+        kind = op[0]
+        if kind == "put":
+            cluster.put(op[1], op[2])
+        elif kind == "delete":
+            cluster.delete(op[1])
+        elif kind == "get":
+            cluster.get(op[1])
+        elif kind == "scan":
+            cluster.scan(op[1], op[2])
+        else:
+            raise ValueError(f"unknown workload op: {op!r}")
+
+    def discover(self) -> Dict[str, int]:
+        """Labels shard 0's store reaches while serving the workload."""
+        cluster = self.cluster_factory()
+        point = cluster.shards[CRASH_SHARD].store.crash_point
+        point.start_recording()
+        for op in self.ops:
+            self._apply_op(cluster, op)
+        point.stop_recording()
+        return dict(point.seen)
+
+    def verify_label(self, label: str, occurrence: int = 1) -> ClusterLabelOutcome:
+        """One shard death at one label, then audit through the router."""
+        cluster = self.cluster_factory()
+        point = cluster.shards[CRASH_SHARD].store.crash_point
+        point.arm(label, occurrence)
+        acked: Dict[bytes, Optional[bytes]] = {}
+        pending: Optional[Op] = None
+        crashed = False
+        for op in self.ops:
+            try:
+                self._apply_op(cluster, op)
+            except SimulatedCrash:
+                # The node died mid-operation.  The router's client-side
+                # view: this op never acknowledged; the shard is gone.
+                crashed = True
+                pending = op
+                cluster.fail_shard(CRASH_SHARD)
+                continue
+            except (ClusterError, StorageError):
+                continue  # op failed cleanly post-failover; not acked
+            if op[0] == "put":
+                acked[op[1]] = op[2]
+            elif op[0] == "delete":
+                acked[op[1]] = None
+        outcome = ClusterLabelOutcome(
+            label=label, occurrence=occurrence, fired=point.fired == label
+        )
+        if not outcome.fired:
+            point.disarm()
+            return outcome
+        assert crashed, f"label {label} fired but no crash surfaced"
+        outcome.violations = self._audit(cluster, acked, pending)
+        outcome.keys_checked = len(acked)
+        return outcome
+
+    def _audit(
+        self,
+        cluster: PrismCluster,
+        acked: Dict[bytes, Optional[bytes]],
+        pending: Optional[Op],
+    ) -> List[str]:
+        violations: List[str] = []
+        if CRASH_SHARD not in {s.shard_id for s in cluster.shards if not s.up}:
+            violations.append("crashed shard never marked down")
+        pend_key = (
+            pending[1] if pending and pending[0] in ("put", "delete") else None
+        )
+        for key, value in acked.items():
+            if key == pend_key:
+                # The pending op superseded this ack only if it came
+                # later; acked{} already holds the final acked value,
+                # and the pending mutation may or may not have applied.
+                old, new = value, (
+                    pending[2] if pending[0] == "put" else None
+                )
+                got = self._read(cluster, key, violations)
+                if got != old and got != new:
+                    shown = got[:16] if got is not None else None
+                    violations.append(
+                        f"pending {pending[0]} on {key!r} torn: got {shown!r}"
+                    )
+                continue
+            got = self._read(cluster, key, violations)
+            if value is None:
+                if got is not None:
+                    violations.append(
+                        f"deleted key {key!r} resurrected as {got[:16]!r}"
+                    )
+            elif got != value:
+                shown = got[:16] if got is not None else None
+                violations.append(
+                    f"acked key {key!r} wrong after failover: "
+                    f"expected {value[:16]!r}, got {shown!r}"
+                )
+        return violations
+
+    @staticmethod
+    def _read(
+        cluster: PrismCluster, key: bytes, violations: List[str]
+    ) -> Optional[bytes]:
+        try:
+            return cluster.get(key)
+        except (ClusterError, StorageError) as exc:
+            violations.append(f"key {key!r} unreadable after failover: {exc}")
+            return None
+
+    def run(self) -> ClusterSweepReport:
+        report = ClusterSweepReport()
+        report.labels = self.discover()
+        for label in sorted(report.labels):
+            report.outcomes.append(self.verify_label(label))
+        return report
+
+    def fuzz(self, trials: int, seed: int = 0) -> List[ClusterLabelOutcome]:
+        """Seeded random (label, occurrence) draws, later occurrences."""
+        labels = sorted(self.discover().items())
+        rng = random.Random(seed)
+        outcomes: List[ClusterLabelOutcome] = []
+        for _ in range(trials):
+            if not labels:
+                break
+            label, count = labels[rng.randrange(len(labels))]
+            outcomes.append(self.verify_label(label, rng.randint(1, count)))
+        return outcomes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.crash_sweep --cluster",
+        description="Kill a shard at every crash point; audit the router.",
+    )
+    parser.add_argument("--ops", type=int, default=300, help="workload length")
+    parser.add_argument("--keys", type=int, default=60, help="key-space size")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--fuzz", type=int, default=0,
+        help="extra randomized (label, occurrence) trials",
+    )
+    args = parser.parse_args(argv)
+    sweep = ClusterCrashSweep(
+        ops=default_ops(args.ops, args.keys, args.seed)
+    )
+    report = sweep.run()
+    if args.fuzz:
+        report.outcomes.extend(sweep.fuzz(args.fuzz, seed=args.seed))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Consistent-hash ring: stable key→shard placement under membership
+change.
+
+Each shard contributes ``vnodes`` points on a 64-bit ring (hashed from
+``shard_id#replica_index`` with :func:`hashlib.blake2b`, so placement is
+deterministic across processes and immune to ``PYTHONHASHSEED``).  A
+key maps to the first point clockwise from its own hash; a preference
+list walks further clockwise collecting *distinct* shards for
+replication.
+
+The property that makes this a ring rather than ``hash(key) % N``:
+adding or removing one shard only re-maps the key ranges adjacent to
+that shard's points.  Keys whose owner is unaffected keep their owner —
+verified by a Hypothesis property test in
+``tests/cluster/test_ring.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+_HASH_BYTES = 8  # 64-bit ring positions
+
+
+def _hash64(data: bytes, seed: int) -> int:
+    digest = hashlib.blake2b(
+        data, digest_size=_HASH_BYTES, key=seed.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard ids."""
+
+    def __init__(
+        self,
+        shard_ids: Iterable[int],
+        vnodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"need at least one vnode per shard: {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._points: List[Tuple[int, int]] = []  # (position, shard_id)
+        self._keys: List[int] = []  # positions only, for bisect
+        self._shards: Set[int] = set()
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Set[int]:
+        return set(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def _vnode_points(self, shard_id: int) -> List[Tuple[int, int]]:
+        return [
+            (_hash64(b"%d#%d" % (shard_id, v), self.seed), shard_id)
+            for v in range(self.vnodes)
+        ]
+
+    def add_shard(self, shard_id: int) -> None:
+        """Insert a shard's vnodes; only ranges they land in re-map."""
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id} already on the ring")
+        self._shards.add(shard_id)
+        for point in self._vnode_points(shard_id):
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._keys.insert(idx, point[0])
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Drop a shard's vnodes; only keys it owned re-map."""
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id} not on the ring")
+        self._shards.discard(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+        self._keys = [pos for pos, _ in self._points]
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def key_position(self, key: bytes) -> int:
+        return _hash64(key, self.seed)
+
+    def lookup(self, key: bytes) -> int:
+        """The shard owning ``key`` (its primary)."""
+        if not self._points:
+            raise ValueError("empty ring")
+        idx = bisect.bisect_right(self._keys, self.key_position(key))
+        if idx == len(self._points):
+            idx = 0  # wrap past the top of the ring
+        return self._points[idx][1]
+
+    def preference_list(
+        self,
+        key: bytes,
+        n: int,
+        exclude: Optional[Set[int]] = None,
+    ) -> List[int]:
+        """The first ``n`` *distinct* shards clockwise from ``key``.
+
+        Entry 0 is the primary; the rest are replica placements.
+        ``exclude`` (e.g. the set of down shards) removes members from
+        consideration — the walk continues past them, which is exactly
+        how failover promotes the next live shard without perturbing
+        the placement of keys owned by healthy shards.
+        """
+        if n < 1:
+            raise ValueError(f"preference list needs n >= 1: {n}")
+        if not self._points:
+            raise ValueError("empty ring")
+        banned = exclude or set()
+        available = self._shards - banned
+        want = min(n, len(available))
+        result: List[int] = []
+        if want == 0:
+            return result
+        start = bisect.bisect_right(self._keys, self.key_position(key))
+        total = len(self._points)
+        for step in range(total):
+            shard = self._points[(start + step) % total][1]
+            if shard in banned or shard in result:
+                continue
+            result.append(shard)
+            if len(result) == want:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def ownership_histogram(self, keys: Sequence[bytes]) -> Dict[int, int]:
+        """How many of ``keys`` each shard owns (balance check)."""
+        counts: Dict[int, int] = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

@@ -1,0 +1,568 @@
+"""The cluster router: N Prism shards behind a consistent-hash ring.
+
+:class:`PrismCluster` composes every subsystem built so far into a
+horizontally scaled serving layer:
+
+* **placement** — keys map to shards through a :class:`HashRing`
+  (stable under membership change: only ranges owned by a failed shard
+  re-map);
+* **replication** — writes apply to the key's primary and replicate to
+  ``replication_factor - 1`` further shards, synchronously, at quorum,
+  or asynchronously (see :class:`repro.cluster.shard.Shard`);
+* **failover** — a shard whose devices die (via the PR 2
+  :class:`FaultInjector`, or explicitly with :meth:`kill_shard`) is
+  marked down, the router promotes the next live owner on the ring,
+  and a background re-replication pass (:meth:`rebuild`) restores the
+  replication factor of every key the dead shard held — the
+  cluster-level analogue of ``repair.rebuild_storage``;
+* **admission control** — per-shard queue-depth caps and token-bucket
+  rate limiting shed load with typed
+  :class:`~repro.cluster.errors.ShardOverloadedError` instead of
+  queueing unboundedly.
+
+The cluster is store-shaped: it exposes ``put``/``get``/``scan``/
+``delete``/``stats``/``flush`` plus the accounting attributes the
+benchmark driver reads, so :func:`repro.bench.runner.run_workload`
+drives it unchanged.  With one shard, replication factor 1, and no
+faults, the router performs no admission checks, consumes no
+randomness, and adds no virtual time — a run through it is
+bit-identical to driving the underlying Prism directly.
+
+Like the rest of the simulation, background effects (replication
+pumping, re-replication) execute synchronously in *code* when
+triggered but are timestamped on background virtual threads;
+foreground operations feel them only through device-bandwidth
+contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.admission import AdmissionController
+from repro.cluster.errors import ShardUnavailableError
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import STATE_DOWN, Shard
+from repro.core.config import PrismConfig
+from repro.core.prism import Prism
+from repro.faults.errors import (
+    DegradedError,
+    DeviceDeadError,
+    DeviceError,
+    NoHealthyStorageError,
+)
+from repro.faults.injector import FaultConfig
+from repro.obs.metrics import EventLog, MetricsRegistry, merge_registries
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+
+MODE_ASYNC = "async"
+MODE_QUORUM = "quorum"
+MODE_SYNC = "sync"
+
+READ_PRIMARY = "primary"
+READ_SPREAD = "spread"
+
+
+@dataclass
+class ClusterConfig:
+    """Everything tunable about the serving layer (not the shards)."""
+
+    num_shards: int = 2
+    replication_factor: int = 1
+    replication_mode: str = MODE_QUORUM  # "async" | "quorum" | "sync"
+    read_policy: str = READ_PRIMARY  # "primary" | "spread"
+    vnodes: int = 64
+    ring_seed: int = 0
+    # Admission control; None disables the corresponding mechanism.
+    max_queue_depth: Optional[int] = None
+    rate_limit_ops: Optional[float] = None  # tokens (ops) per virtual second
+    rate_burst: float = 64.0
+    # Re-replicate automatically when a shard fails.  Off, reads are
+    # restricted to surviving static owners until rebuild() is called.
+    auto_rebuild: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"need at least one shard: {self.num_shards}")
+        if not 1 <= self.replication_factor <= self.num_shards:
+            raise ValueError(
+                f"replication factor must be in [1, {self.num_shards}]: "
+                f"{self.replication_factor}"
+            )
+        if self.replication_mode not in (MODE_ASYNC, MODE_QUORUM, MODE_SYNC):
+            raise ValueError(f"unknown replication mode: {self.replication_mode}")
+        if self.read_policy not in (READ_PRIMARY, READ_SPREAD):
+            raise ValueError(f"unknown read policy: {self.read_policy}")
+
+    @property
+    def write_acks_required(self) -> int:
+        """Copies that must be durable before a write acknowledges."""
+        rf = self.replication_factor
+        if self.replication_mode == MODE_SYNC:
+            return rf
+        if self.replication_mode == MODE_QUORUM:
+            return rf // 2 + 1
+        return 1  # async: primary only
+
+
+def default_shard_factory(shard_id: int, clock: VirtualClock) -> Prism:
+    """A modest store per shard, fault-injectable (zero rates — bit-
+    identical to no injector) so whole-shard death works, with a
+    shard-prefixed metrics registry so instruments never collide."""
+    config = PrismConfig(faults=FaultConfig(seed=9000 + shard_id))
+    return Prism(
+        config,
+        metrics=MetricsRegistry(prefix=f"shard{shard_id}/"),
+        clock=clock,
+    )
+
+
+class _ShardOpError(Exception):
+    """Internal: one shard failed mid-operation (carries which)."""
+
+    def __init__(self, shard: Shard, cause: Exception) -> None:
+        super().__init__(str(cause))
+        self.shard = shard
+        self.cause = cause
+
+
+class PrismCluster:
+    """Sharded, replicated Prism behind a consistent-hash router."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        shard_factory: Optional[Callable[[int, VirtualClock], Prism]] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.clock = VirtualClock()
+        factory = shard_factory or default_shard_factory
+        self.shards: List[Shard] = [
+            Shard(
+                sid,
+                factory(sid, self.clock),
+                AdmissionController(
+                    sid,
+                    max_queue_depth=cfg.max_queue_depth,
+                    rate=cfg.rate_limit_ops,
+                    burst=cfg.rate_burst,
+                ),
+            )
+            for sid in range(cfg.num_shards)
+        ]
+        for shard in self.shards:
+            if shard.store.clock is not self.clock:
+                raise ValueError(
+                    f"shard {shard.shard_id} does not share the cluster clock; "
+                    "build it with Prism(..., clock=clock)"
+                )
+        self.ring = HashRing(
+            range(cfg.num_shards), vnodes=cfg.vnodes, seed=cfg.ring_seed
+        )
+        self.metrics = MetricsRegistry()
+        self.events = EventLog("cluster")
+        self._down: Set[int] = set()
+        self._unrebuilt: Set[int] = set()
+        self._default_thread = VThread(0, self.clock, name="cluster-caller")
+        self._spread_rr = itertools.count()
+        self._async = cfg.replication_mode == MODE_ASYNC
+
+    # ------------------------------------------------------------------
+    # store-shaped surface
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "PrismCluster"
+
+    @property
+    def bytes_put(self) -> int:
+        return sum(s.store.bytes_put for s in self.shards)
+
+    def ssd_bytes_written(self) -> int:
+        return sum(s.store.ssd_bytes_written() for s in self.shards)
+
+    def waf(self) -> float:
+        put = self.bytes_put
+        return self.ssd_bytes_written() / put if put else 0.0
+
+    @property
+    def gc_events(self) -> List[float]:
+        times: List[float] = []
+        for shard in self.shards:
+            times.extend(shard.store.gc_events)
+        times.sort()
+        return times
+
+    def __len__(self) -> int:
+        # Replicated copies of a key count once.
+        counted: Set[bytes] = set()
+        for shard in self.shards:
+            if shard.up:
+                counted.update(key for key, _ in shard.store.index.items())
+        return len(counted)
+
+    def stats(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for shard in self.shards:
+            for key, value in shard.store.stats().items():
+                totals[key] = totals.get(key, 0.0) + value
+        put = self.bytes_put
+        totals["waf"] = self.ssd_bytes_written() / put if put else 0.0
+        totals["cluster_shards"] = float(len(self.shards))
+        totals["cluster_shards_down"] = float(len(self._down))
+        totals["cluster_shed"] = float(
+            sum(s.admission.shed_queue + s.admission.shed_rate for s in self.shards)
+        )
+        totals["cluster_repl_applied"] = float(
+            sum(s.repl_applied for s in self.shards)
+        )
+        totals["cluster_repl_dropped"] = float(
+            sum(s.repl_dropped for s in self.shards)
+        )
+        totals["cluster_repl_queued"] = float(
+            sum(len(s.queue) for s in self.shards)
+        )
+        return totals
+
+    def merged_shard_metrics(self) -> MetricsRegistry:
+        """One cluster-wide registry: per-shard prefixes stripped,
+        histograms bucket-merged (cluster-wide p50/p99)."""
+        real = [s.store.metrics for s in self.shards if s.store.metrics.enabled]
+        return merge_registries(real)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _thread(self, thread: Optional[VThread]) -> VThread:
+        return thread if thread is not None else self._default_thread
+
+    def _owner_ids(self, key: bytes) -> List[int]:
+        return self.ring.preference_list(key, self.config.replication_factor)
+
+    def _write_shards(self, key: bytes) -> List[Shard]:
+        """Live owners, primary first — where a write must land."""
+        if not self._down:
+            ids = self._owner_ids(key)
+        else:
+            ids = self.ring.preference_list(
+                key, self.config.replication_factor, exclude=self._down
+            )
+        if not ids:
+            raise ShardUnavailableError(key, self.ring.shards | self._down)
+        return [self.shards[i] for i in ids]
+
+    def _read_shards(self, key: bytes) -> List[Shard]:
+        """Shards that authoritatively hold ``key``.
+
+        With no failures these are the static owners.  While a failed
+        shard's re-replication is still pending, only surviving static
+        owners are trusted (a promoted ring successor may not have
+        received the key yet); once every failure has been rebuilt the
+        effective (exclusion-walk) owners all hold the data.
+        """
+        if not self._down:
+            return [self.shards[i] for i in self._owner_ids(key)]
+        static = self._owner_ids(key)
+        if self._unrebuilt:
+            survivors = [i for i in static if i not in self._down]
+            if not survivors:
+                raise ShardUnavailableError(key, static)
+            return [self.shards[i] for i in survivors]
+        live = self.ring.preference_list(
+            key, self.config.replication_factor, exclude=self._down
+        )
+        if not live:
+            raise ShardUnavailableError(key, static)
+        return [self.shards[i] for i in live]
+
+    def _pick_reader(self, candidates: Sequence[Shard]) -> Shard:
+        if self.config.read_policy == READ_SPREAD and len(candidates) > 1:
+            return candidates[next(self._spread_rr) % len(candidates)]
+        return candidates[0]
+
+    def _admit(self, shard: Shard, at: float) -> None:
+        try:
+            shard.admission.admit(at)
+        except Exception:
+            self.metrics.counter("cluster.shed").inc()
+            raise
+
+    @staticmethod
+    def _permanent(exc: Exception) -> bool:
+        """Failures that condemn the whole shard, not just one key."""
+        return isinstance(exc, (DeviceDeadError, NoHealthyStorageError))
+
+    def _guard(self, shard: Shard, fn: Callable[[], object]) -> object:
+        """Run one shard-level operation, tagging failures with the shard."""
+        try:
+            return fn()
+        except (DeviceError, DegradedError) as exc:
+            raise _ShardOpError(shard, exc) from exc
+
+    def _handle_failure(self, err: _ShardOpError, at: float) -> None:
+        if self._permanent(err.cause) and err.shard.shard_id not in self._down:
+            self.fail_shard(err.shard.shard_id, at)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes, thread: Optional[VThread] = None) -> None:
+        """Insert or update; durable on the required replica count when
+        this returns (primary only under async replication)."""
+        self._mutate(key, value, thread)
+
+    def delete(self, key: bytes, thread: Optional[VThread] = None) -> bool:
+        """Remove a key cluster-wide. Returns the primary's verdict."""
+        return bool(self._mutate(key, None, thread))
+
+    def _mutate(
+        self, key: bytes, value: Optional[bytes], thread: Optional[VThread]
+    ) -> object:
+        thread = self._thread(thread)
+        last_error: Optional[_ShardOpError] = None
+        for _attempt in range(2):
+            try:
+                return self._replicated_apply(key, value, thread)
+            except _ShardOpError as err:
+                last_error = err
+                self._handle_failure(err, thread.now)
+                if not self._permanent(err.cause):
+                    # Transient escape: nothing will change on retry
+                    # beyond the store's own retries; surface it.
+                    break
+        assert last_error is not None
+        raise last_error.cause
+
+    def _replicated_apply(
+        self, key: bytes, value: Optional[bytes], thread: VThread
+    ) -> object:
+        owners = self._write_shards(key)
+        primary, replicas = owners[0], owners[1:]
+        self._admit(primary, thread.now)
+        if self._async:
+            primary.pump(thread.now)
+        result = self._guard(
+            primary,
+            (lambda: primary.store.put(key, value, thread))
+            if value is not None
+            else (lambda: primary.store.delete(key, thread)),
+        )
+        primary_end = thread.now
+        if replicas:
+            if self._async:
+                for replica in replicas:
+                    replica.enqueue(key, value, primary.shard_id, primary_end)
+            else:
+                # The primary coordinates: replica writes fan out in
+                # parallel after its ack; the client resumes at the
+                # k-th replica ack required by the mode.
+                ends: List[float] = []
+                for replica in replicas:
+                    thread.now = primary_end
+                    self._guard(
+                        replica,
+                        (lambda r=replica: r.store.put(key, value, thread))
+                        if value is not None
+                        else (lambda r=replica: r.store.delete(key, thread)),
+                    )
+                    ends.append(thread.now)
+                need = self.config.write_acks_required
+                if need > 1:
+                    ends.sort()
+                    thread.now = ends[need - 2]
+                else:
+                    thread.now = primary_end
+        primary.admission.complete(thread.now)
+        return result
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, key: bytes, thread: Optional[VThread] = None) -> Optional[bytes]:
+        """Point lookup; returns None for missing keys."""
+        thread = self._thread(thread)
+        tried: Set[int] = set()
+        last_error: Optional[_ShardOpError] = None
+        for _attempt in range(1 + self.config.replication_factor):
+            candidates = [
+                s for s in self._read_shards(key) if s.shard_id not in tried
+            ]
+            if not candidates:
+                break
+            shard = self._pick_reader(candidates)
+            tried.add(shard.shard_id)
+            self._admit(shard, thread.now)
+            if self._async:
+                shard.pump(thread.now)
+            try:
+                value = self._guard(shard, lambda: shard.store.get(key, thread))
+            except _ShardOpError as err:
+                last_error = err
+                self._handle_failure(err, thread.now)
+                continue
+            shard.admission.complete(thread.now)
+            return value
+        assert last_error is not None
+        raise last_error.cause
+
+    def scan(
+        self, start: bytes, count: int, thread: Optional[VThread] = None
+    ) -> List[Tuple[bytes, bytes]]:
+        """Range scan across shards: hashing scatters ranges, so every
+        live shard scans locally (in parallel virtual time) and the
+        router merges, keeping each key's copy from its read primary."""
+        thread = self._thread(thread)
+        t0 = thread.now
+        ends: List[float] = []
+        merged: Dict[bytes, bytes] = {}
+        serving = [s for s in self.shards if s.up]
+        if not serving:
+            raise ShardUnavailableError(start, self.ring.shards)
+        for shard in serving:
+            self._admit(shard, t0)
+            if self._async:
+                shard.pump(t0)
+            thread.now = t0
+            try:
+                pairs = self._guard(
+                    shard, lambda: shard.store.scan(start, count, thread)
+                )
+            except _ShardOpError as err:
+                self._handle_failure(err, thread.now)
+                continue
+            ends.append(thread.now)
+            shard.admission.complete(thread.now)
+            for key, value in pairs:
+                if self._read_shards(key)[0] is shard:
+                    merged[key] = value
+        thread.now = max(ends) if ends else t0
+        return [(key, merged[key]) for key in sorted(merged)[:count]]
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int, at: Optional[float] = None) -> None:
+        """Whole-node death: fail every device, then run failover."""
+        at = self.clock.now if at is None else at
+        self.shards[shard_id].kill(at)
+        self.fail_shard(shard_id, at)
+
+    def fail_shard(self, shard_id: int, at: Optional[float] = None) -> None:
+        """Mark a shard down, drop its unsent replication backlog, and
+        (with ``auto_rebuild``) restore every affected key's RF."""
+        if shard_id in self._down:
+            return
+        at = self.clock.now if at is None else at
+        shard = self.shards[shard_id]
+        shard.state = STATE_DOWN
+        self._down.add(shard_id)
+        self._unrebuilt.add(shard_id)
+        self.metrics.counter("cluster.failovers").inc()
+        dropped = shard.drop_all()
+        for other in self.shards:
+            if other.shard_id == shard_id or not other.up:
+                continue
+            # Apply whatever the dead primary had already shipped...
+            other.pump(at)
+            # ...and lose what it had not.
+            dropped += other.drop_from(shard_id)
+        self.events.emit(
+            at, "shard_down", shard=shard_id, repl_dropped=dropped
+        )
+        if dropped:
+            self.metrics.counter("cluster.repl.dropped").inc(dropped)
+        if self.config.auto_rebuild:
+            self.rebuild(at)
+
+    def rebuild(self, at: Optional[float] = None) -> Dict[str, float]:
+        """Re-replication after failures: for every key a down shard
+        owned, copy from a surviving static owner until each effective
+        owner holds it.  Runs on a background virtual thread; duration
+        lands in ``cluster.recovery_seconds``."""
+        at = self.clock.now if at is None else at
+        report = {"keys_copied": 0.0, "keys_lost": 0.0, "duration": 0.0}
+        if not self._unrebuilt:
+            return report
+        rt = VThread(-50, self.clock, name="re-replicate", background=True)
+        rt.now = at
+        start = rt.now
+        rf = self.config.replication_factor
+        down = set(self._down)
+        seen: Set[bytes] = set()
+        for holder in self.shards:
+            if not holder.up:
+                continue
+            for key, _idx in list(holder.store.index.items()):
+                if key in seen:
+                    continue
+                seen.add(key)
+                static = self.ring.preference_list(key, rf)
+                if not any(sid in self._unrebuilt for sid in static):
+                    continue  # placement untouched by the failures
+                survivors = [sid for sid in static if sid not in down]
+                # Prefer a surviving static owner (it saw every
+                # post-failure write for the key); fall back to the
+                # holder we enumerated from (e.g. a shard promoted
+                # during an earlier failure).
+                sources = survivors + (
+                    [] if holder.shard_id in survivors else [holder.shard_id]
+                )
+                value: Optional[bytes] = None
+                for sid in sources:
+                    try:
+                        value = self.shards[sid].store.get(key, rt)
+                    except (DeviceError, DegradedError):
+                        continue
+                    if value is not None:
+                        break
+                if value is None:
+                    report["keys_lost"] += 1
+                    continue
+                for sid in self.ring.preference_list(key, rf, exclude=down):
+                    target = self.shards[sid]
+                    if target.store.index.lookup(key, rt) is None:
+                        target.store.put(key, value, rt)
+                        report["keys_copied"] += 1
+        # Keys only the dead shards held (possible at RF=1, or when an
+        # async-replication backlog died with its primary) are gone for
+        # good; their index metadata survives in memory, so we can at
+        # least count them.
+        for sid in self._unrebuilt:
+            for key, _idx in self.shards[sid].store.index.items():
+                if key not in seen:
+                    seen.add(key)
+                    report["keys_lost"] += 1
+        self._unrebuilt.clear()
+        report["duration"] = rt.now - start
+        self.metrics.gauge("cluster.recovery_seconds").set(report["duration"])
+        self.metrics.counter("cluster.rebuilds").inc()
+        self.events.emit(
+            start,
+            "rebuild",
+            keys_copied=report["keys_copied"],
+            keys_lost=report["keys_lost"],
+            duration=report["duration"],
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self, thread: Optional[VThread] = None) -> None:
+        """Drain replication queues, then flush every live store."""
+        for shard in self.shards:
+            if shard.up and shard.queue:
+                shard.pump(float("inf"))
+        for shard in self.shards:
+            if shard.up:
+                shard.store.flush()
+
+    def close(self) -> None:
+        self.flush()
+        for shard in self.shards:
+            if shard.up:
+                shard.store.close()

@@ -1,0 +1,325 @@
+"""Cluster workload execution: YCSB through the router, with an
+acked-write ledger and optional mid-run shard failure.
+
+:func:`run_cluster_workload` is the cluster-aware sibling of
+:func:`repro.bench.runner.run_workload`.  It drives the same
+:class:`OpStream` mixes through :class:`PrismCluster` with
+``clients_per_shard`` virtual client threads per shard (client
+parallelism scales with the cluster), and adds two things the
+single-store driver has no use for:
+
+* a :class:`WriteLedger` recording every *acknowledged* write as a
+  virtual-time interval ``(start, end, value)``.  After the run the
+  ledger audits the cluster: for each key the final value must be one
+  a linearizable history could produce — the value of some acked write
+  not wholly superseded by a later acked write, or of an *interrupted*
+  write (one that raised mid-operation and may or may not have
+  applied).  An acked write that disappears entirely is reported as
+  ``lost_acked`` — the number the RF≥2 quorum acceptance gate requires
+  to be zero;
+* a :class:`KillPlan` that fails a chosen shard once a chosen fraction
+  of operations has executed, exercising failover under load.
+
+Ledger bookkeeping never reads or advances the virtual clock beyond
+what the operations themselves do, so a ledgered run is bit-identical
+to an unledgered one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bench.runner import RunResult
+from repro.cluster.errors import ClusterError, ShardOverloadedError
+from repro.cluster.router import PrismCluster
+from repro.faults.errors import StorageError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.stats import LatencyRecorder, Timeline
+from repro.sim.vthread import VThread
+from repro.storage.crash import SimulatedCrash
+from repro.workloads.generator import OpStream
+from repro.workloads.ycsb import WorkloadSpec
+
+# An acked or interrupted write: (start, end, value-or-None-for-delete)
+WriteRecord = Tuple[float, float, Optional[bytes]]
+
+
+@dataclass
+class KillPlan:
+    """Fail ``shard_id`` after ``at_fraction`` of the ops have run."""
+
+    shard_id: int
+    at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ValueError(
+                f"kill fraction must be in (0, 1): {self.at_fraction}"
+            )
+
+
+class WriteLedger:
+    """Every write the cluster acknowledged, as virtual-time intervals."""
+
+    def __init__(self) -> None:
+        self.acked: Dict[bytes, List[WriteRecord]] = {}
+        self.interrupted: Dict[bytes, List[WriteRecord]] = {}
+
+    def ack(self, key: bytes, start: float, end: float, value: Optional[bytes]) -> None:
+        self.acked.setdefault(key, []).append((start, end, value))
+
+    def interrupt(
+        self, key: bytes, start: float, end: float, value: Optional[bytes]
+    ) -> None:
+        self.interrupted.setdefault(key, []).append((start, end, value))
+
+    def legal_values(self, key: bytes) -> Set[Optional[bytes]]:
+        """Values a linearizable final read of ``key`` may return.
+
+        An acked write is *superseded* when another acked write began
+        strictly after it ended — then its value must no longer win.
+        Interrupted writes may or may not have applied, so any
+        non-superseded interrupted value is also legal (as is the state
+        with none of them applied).
+        """
+        acked = self.acked.get(key, [])
+        legal: Set[Optional[bytes]] = {
+            value
+            for _start, end, value in acked
+            if not any(s > end for s, _e, _v in acked)
+        }
+        for start, end, value in self.interrupted.get(key, []):
+            if not any(s > end for s, _e, _v in acked):
+                legal.add(value)
+        if not acked:
+            legal.add(None)  # never (successfully) written
+        return legal
+
+    def audit(self, cluster: PrismCluster, thread: VThread) -> Dict[str, object]:
+        """Read every written key back and judge the final values."""
+        lost: List[bytes] = []
+        stale_or_wrong: List[bytes] = []
+        checked = 0
+        for key in sorted(set(self.acked) | set(self.interrupted)):
+            checked += 1
+            try:
+                final = cluster.get(key, thread)
+            except (ClusterError, StorageError):
+                final = None
+            legal = self.legal_values(key)
+            if final in legal:
+                continue
+            if final is None:
+                lost.append(key)
+            else:
+                stale_or_wrong.append(key)
+        return {
+            "keys_checked": checked,
+            "lost_acked": len(lost),
+            "wrong_value": len(stale_or_wrong),
+            "lost_keys_sample": [k.decode("latin-1") for k in lost[:5]],
+        }
+
+
+@dataclass
+class ClusterRunResult:
+    """A normal :class:`RunResult` plus cluster-layer outcomes."""
+
+    run: RunResult
+    ops_ok: int = 0
+    ops_shed: int = 0
+    ops_failed: int = 0
+    audit: Dict[str, object] = field(default_factory=dict)
+    recovery_seconds: Optional[float] = None
+    killed_shard: Optional[int] = None
+
+    @property
+    def throughput(self) -> float:
+        return self.run.throughput
+
+    def summary(self) -> str:
+        extra = ""
+        if self.killed_shard is not None:
+            extra = (
+                f"  [killed shard {self.killed_shard}; "
+                f"recovery {self.recovery_seconds or 0.0:.6f}s; "
+                f"lost acked {self.audit.get('lost_acked', '?')}]"
+            )
+        return self.run.summary() + extra
+
+
+def run_cluster_workload(
+    cluster: PrismCluster,
+    spec: WorkloadSpec,
+    num_ops: int,
+    num_keys: int,
+    clients_per_shard: int = 4,
+    value_size: int = 1024,
+    theta: float = 0.99,
+    seed: int = 2,
+    kill_plan: Optional[KillPlan] = None,
+    timeline_bucket: Optional[float] = None,
+    collect_metrics: bool = True,
+    audit: bool = True,
+) -> ClusterRunResult:
+    """Execute ``num_ops`` of ``spec`` against a preloaded cluster.
+
+    Client threads number ``clients_per_shard × num_shards`` and all
+    drive the router (hashing spreads their keys over every shard).
+    Failed operations (shard overloaded / unavailable mid-failover)
+    are counted, not raised; the run continues, as real clients would.
+    """
+    if num_ops < 1:
+        raise ValueError(f"need at least one op: {num_ops}")
+    num_threads = clients_per_shard * len(cluster.shards)
+    now = cluster.clock.now
+    threads: List[VThread] = []
+    for tid in range(num_threads):
+        thread = VThread(tid, cluster.clock, name=f"client-{tid}")
+        thread.now = now
+        threads.append(thread)
+    mixed_seed = zlib.crc32(f"{seed}:{spec.name}".encode())
+    streams = [
+        OpStream(spec, num_keys, value_size=value_size, theta=theta,
+                 seed=mixed_seed + i)
+        for i in range(num_threads)
+    ]
+    base = num_ops // num_threads
+    extra = num_ops % num_threads
+    iters = [
+        streams[i].ops(base + (1 if i < extra else 0)) for i in range(num_threads)
+    ]
+    latency = LatencyRecorder("all")
+    per_kind: Dict[str, LatencyRecorder] = {}
+    timeline = Timeline(timeline_bucket) if timeline_bucket else None
+    registry: Optional[MetricsRegistry] = None
+    restore = None
+    if collect_metrics:
+        registry = MetricsRegistry()
+        restore = cluster.metrics
+        cluster.metrics = registry
+    ledger = WriteLedger()
+    kill_at = int(num_ops * kill_plan.at_fraction) if kill_plan else None
+    killed = False
+    ok = shed = failed = 0
+    start = max(t.now for t in threads)
+    ssd_before = cluster.ssd_bytes_written()
+    put_before = cluster.bytes_put
+    executed = 0
+    heap = [(t.now, i) for i, t in enumerate(threads)]
+    heapq.heapify(heap)
+    live = set(range(num_threads))
+    try:
+        while live:
+            _, i = heapq.heappop(heap)
+            if i not in live:
+                continue
+            thread = threads[i]
+            op = next(iters[i], None)
+            if op is None:
+                live.discard(i)
+                continue
+            if kill_at is not None and not killed and executed >= kill_at:
+                killed = True
+                cluster.kill_shard(kill_plan.shard_id, thread.now)
+            before = thread.now
+            is_write = op.kind in ("update", "insert", "delete")
+            value = op.value if op.kind in ("update", "insert") else None
+            try:
+                if op.kind == "read":
+                    cluster.get(op.key, thread)
+                elif op.kind in ("update", "insert"):
+                    cluster.put(op.key, op.value, thread)
+                elif op.kind == "scan":
+                    cluster.scan(op.key, op.scan_length, thread)
+                elif op.kind == "delete":
+                    cluster.delete(op.key, thread)
+                else:
+                    raise ValueError(f"unknown op kind: {op.kind}")
+            except ShardOverloadedError:
+                shed += 1
+                if is_write:
+                    # Shed before any work: definitively not applied.
+                    pass
+            except (ClusterError, StorageError, SimulatedCrash):
+                failed += 1
+                if is_write:
+                    ledger.interrupt(op.key, before, thread.now, value)
+            else:
+                ok += 1
+                if is_write:
+                    ledger.ack(op.key, before, thread.now, value)
+            elapsed = thread.now - before
+            latency.record(elapsed)
+            per_kind.setdefault(op.kind, LatencyRecorder(op.kind)).record(elapsed)
+            if registry is not None:
+                registry.histogram("op.all").record(elapsed)
+                registry.histogram(f"op.{op.kind}").record(elapsed)
+            if timeline is not None:
+                timeline.record(thread.now - start)
+            executed += 1
+            heapq.heappush(heap, (thread.now, i))
+    finally:
+        if restore is not None:
+            cluster.metrics = restore
+    duration = max(t.now for t in threads) - start
+    new_put = cluster.bytes_put - put_before
+    new_ssd = cluster.ssd_bytes_written() - ssd_before
+    waf = (new_ssd / new_put) if new_put else 0.0
+    recovery: Optional[float] = None
+    rebuilds = cluster.events.of_kind("rebuild")
+    if rebuilds:
+        recovery = float(rebuilds[-1]["duration"])
+    audit_report: Dict[str, object] = {}
+    if audit:
+        # Converge first (drain async replication), then read back on a
+        # fresh thread starting after every client finished.
+        cluster.flush()
+        audit_thread = VThread(num_threads, cluster.clock, name="auditor")
+        audit_thread.now = start + duration
+        audit_report = ledger.audit(cluster, audit_thread)
+    metrics_dict: Optional[Dict[str, object]] = None
+    if registry is not None:
+        registry.gauge("ops").set(executed)
+        registry.gauge("duration_s").set(duration)
+        if duration > 0:
+            registry.gauge("throughput_ops").set(executed / duration)
+        registry.gauge("waf").set(waf)
+        registry.gauge("ops_ok").set(ok)
+        registry.gauge("ops_shed").set(shed)
+        registry.gauge("ops_failed").set(failed)
+        if recovery is not None:
+            registry.gauge("cluster.recovery_seconds").set(recovery)
+        for key, value in audit_report.items():
+            if isinstance(value, (int, float)):
+                registry.gauge(f"audit.{key}").set(float(value))
+        for key, value in cluster.stats().items():
+            registry.gauge(f"stats.{key}").set(value)
+        for event in cluster.events:
+            if event["at"] >= start:
+                registry.events(str(event["kind"])).events.append(dict(event))
+        metrics_dict = registry.to_dict()
+    run = RunResult(
+        store_name=cluster.name,
+        workload=spec.name,
+        ops=executed,
+        duration=duration,
+        latency=latency,
+        per_kind=per_kind,
+        waf=waf,
+        stats=cluster.stats(),
+        timeline=timeline,
+        metrics=metrics_dict,
+    )
+    return ClusterRunResult(
+        run=run,
+        ops_ok=ok,
+        ops_shed=shed,
+        ops_failed=failed,
+        audit=audit_report,
+        recovery_seconds=recovery,
+        killed_shard=kill_plan.shard_id if (kill_plan and killed) else None,
+    )

@@ -68,10 +68,14 @@ class Prism:
         self,
         config: Optional[PrismConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[VirtualClock] = None,
     ) -> None:
         self.config = config or PrismConfig()
         cfg = self.config
-        self.clock = VirtualClock()
+        # A caller-supplied clock lets several instances share one
+        # virtual timeline (cluster shards); standalone stores keep a
+        # private clock, exactly as before.
+        self.clock = clock if clock is not None else VirtualClock()
         # Per-op phase tracing goes through this registry.  The no-op
         # default keeps the hooks zero-cost; the benchmark driver swaps
         # in a per-run registry when the store was built with

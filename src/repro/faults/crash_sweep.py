@@ -357,7 +357,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--fuzz", type=int, default=0, help="extra randomized (label, occurrence) trials"
     )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="cluster mode: kill a whole shard at each crash point and "
+             "audit durability through the router (repro.cluster)",
+    )
     args = parser.parse_args(argv)
+
+    if args.cluster:
+        from repro.cluster.crash_sweep import ClusterCrashSweep
+
+        sweep = ClusterCrashSweep(
+            ops=default_ops(args.ops, args.keys, args.seed)
+        )
+        report = sweep.run()
+        if args.fuzz:
+            report.outcomes.extend(sweep.fuzz(args.fuzz, seed=args.seed))
+        print(report.summary())
+        return 0 if report.ok else 1
 
     sweep = CrashSweep(
         default_store_factory, default_ops(args.ops, args.keys, args.seed)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faults.errors import (
     DeviceDeadError,
@@ -131,6 +131,11 @@ class FaultInjector:
         self.events.emit(at, "device_dead", device=name)
         self.metrics.counter("faults.device_deaths").inc()
 
+    def kill_devices(self, names: Iterable[str], at: float = 0.0) -> None:
+        """Kill several devices at one instant (correlated failure)."""
+        for name in names:
+            self.kill_device(name, at)
+
     def is_dead(self, name: str) -> bool:
         return name in self.dead
 
@@ -234,3 +239,34 @@ class FaultInjector:
         self.silent_injected += 1
         self._emit(at, device.name, "at_rest", "bitrot")
         return offset + bit // 8
+
+
+# ----------------------------------------------------------------------
+# failure scenarios spanning a whole store
+# ----------------------------------------------------------------------
+def store_device_names(store) -> List[str]:
+    """Every fault-injectable device of a Prism-shaped store: the NVM
+    DIMM, all Value Storage SSDs, and any chunk-mirror SSDs."""
+    names = [store.nvm.name]
+    names.extend(ssd.name for ssd in store.ssds)
+    names.extend(ssd.name for ssd in getattr(store, "mirror_ssds", ()))
+    return names
+
+
+def kill_store_devices(store, at: float = 0.0) -> List[str]:
+    """Whole-node death: permanently fail every device of one store.
+
+    This is the cluster layer's shard-failure scenario — a machine (or
+    its storage backplane) dying takes the NVM buffer, every Value
+    Storage SSD, and every mirror with it, so nothing on the node
+    remains readable.  Requires the store to have been built with a
+    :class:`FaultConfig` (an injector to record the deaths in).
+    Returns the device names killed.
+    """
+    if store.injector is None:
+        raise ValueError(
+            "store has no fault injector; build it with config.faults set"
+        )
+    names = store_device_names(store)
+    store.injector.kill_devices(names, at)
+    return names

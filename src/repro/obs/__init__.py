@@ -22,6 +22,7 @@ from repro.obs.metrics import (
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
+    merge_registries,
     NullRegistry,
     NULL_REGISTRY,
     TimeSeries,
@@ -35,6 +36,7 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "merge_registries",
     "NullRegistry",
     "NULL_REGISTRY",
     "TimeSeries",

@@ -21,7 +21,7 @@ arrays, no matter how many operations a run records.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 # Sub-bucket resolution: 16 linear buckets per power-of-two octave.
 _SUB_BITS = 4
@@ -103,6 +103,23 @@ class LatencyHistogram:
 
     def __len__(self) -> int:
         return self.count
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram, bucket-wise.
+
+        Because both sides quantize to the same HDR bucket layout, a
+        merge is exact: percentiles of the merged histogram equal the
+        percentiles of recording every sample into one histogram.
+        This is how cluster-wide p50/p99 are computed from per-shard
+        histograms.  Returns ``self`` for chaining.
+        """
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.max_ns > self.max_ns:
+            self.max_ns = other.max_ns
+        return self
 
     # -- summaries -----------------------------------------------------
     def percentile(self, p: float) -> float:
@@ -214,11 +231,19 @@ class MetricsRegistry:
     Phase attribution uses dotted names: ``phase.<op>.<name>`` for the
     per-phase histograms and ``op.<kind>`` for whole-operation
     latencies, so a JSON consumer can group them without a schema.
+
+    ``prefix`` namespaces every instrument this registry creates (e.g.
+    ``shard3/``): two Prism instances living in one process — cluster
+    shards — each get their own prefixed registry, so their counters
+    stay distinguishable when snapshots are combined into one payload.
+    :func:`merge_registries` strips the prefix when folding per-shard
+    registries into a cluster-wide view.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, LatencyHistogram] = {}
@@ -226,30 +251,35 @@ class MetricsRegistry:
         self.event_logs: Dict[str, EventLog] = {}
 
     def counter(self, name: str) -> Counter:
+        name = self.prefix + name
         c = self.counters.get(name)
         if c is None:
             c = self.counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
+        name = self.prefix + name
         g = self.gauges.get(name)
         if g is None:
             g = self.gauges[name] = Gauge(name)
         return g
 
     def histogram(self, name: str) -> LatencyHistogram:
+        name = self.prefix + name
         h = self.histograms.get(name)
         if h is None:
             h = self.histograms[name] = LatencyHistogram(name)
         return h
 
     def timeseries(self, name: str) -> TimeSeries:
+        name = self.prefix + name
         s = self.series.get(name)
         if s is None:
             s = self.series[name] = TimeSeries(name)
         return s
 
     def events(self, name: str) -> EventLog:
+        name = self.prefix + name
         e = self.event_logs.get(name)
         if e is None:
             e = self.event_logs[name] = EventLog(name)
@@ -257,7 +287,7 @@ class MetricsRegistry:
 
     def attach_events(self, name: str, log: EventLog) -> None:
         """Expose an externally owned event log through the registry."""
-        self.event_logs[name] = log
+        self.event_logs[self.prefix + name] = log
 
     def phase(self, op: str, name: str, seconds: float) -> None:
         """Attribute ``seconds`` of an ``op`` to one phase."""
@@ -276,6 +306,54 @@ class MetricsRegistry:
                 k: e.to_list() for k, e in sorted(self.event_logs.items())
             },
         }
+
+
+def merge_registries(
+    registries: "Sequence[MetricsRegistry]",
+    into: Optional[MetricsRegistry] = None,
+    strip_prefix: bool = True,
+) -> MetricsRegistry:
+    """Fold several registries into one cluster-wide view.
+
+    Instruments are matched by name with each source registry's
+    ``prefix`` stripped (unless ``strip_prefix=False``), so per-shard
+    registries built with prefixes like ``shard0/`` and ``shard1/``
+    merge ``shard0/op.get`` and ``shard1/op.get`` into one ``op.get``.
+
+    Merge semantics per instrument type:
+
+    * counters and gauges add (a cluster-wide op count is the sum of
+      per-shard counts; gauges here are run totals, not instantaneous
+      readings — combining snapshots is the only meaningful merge);
+    * histograms merge bucket-wise (exact — see
+      :meth:`LatencyHistogram.merge`), which is what makes cluster-wide
+      p50/p99 computable from per-shard state;
+    * timeseries and event logs concatenate and re-sort by virtual
+      time, giving one cluster-wide timeline.
+    """
+    out = into if into is not None else MetricsRegistry()
+    for reg in registries:
+        cut = len(reg.prefix) if strip_prefix else 0
+        for name, c in reg.counters.items():
+            out.counter(name[cut:]).inc(c.value)
+        for name, g in reg.gauges.items():
+            target = out.gauge(name[cut:])
+            target.set(target.value + g.value)
+        for name, h in reg.histograms.items():
+            out.histogram(name[cut:]).merge(h)
+        for name, s in reg.series.items():
+            target_series = out.timeseries(name[cut:])
+            pairs = sorted(
+                list(zip(target_series.times, target_series.values))
+                + list(zip(s.times, s.values))
+            )
+            target_series.times = [t for t, _ in pairs]
+            target_series.values = [v for _, v in pairs]
+        for name, log in reg.event_logs.items():
+            target_log = out.events(name[cut:])
+            target_log.events.extend(dict(e) for e in log.events)
+            target_log.events.sort(key=lambda e: e["at"])
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +378,9 @@ class _NullHistogram(LatencyHistogram):
 
     def record(self, seconds: float) -> None:
         pass
+
+    def merge(self, other: LatencyHistogram) -> LatencyHistogram:
+        return self  # shared instrument: swallowing keeps it empty
 
 
 class _NullTimeSeries(TimeSeries):

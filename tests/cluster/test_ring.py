@@ -1,0 +1,125 @@
+"""Consistent-hash ring: placement, stability, determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import HashRing
+
+KEYS = [b"key-%05d" % i for i in range(400)]
+
+shard_sets = st.sets(st.integers(min_value=0, max_value=31), min_size=2, max_size=8)
+
+
+class TestLookup:
+    def test_lookup_is_deterministic_across_instances(self):
+        """Two independently built rings agree on every key — placement
+        depends only on (members, vnodes, seed), never process state."""
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 2, 1, 0])  # insertion order must not matter
+        for key in KEYS:
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_lookup_returns_member(self):
+        ring = HashRing([4, 7, 9])
+        for key in KEYS:
+            assert ring.lookup(key) in {4, 7, 9}
+
+    def test_empty_ring_raises(self):
+        ring = HashRing([0])
+        ring.remove_shard(0)
+        with pytest.raises(ValueError):
+            ring.lookup(b"k")
+
+    def test_balance_is_reasonable(self):
+        """With enough vnodes no shard owns a wildly outsized share."""
+        ring = HashRing(range(4), vnodes=64)
+        counts = ring.ownership_histogram([b"key-%05d" % i for i in range(4000)])
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < 3 * (4000 // 4)
+
+    def test_seed_changes_placement(self):
+        a = HashRing([0, 1, 2, 3], seed=0)
+        b = HashRing([0, 1, 2, 3], seed=1)
+        assert any(a.lookup(k) != b.lookup(k) for k in KEYS)
+
+
+class TestPreferenceList:
+    def test_distinct_and_primary_first(self):
+        ring = HashRing(range(5))
+        for key in KEYS[:50]:
+            prefs = ring.preference_list(key, 3)
+            assert len(prefs) == len(set(prefs)) == 3
+            assert prefs[0] == ring.lookup(key)
+
+    def test_exclude_promotes_next_shard(self):
+        """Excluding the primary yields the old list minus the primary,
+        extended by the next live shard — the failover promotion rule."""
+        ring = HashRing(range(5))
+        for key in KEYS[:50]:
+            before = ring.preference_list(key, 3)
+            after = ring.preference_list(key, 3, exclude={before[0]})
+            assert before[0] not in after
+            assert after[:2] == before[1:3]
+
+    def test_want_capped_by_available(self):
+        ring = HashRing([0, 1])
+        assert len(ring.preference_list(b"k", 5)) == 2
+        assert ring.preference_list(b"k", 5, exclude={0, 1}) == []
+
+
+class TestStability:
+    """The consistent-hashing contract, property-tested: membership
+    changes only re-map keys whose owner actually changed."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets, new=st.integers(min_value=32, max_value=40))
+    def test_add_only_remaps_to_new_shard(self, shards, new):
+        ring = HashRing(shards)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.add_shard(new)
+        for key, owner in before.items():
+            after = ring.lookup(key)
+            # A key either kept its owner or moved to the new member —
+            # never from one old shard to another.
+            assert after == owner or after == new
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets)
+    def test_remove_only_remaps_orphans(self, shards):
+        victim = min(shards)
+        ring = HashRing(shards)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove_shard(victim)
+        for key, owner in before.items():
+            if owner != victim:
+                assert ring.lookup(key) == owner
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets, new=st.integers(min_value=32, max_value=40))
+    def test_add_then_remove_roundtrips(self, shards, new):
+        ring = HashRing(shards)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.add_shard(new)
+        ring.remove_shard(new)
+        assert {key: ring.lookup(key) for key in KEYS} == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets)
+    def test_exclude_equals_removal(self, shards):
+        """Routing around a down shard (exclude) must place keys exactly
+        where an actual membership change would."""
+        victim = max(shards)
+        ring = HashRing(shards)
+        shrunk = HashRing(shards - {victim})
+        for key in KEYS[:100]:
+            assert (
+                ring.preference_list(key, 2, exclude={victim})
+                == shrunk.preference_list(key, 2)
+            )
+
+    def test_membership_errors(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(ValueError):
+            ring.add_shard(0)
+        with pytest.raises(ValueError):
+            ring.remove_shard(5)

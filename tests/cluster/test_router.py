@@ -1,0 +1,260 @@
+"""The cluster router: replication, failover, re-replication,
+admission integration, and the store-shaped facade."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    PrismCluster,
+    ShardOverloadedError,
+    ShardUnavailableError,
+)
+from repro.core.prism import Prism
+from repro.faults.injector import FaultConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.vthread import VThread
+from tests.conftest import small_prism_config
+
+
+def small_factory(shard_id, clock):
+    return Prism(
+        small_prism_config(faults=FaultConfig(seed=9000 + shard_id)),
+        metrics=MetricsRegistry(prefix=f"shard{shard_id}/"),
+        clock=clock,
+    )
+
+
+def build(**overrides) -> PrismCluster:
+    defaults = dict(num_shards=3, replication_factor=2)
+    defaults.update(overrides)
+    return PrismCluster(ClusterConfig(**defaults), shard_factory=small_factory)
+
+
+def fill(cluster, n, thread, prefix=b"key"):
+    for i in range(n):
+        cluster.put(b"%s%04d" % (prefix, i), b"val%04d" % i, thread)
+
+
+class TestBasicOps:
+    def test_put_get_delete_roundtrip(self):
+        c = build()
+        t = VThread(1, c.clock)
+        fill(c, 100, t)
+        for i in range(100):
+            assert c.get(b"key%04d" % i, t) == b"val%04d" % i
+        assert c.get(b"missing", t) is None
+        assert c.delete(b"key0000", t) is True
+        assert c.get(b"key0000", t) is None
+        assert c.delete(b"key0000", t) is False
+
+    def test_operations_advance_virtual_time(self):
+        c = build()
+        t = VThread(1, c.clock)
+        t0 = t.now
+        c.put(b"k", b"v", t)
+        assert t.now > t0
+
+    def test_scan_merges_across_shards(self):
+        c = build()
+        t = VThread(1, c.clock)
+        fill(c, 60, t)
+        pairs = c.scan(b"key0010", 20, t)
+        assert [k for k, _ in pairs] == [b"key%04d" % i for i in range(10, 30)]
+        assert all(v == b"val%04d" % (10 + i) for i, (_, v) in enumerate(pairs))
+
+    def test_replicas_hold_copies(self):
+        """Every key is durable on exactly RF shard stores."""
+        c = build(num_shards=4, replication_factor=2)
+        t = VThread(1, c.clock)
+        fill(c, 50, t)
+        for i in range(50):
+            key = b"key%04d" % i
+            holders = [
+                s.shard_id
+                for s in c.shards
+                if s.store.index.lookup(key) is not None
+            ]
+            assert sorted(holders) == sorted(c.ring.preference_list(key, 2))
+
+    def test_len_counts_keys_once(self):
+        c = build(num_shards=3, replication_factor=3)
+        t = VThread(1, c.clock)
+        fill(c, 40, t)
+        assert len(c) == 40
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_shards=2, replication_factor=3)
+        with pytest.raises(ValueError):
+            ClusterConfig(replication_mode="gossip")
+        with pytest.raises(ValueError):
+            ClusterConfig(read_policy="nearest")
+
+
+class TestReplicationModes:
+    def test_sync_waits_for_all_quorum_for_majority(self):
+        """Per-mode ack timing: async returns at the primary's ack,
+        quorum at the majority ack, sync at the slowest replica."""
+        ends = {}
+        for mode in ("async", "quorum", "sync"):
+            c = build(num_shards=3, replication_factor=3, replication_mode=mode)
+            t = VThread(1, c.clock)
+            c.put(b"k", b"v", t)
+            ends[mode] = t.now
+        assert ends["async"] <= ends["quorum"] <= ends["sync"]
+
+    def test_async_backlog_applies_on_read(self):
+        """Async replication converges lazily: the replica applies its
+        queue before serving, so spread reads are monotone per client."""
+        c = build(
+            num_shards=2,
+            replication_factor=2,
+            replication_mode="async",
+            read_policy="spread",
+        )
+        t = VThread(1, c.clock)
+        fill(c, 30, t)
+        for i in range(30):
+            assert c.get(b"key%04d" % i, t) == b"val%04d" % i
+
+    def test_async_queue_drains_on_flush(self):
+        c = build(num_shards=2, replication_factor=2, replication_mode="async")
+        t = VThread(1, c.clock)
+        fill(c, 30, t)
+        c.flush()
+        assert all(not s.queue for s in c.shards)
+        assert c.stats()["cluster_repl_applied"] == 30.0
+
+
+class TestFailover:
+    def test_kill_shard_keeps_acked_data(self):
+        c = build(num_shards=3, replication_factor=2)
+        t = VThread(1, c.clock)
+        fill(c, 120, t)
+        c.kill_shard(1, t.now)
+        for i in range(120):
+            assert c.get(b"key%04d" % i, t) == b"val%04d" % i
+
+    def test_failover_emits_events_and_metrics(self):
+        c = build()
+        t = VThread(1, c.clock)
+        fill(c, 60, t)
+        c.kill_shard(0, t.now)
+        assert len(c.events.of_kind("shard_down")) == 1
+        rebuilds = c.events.of_kind("rebuild")
+        assert len(rebuilds) == 1
+        assert rebuilds[0]["keys_lost"] == 0
+        assert c.metrics.gauge("cluster.recovery_seconds").value > 0.0
+        assert c.stats()["cluster_shards_down"] == 1.0
+
+    def test_rebuild_restores_replication_factor(self):
+        c = build(num_shards=4, replication_factor=2)
+        t = VThread(1, c.clock)
+        fill(c, 80, t)
+        c.kill_shard(2, t.now)
+        down = {2}
+        for i in range(80):
+            key = b"key%04d" % i
+            live_owners = c.ring.preference_list(key, 2, exclude=down)
+            for sid in live_owners:
+                assert c.shards[sid].store.index.lookup(key) is not None, (
+                    f"{key!r} missing on live owner {sid} after rebuild"
+                )
+
+    def test_writes_after_failover_replicate(self):
+        c = build(num_shards=3, replication_factor=2)
+        t = VThread(1, c.clock)
+        fill(c, 40, t)
+        c.kill_shard(0, t.now)
+        fill(c, 40, t, prefix=b"new")
+        for i in range(40):
+            assert c.get(b"new%04d" % i, t) == b"val%04d" % i
+
+    def test_rf1_data_on_dead_shard_is_lost_and_counted(self):
+        c = build(num_shards=3, replication_factor=1)
+        t = VThread(1, c.clock)
+        fill(c, 90, t)
+        dead = 1
+        owned = [
+            b"key%04d" % i
+            for i in range(90)
+            if c.ring.lookup(b"key%04d" % i) == dead
+        ]
+        assert owned, "pick a shard that owns something"
+        c.kill_shard(dead, t.now)
+        assert c.events.of_kind("rebuild")[0]["keys_lost"] == len(owned)
+        for key in owned:
+            assert c.get(key, t) is None
+
+    def test_all_owners_down_raises_unavailable(self):
+        c = build(num_shards=2, replication_factor=1)
+        t = VThread(1, c.clock)
+        c.put(b"k", b"v", t)
+        c.kill_shard(0, t.now)
+        c.kill_shard(1, t.now)
+        with pytest.raises(ShardUnavailableError):
+            c.get(b"k", t)
+
+    def test_double_fail_is_idempotent(self):
+        c = build()
+        t = VThread(1, c.clock)
+        fill(c, 20, t)
+        c.kill_shard(1, t.now)
+        c.fail_shard(1, t.now)
+        assert len(c.events.of_kind("shard_down")) == 1
+
+
+class TestAdmissionIntegration:
+    def test_queue_cap_sheds_through_router(self):
+        c = build(num_shards=1, replication_factor=1, max_queue_depth=1)
+        t1 = VThread(1, c.clock)
+        t2 = VThread(2, c.clock)
+        c.put(b"a", b"v", t1)
+        # t2 starts inside t1's op window: the single slot is taken.
+        t2.now = t1.now / 2 if t1.now > 0 else 0.0
+        with pytest.raises(ShardOverloadedError):
+            c.put(b"b", b"v", t2)
+        assert c.metrics.counter("cluster.shed").value == 1
+
+    def test_rate_limit_sheds_through_router(self):
+        c = build(
+            num_shards=1, replication_factor=1,
+            rate_limit_ops=1.0, rate_burst=2.0,
+        )
+        t = VThread(1, c.clock)
+        c.put(b"a", b"v", t)
+        c.put(b"b", b"v", t)
+        with pytest.raises(ShardOverloadedError) as exc:
+            c.put(b"c", b"v", t)
+        assert exc.value.retry_after > 0.0
+
+
+class TestFacade:
+    def test_store_shaped_surface(self):
+        c = build()
+        t = VThread(1, c.clock)
+        fill(c, 30, t)
+        assert c.name == "PrismCluster"
+        assert c.bytes_put > 0
+        assert c.ssd_bytes_written() >= 0
+        assert isinstance(c.waf(), float)
+        stats = c.stats()
+        assert stats["cluster_shards"] == 3.0
+        assert isinstance(c.gc_events, list)
+        c.flush()
+        c.close()
+
+    def test_merged_shard_metrics(self):
+        c = build()
+        t = VThread(1, c.clock)
+        fill(c, 20, t)
+        merged = c.merged_shard_metrics()
+        # Shard registries are prefixed; the merged view is not.
+        assert merged.to_dict() is not None
+
+    def test_shared_clock_enforced(self):
+        with pytest.raises(ValueError):
+            PrismCluster(
+                ClusterConfig(num_shards=1),
+                shard_factory=lambda sid, clock: Prism(small_prism_config()),
+            )

@@ -1,0 +1,162 @@
+"""Cluster workload runner: the ledger's legality rules, mid-run shard
+death under load, and 1-shard bit-identity with a bare Prism."""
+
+import pytest
+
+from repro.bench.runner import preload, run_workload
+from repro.cluster import ClusterConfig, PrismCluster
+from repro.cluster.runner import KillPlan, WriteLedger, run_cluster_workload
+from repro.core.prism import Prism
+from repro.faults.injector import FaultConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.ycsb import WorkloadSpec
+from tests.conftest import small_prism_config
+
+SPEC_A = WorkloadSpec(name="A", read=0.5, update=0.5, distribution="uniform")
+
+
+def small_factory(shard_id, clock):
+    return Prism(
+        small_prism_config(faults=FaultConfig(seed=9000 + shard_id)),
+        metrics=MetricsRegistry(prefix=f"shard{shard_id}/"),
+        clock=clock,
+    )
+
+
+def build(**overrides) -> PrismCluster:
+    defaults = dict(num_shards=3, replication_factor=2)
+    defaults.update(overrides)
+    return PrismCluster(ClusterConfig(**defaults), shard_factory=small_factory)
+
+
+class TestWriteLedger:
+    def test_latest_acked_value_is_legal(self):
+        lg = WriteLedger()
+        lg.ack(b"k", 0.0, 1.0, b"v1")
+        lg.ack(b"k", 2.0, 3.0, b"v2")
+        assert lg.legal_values(b"k") == {b"v2"}
+
+    def test_concurrent_acked_writes_both_legal(self):
+        lg = WriteLedger()
+        lg.ack(b"k", 0.0, 2.0, b"v1")
+        lg.ack(b"k", 1.0, 3.0, b"v2")  # overlaps: either may win
+        assert lg.legal_values(b"k") == {b"v1", b"v2"}
+
+    def test_interrupted_write_is_maybe_applied(self):
+        lg = WriteLedger()
+        lg.ack(b"k", 0.0, 1.0, b"v1")
+        lg.interrupt(b"k", 2.0, 3.0, b"v2")
+        assert lg.legal_values(b"k") == {b"v1", b"v2"}
+
+    def test_superseded_interrupt_is_not_legal(self):
+        lg = WriteLedger()
+        lg.interrupt(b"k", 0.0, 1.0, b"torn")
+        lg.ack(b"k", 2.0, 3.0, b"v2")
+        assert lg.legal_values(b"k") == {b"v2"}
+
+    def test_acked_delete_makes_none_legal(self):
+        lg = WriteLedger()
+        lg.ack(b"k", 0.0, 1.0, b"v1")
+        lg.ack(b"k", 2.0, 3.0, None)
+        assert lg.legal_values(b"k") == {None}
+
+    def test_never_written_key_allows_none(self):
+        lg = WriteLedger()
+        lg.interrupt(b"k", 0.0, 1.0, b"maybe")
+        assert lg.legal_values(b"k") == {None, b"maybe"}
+
+
+class TestRunWithoutFailure:
+    def test_clean_run_audits_clean(self):
+        c = build()
+        preload(c, 300, num_threads=2, seed=1)
+        res = run_cluster_workload(
+            c, SPEC_A, 600, 300, clients_per_shard=2, seed=2
+        )
+        assert res.ops_ok == 600
+        assert res.ops_shed == res.ops_failed == 0
+        assert res.audit["lost_acked"] == 0
+        assert res.audit["wrong_value"] == 0
+        assert res.recovery_seconds is None
+        assert res.run.duration > 0
+        assert res.run.metrics is not None
+
+    def test_shed_ops_are_counted_not_raised(self):
+        c = build(num_shards=1, replication_factor=1, max_queue_depth=1)
+        preload(c, 100, num_threads=1, seed=1)
+        res = run_cluster_workload(
+            c, SPEC_A, 300, 100, clients_per_shard=4, seed=2
+        )
+        assert res.ops_shed > 0
+        assert res.ops_ok + res.ops_shed + res.ops_failed == 300
+        # Shed writes never acked, so they cannot be "lost".
+        assert res.audit["lost_acked"] == 0
+
+
+class TestRunWithKill:
+    def test_quorum_kill_loses_no_acked_writes(self):
+        c = build(num_shards=3, replication_factor=2)
+        preload(c, 400, num_threads=2, seed=1)
+        res = run_cluster_workload(
+            c, SPEC_A, 900, 400, clients_per_shard=2, seed=2,
+            kill_plan=KillPlan(shard_id=1, at_fraction=0.5),
+        )
+        assert res.killed_shard == 1
+        assert res.audit["lost_acked"] == 0
+        assert res.audit["wrong_value"] == 0
+        assert res.recovery_seconds is not None and res.recovery_seconds > 0
+        assert res.run.stats["cluster_shards_down"] == 1.0
+        assert res.run.metrics["gauges"]["cluster.recovery_seconds"] > 0
+
+    def test_rf1_kill_reports_losses(self):
+        """At RF=1 a dead shard's keys are genuinely gone — the audit
+        must say so rather than paper over it."""
+        c = build(num_shards=3, replication_factor=1)
+        preload(c, 400, num_threads=2, seed=1)
+        res = run_cluster_workload(
+            c, SPEC_A, 900, 400, clients_per_shard=2, seed=2,
+            kill_plan=KillPlan(shard_id=0, at_fraction=0.5),
+        )
+        assert res.audit["lost_acked"] > 0
+
+    def test_kill_plan_validation(self):
+        with pytest.raises(ValueError):
+            KillPlan(shard_id=0, at_fraction=0.0)
+        with pytest.raises(ValueError):
+            KillPlan(shard_id=0, at_fraction=1.0)
+
+
+class TestBitIdentity:
+    def test_one_shard_cluster_matches_bare_prism(self):
+        """The acceptance gate: a 1-shard RF=1 cluster driven by the
+        standard benchmark runner is bit-identical to the same Prism
+        driven directly — same virtual duration, same latency
+        distribution, same write amplification."""
+        spec = WorkloadSpec(name="B", read=0.95, update=0.05)
+
+        def run(store):
+            preload(store, 300, num_threads=2, seed=1)
+            return run_workload(store, spec, 500, 300, num_threads=4, seed=2)
+
+        via_cluster = run(
+            PrismCluster(
+                ClusterConfig(num_shards=1, replication_factor=1),
+                shard_factory=small_factory,
+            )
+        )
+        direct = run(
+            Prism(
+                small_prism_config(faults=FaultConfig(seed=9000)),
+                metrics=MetricsRegistry(prefix="shard0/"),
+            )
+        )
+        assert via_cluster.duration == direct.duration
+        assert via_cluster.latency.average() == direct.latency.average()
+        assert via_cluster.latency.median() == direct.latency.median()
+        assert via_cluster.latency.p99() == direct.latency.p99()
+        assert via_cluster.waf == direct.waf
+        for kind in direct.per_kind:
+            assert (
+                via_cluster.per_kind[kind].average()
+                == direct.per_kind[kind].average()
+            )

@@ -173,3 +173,96 @@ class TestNullRegistry:
         h.record(1.0)
         assert h.count == 0
         assert h.percentile(99) == 0.0
+
+
+class TestHistogramMerge:
+    def test_merge_equals_single_recording(self):
+        """Bucket-wise merge is exact: merging two histograms matches
+        one histogram that recorded every sample."""
+        rng = random.Random(11)
+        a, b, both = (LatencyHistogram("lat") for _ in range(3))
+        for _ in range(500):
+            s = rng.expovariate(1e5)
+            (a if rng.random() < 0.5 else b).record(s)
+            both.record(s)
+        a.merge(b)
+        assert a.count == both.count
+        # total is a float accumulator; summation order differs.
+        assert a.total == pytest.approx(both.total, rel=1e-12)
+        assert a.max_ns == both.max_ns
+        for p in (50, 90, 99, 99.9):
+            assert a.percentile(p) == both.percentile(p)
+
+    def test_merge_returns_self_and_empty_is_identity(self):
+        a = LatencyHistogram("lat")
+        a.record(1e-6)
+        before = (a.count, a.total, a.max_ns)
+        assert a.merge(LatencyHistogram("other")) is a
+        assert (a.count, a.total, a.max_ns) == before
+
+    def test_null_histogram_merge_is_noop(self):
+        real = LatencyHistogram("lat")
+        real.record(1e-6)
+        null = NULL_REGISTRY.histogram("x")
+        assert null.merge(real) is null
+        assert null.count == 0
+
+
+class TestRegistryPrefixAndMerge:
+    def test_prefix_namespaces_instruments(self):
+        reg = MetricsRegistry(prefix="shard3/")
+        reg.counter("ops").inc(2)
+        reg.histogram("op.all").record(1e-6)
+        d = reg.to_dict()
+        assert d["counters"] == {"shard3/ops": 2}
+        assert list(d["histograms"]) == ["shard3/op.all"]
+
+    def test_prefixed_lookups_are_stable(self):
+        reg = MetricsRegistry(prefix="s0/")
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_merge_registries_strips_prefixes(self):
+        from repro.obs.metrics import merge_registries
+
+        regs = []
+        for i in range(3):
+            reg = MetricsRegistry(prefix=f"shard{i}/")
+            reg.counter("ops").inc(i + 1)
+            reg.gauge("depth").set(float(i))
+            reg.histogram("lat").record((i + 1) * 1e-6)
+            reg.timeseries("qd").append(float(i), i)
+            reg.events("gc").emit(float(i), "gc", shard=i)
+            regs.append(reg)
+        merged = merge_registries(regs)
+        assert merged.counter("ops").value == 6
+        assert merged.gauge("depth").value == 3.0
+        assert merged.histogram("lat").count == 3
+        times = merged.timeseries("qd").times
+        assert list(times) == sorted(times)
+        kinds = [e["at"] for e in merged.events("gc").events]
+        assert kinds == sorted(kinds)
+
+    def test_merge_registries_keep_prefix(self):
+        from repro.obs.metrics import merge_registries
+
+        reg = MetricsRegistry(prefix="s1/")
+        reg.counter("ops").inc(4)
+        merged = merge_registries([reg], strip_prefix=False)
+        assert merged.counter("s1/ops").value == 4
+
+    def test_merge_into_existing_registry(self):
+        from repro.obs.metrics import merge_registries
+
+        into = MetricsRegistry()
+        into.counter("ops").inc(1)
+        src = MetricsRegistry(prefix="s0/")
+        src.counter("ops").inc(2)
+        out = merge_registries([src], into=into)
+        assert out is into
+        assert into.counter("ops").value == 3
+
+    def test_merge_skips_null_registries(self):
+        from repro.obs.metrics import merge_registries
+
+        merged = merge_registries([NULL_REGISTRY])
+        assert merged.to_dict()["counters"] == {}
