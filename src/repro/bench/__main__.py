@@ -228,6 +228,15 @@ def _cluster(args):
     }
 
 
+def _perf(args):
+    from repro.perf import run_perf
+
+    smoke = getattr(args, "smoke", False)
+    print(f"Perf — simulator wall-clock suite ({'smoke' if smoke else 'full'})")
+    run_perf(smoke=smoke)
+    return None  # run_perf writes BENCH_PERF.json itself
+
+
 def _media(args):
     results = media_matrix()
     print("Extension — emerging media (Kops)")
@@ -251,6 +260,7 @@ COMMANDS = {
     "ablations": _ablations,
     "cluster": _cluster,
     "faults": _faults,
+    "perf": _perf,
     "scalars": _scalars,
     "scrub": _scrub,
     "media": _media,
@@ -273,7 +283,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="tiny fast configuration (CI smoke; scrub and cluster only)",
+        help="tiny fast configuration (CI smoke; scrub, cluster, and perf)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -44,7 +44,12 @@ class EpochManager:
 
     def enter(self, tid: int) -> None:
         """Pin the current epoch for an operation."""
-        self.register(tid)
+        # register() inlined: enter() brackets every store operation and
+        # the common case is an already-registered thread.  The pin is
+        # overwritten immediately, so only the quiescent default matters.
+        q = self._quiescent
+        if tid not in q:
+            q[tid] = self.global_epoch
         self._pinned[tid] = self.global_epoch
 
     def exit(self, tid: int) -> None:

@@ -66,10 +66,10 @@ class HSIT:
         return self._base + idx * ENTRY_BYTES
 
     def _load_word(self, thread: Optional[VThread], addr: int) -> int:
-        return int.from_bytes(self.nvm.load(thread, addr, 8), "little")
+        return self.nvm.load_word(thread, addr)
 
     def _store_word(self, thread: Optional[VThread], addr: int, word: int) -> None:
-        self.nvm.store(thread, addr, word.to_bytes(8, "little"))
+        self.nvm.store_word(thread, addr, word)
 
     def _persist_word(self, thread: Optional[VThread], addr: int, word: int) -> None:
         self.nvm.persist(thread, addr, word.to_bytes(8, "little"))
@@ -153,38 +153,89 @@ class HSIT:
 
         This is the linearization point of every write in Prism.
         """
-        addr = self._addr(idx)
-        old = self._load_word(thread, addr)
-        self.crash_point.maybe_crash("hsit.publish.pre")
+        return ptr.decode(self.publish_location_word(idx, word, thread))
+
+    def publish_location_word(
+        self, idx: int, word: int, thread: Optional[VThread] = None
+    ) -> int:
+        """:meth:`publish_location` returning the raw old word.
+
+        The write path supersedes the old location with bit tests on
+        the word, so it skips the Location decode entirely.
+        """
+        if not 0 <= idx < self.capacity:
+            raise StorageError(f"HSIT index out of range: {idx}")
+        addr = self._base + idx * ENTRY_BYTES
+        nvm = self.nvm
+        cp = self.crash_point
+        cp_active = cp.active
+        if (
+            thread is not None
+            and not cp_active
+            and nvm._retry is None
+            and not nvm.injector.enabled
+        ):
+            # Fused CAS sequence (one bounds check, one page lookup);
+            # bit-identical timing — see NVMDevice.publish_word.
+            old = nvm.publish_word(
+                thread,
+                addr,
+                word | ptr.DIRTY_BIT,
+                word & ~ptr.DIRTY_BIT,
+                _CAS_COST,
+            )
+            return old & ~ptr.DIRTY_BIT
+        old = nvm.load_word(thread, addr)
+        if cp_active:
+            cp.maybe_crash("hsit.publish.pre")
         # (1) atomic store of the new pointer with the dirty bit set
-        self._store_word(thread, addr, ptr.set_dirty(word))
+        nvm.store_word(thread, addr, word | ptr.DIRTY_BIT)
         if thread is not None:
-            thread.spend(_CAS_COST)
-        self.crash_point.maybe_crash("hsit.publish.dirty")
+            # thread.spend(_CAS_COST) inlined — once per publish.
+            now = thread.now + _CAS_COST
+            thread.now = now
+            thread.cpu_time += _CAS_COST
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
+        if cp_active:
+            cp.maybe_crash("hsit.publish.dirty")
         # (2) flush + fence: the dirty pointer is now durable
-        self.nvm.flush(thread, addr, 8)
-        self.nvm.fence(thread)
-        self.crash_point.maybe_crash("hsit.publish.flushed")
+        nvm.flush(thread, addr, 8)
+        nvm.fence(thread)
+        if cp_active:
+            cp.maybe_crash("hsit.publish.flushed")
         # (3) clear the dirty bit (flushed lazily by readers/recovery)
-        self._store_word(thread, addr, ptr.clear_dirty(word))
-        self.crash_point.maybe_crash("hsit.publish.done")
-        return ptr.decode(ptr.clear_dirty(old))
+        clean = word & ~ptr.DIRTY_BIT
+        nvm.store_word(thread, addr, clean)
+        if cp_active:
+            cp.maybe_crash("hsit.publish.done")
+        return old & ~ptr.DIRTY_BIT
 
     def read_location(
         self, idx: int, thread: Optional[VThread] = None
     ) -> ptr.Location:
         """Read the forward pointer, flushing on the writer's behalf
         when the dirty bit is observed."""
-        addr = self._addr(idx)
-        word = self._load_word(thread, addr)
-        if ptr.is_dirty(word):
-            self.nvm.flush(thread, addr, 8)
-            self.nvm.fence(thread)
-            self._store_word(thread, addr, ptr.clear_dirty(word))
+        if not 0 <= idx < self.capacity:
+            raise StorageError(f"HSIT index out of range: {idx}")
+        addr = self._base + idx * ENTRY_BYTES
+        nvm = self.nvm
+        word = nvm.load_word(thread, addr)
+        if word & ptr.DIRTY_BIT:
+            word &= ~ptr.DIRTY_BIT
+            nvm.flush(thread, addr, 8)
+            nvm.fence(thread)
+            nvm.store_word(thread, addr, word)
             if thread is not None:
-                thread.spend(_CAS_COST)
+                now = thread.now + _CAS_COST
+                thread.now = now
+                thread.cpu_time += _CAS_COST
+                clock = thread.clock
+                if now > clock._now:
+                    clock._now = now
             self.reader_flushes += 1
-        return ptr.decode(ptr.clear_dirty(word))
+        return ptr.decode(word)
 
     def location_word(self, idx: int) -> int:
         """Raw (untimed) access for recovery and tests."""
@@ -202,18 +253,34 @@ class HSIT:
     # ------------------------------------------------------------------
     def set_svc(self, idx: int, entry_id: int, thread: Optional[VThread] = None) -> None:
         """Atomically point the entry at a DRAM-cached copy (id + 1)."""
-        self._store_word(thread, self._addr(idx) + 8, entry_id + 1)
+        if not 0 <= idx < self.capacity:
+            raise StorageError(f"HSIT index out of range: {idx}")
+        self.nvm.store_word(thread, self._base + idx * ENTRY_BYTES + 8, entry_id + 1)
         if thread is not None:
-            thread.spend(_CAS_COST)
+            now = thread.now + _CAS_COST
+            thread.now = now
+            thread.cpu_time += _CAS_COST
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
 
     def clear_svc(self, idx: int, thread: Optional[VThread] = None) -> None:
-        self._store_word(thread, self._addr(idx) + 8, 0)
+        if not 0 <= idx < self.capacity:
+            raise StorageError(f"HSIT index out of range: {idx}")
+        self.nvm.store_word(thread, self._base + idx * ENTRY_BYTES + 8, 0)
         if thread is not None:
-            thread.spend(_CAS_COST)
+            now = thread.now + _CAS_COST
+            thread.now = now
+            thread.cpu_time += _CAS_COST
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
 
     def read_svc(self, idx: int, thread: Optional[VThread] = None) -> Optional[int]:
         """Cached-copy id, or None when not cached."""
-        word = self._load_word(thread, self._addr(idx) + 8)
+        if not 0 <= idx < self.capacity:
+            raise StorageError(f"HSIT index out of range: {idx}")
+        word = self.nvm.load_word(thread, self._base + idx * ENTRY_BYTES + 8)
         if word == 0:
             return None
         return word - 1

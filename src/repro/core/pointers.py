@@ -16,8 +16,6 @@ protocol, so all of its state fits in 64 bits:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 DIRTY_BIT = 1 << 63
 _MEDIUM_SHIFT = 61
 _MEDIUM_MASK = 0b11 << _MEDIUM_SHIFT
@@ -32,17 +30,48 @@ _VS_ID_MAX = (1 << 8) - 1
 _CHUNK_MAX = (1 << 21) - 1
 _OFFSET32 = (1 << 32) - 1
 
+# Public word-level constants: hot paths (publish/supersede, the
+# reclaimer's well-coupledness check) test and extract fields straight
+# off the 64-bit word instead of decoding a Location per pointer.
+MEDIUM_MASK = _MEDIUM_MASK
+MEDIUM_PWB_BITS = MEDIUM_PWB << _MEDIUM_SHIFT
+MEDIUM_VS_BITS = MEDIUM_VS << _MEDIUM_SHIFT
+VS_ID_SHIFT = 53
+VS_ID_MASK = _VS_ID_MAX
+VS_CHUNK_SHIFT = 32
+VS_CHUNK_MASK = _CHUNK_MAX
+VS_OFFSET_MASK = _OFFSET32
+PWB_ID_SHIFT = 48
+PWB_ID_MASK = _PWB_ID_MAX
+PWB_OFFSET_MASK = _OFFSET48
 
-@dataclass(frozen=True)
+
 class Location:
-    """Decoded forward pointer."""
+    """Decoded forward pointer.
 
-    medium: int
-    pwb_id: int = 0
-    pwb_offset: int = 0
-    vs_id: int = 0
-    chunk_id: int = 0
-    vs_offset: int = 0
+    A plain ``__slots__`` class rather than a frozen dataclass: one is
+    built on every pointer read/publish, and frozen-dataclass
+    construction (an ``object.__setattr__`` per field) dominated the
+    cost of :func:`decode`.  Instances are immutable by convention.
+    """
+
+    __slots__ = ("medium", "pwb_id", "pwb_offset", "vs_id", "chunk_id", "vs_offset")
+
+    def __init__(
+        self,
+        medium: int,
+        pwb_id: int = 0,
+        pwb_offset: int = 0,
+        vs_id: int = 0,
+        chunk_id: int = 0,
+        vs_offset: int = 0,
+    ) -> None:
+        self.medium = medium
+        self.pwb_id = pwb_id
+        self.pwb_offset = pwb_offset
+        self.vs_id = vs_id
+        self.chunk_id = chunk_id
+        self.vs_offset = vs_offset
 
     @property
     def is_null(self) -> bool:
@@ -55,6 +84,31 @@ class Location:
     @property
     def in_vs(self) -> bool:
         return self.medium == MEDIUM_VS
+
+    def _key(self):
+        return (
+            self.medium,
+            self.pwb_id,
+            self.pwb_offset,
+            self.vs_id,
+            self.chunk_id,
+            self.vs_offset,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Location):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Location(medium={self.medium}, pwb_id={self.pwb_id}, "
+            f"pwb_offset={self.pwb_offset}, vs_id={self.vs_id}, "
+            f"chunk_id={self.chunk_id}, vs_offset={self.vs_offset})"
+        )
 
 
 NULL_LOCATION = Location(medium=MEDIUM_NULL)
@@ -111,23 +165,31 @@ def free_link_of(word: int) -> int:
 
 
 def decode(word: int) -> Location:
-    """Decode a location word (ignoring the dirty bit)."""
-    medium = medium_of(word)
+    """Decode a location word (ignoring the dirty bit).
+
+    Locations are built via ``__new__`` + direct slot stores: decode()
+    runs on every pointer read and the ``__init__`` call (with its
+    default-argument handling) was a measurable share of it.
+    """
+    medium = (word & _MEDIUM_MASK) >> _MEDIUM_SHIFT
     if medium == MEDIUM_NULL:
         return NULL_LOCATION
+    loc = Location.__new__(Location)
+    loc.medium = medium
     if medium == MEDIUM_PWB:
-        return Location(
-            medium=MEDIUM_PWB,
-            pwb_id=(word >> 48) & _PWB_ID_MAX,
-            pwb_offset=word & _OFFSET48,
-        )
+        loc.pwb_id = (word >> 48) & _PWB_ID_MAX
+        loc.pwb_offset = word & _OFFSET48
+        loc.vs_id = 0
+        loc.chunk_id = 0
+        loc.vs_offset = 0
+        return loc
     if medium == MEDIUM_VS:
-        return Location(
-            medium=MEDIUM_VS,
-            vs_id=(word >> 53) & _VS_ID_MAX,
-            chunk_id=(word >> 32) & _CHUNK_MAX,
-            vs_offset=word & _OFFSET32,
-        )
+        loc.pwb_id = 0
+        loc.pwb_offset = 0
+        loc.vs_id = (word >> 53) & _VS_ID_MAX
+        loc.chunk_id = (word >> 32) & _CHUNK_MAX
+        loc.vs_offset = word & _OFFSET32
+        return loc
     raise ValueError(f"corrupt location word: {word:#018x}")
 
 

@@ -28,7 +28,7 @@ from repro.core import pointers as ptr
 from repro.core.config import PrismConfig
 from repro.core.containment import resolve_partial_publish
 from repro.core.epoch import EpochManager
-from repro.core.hsit import HSIT
+from repro.core.hsit import ENTRY_BYTES, HSIT
 from repro.core.pwb import PersistentWriteBuffer, PWBFullError
 from repro.core.svc import ScanAwareValueCache
 from repro.core.tcq import ThreadCombiner
@@ -159,6 +159,11 @@ class Prism:
         # Figure 17 needs the events regardless of the metrics switch).
         self.events = EventLog("prism")
         self._ops = 0
+        # Hot-path caches: _tick()/put() run once per op and two-hop
+        # ``self.config.*`` chases show up in profiles.
+        self._epoch_every = cfg.epoch_advance_every
+        self._enable_pwb = cfg.enable_pwb
+        self._pwb_watermark = cfg.pwb_watermark
         self._rr_storage = itertools.count()
         self._crashed = False
 
@@ -267,9 +272,12 @@ class Prism:
             # must not touch (or advance epochs over) post-crash state.
             return
         self._ops += 1
-        if self._ops % self.config.epoch_advance_every == 0:
+        if self._ops % self._epoch_every == 0:
             self.epoch.try_advance()
-        if self.svc.pending_work() > 256 or self.svc.used > self.svc.capacity:
+        # pending_work() inlined: when used <= capacity the backlog is
+        # just len(_pending), so the disjunction below is equivalent.
+        svc = self.svc
+        if svc.used > svc.capacity or len(svc._pending) > 256:
             self._run_cache_maintenance()
 
     def _run_cache_maintenance(self) -> None:
@@ -292,44 +300,73 @@ class Prism:
         inserted = False
         idx = None
         try:
+            # Phase attribution is gated on ``m.enabled`` so the obs-off
+            # path costs one attribute load per site — no null-instrument
+            # calls, no f-strings, no per-op allocation.
+            enabled = m.enabled
             t0 = thread.now
             idx = self.index.lookup(key, thread)
-            m.phase("put", "index_lookup", thread.now - t0)
+            if enabled:
+                m.phase("put", "index_lookup", thread.now - t0)
             is_new = idx is None
+            cp = self.crash_point
             if is_new:
                 idx = self.hsit.allocate(thread)
-                self.crash_point.maybe_crash("put.allocated")
-            if self.config.enable_pwb:
-                pwb = self._pwb_for(thread)
+                if cp.active:
+                    cp.maybe_crash("put.allocated")
+            vlen = len(value)
+            if self._enable_pwb:
+                pwb = self.pwbs[thread.tid % len(self.pwbs)]
                 t0 = thread.now
-                self._ensure_pwb_space(pwb, len(value), thread)
-                m.phase("put", "pwb_space_wait", thread.now - t0)
+                # Fast path: the record fits without applying a pending
+                # release (would_fit inlined; ceil-to-8 == record_bytes).
+                # Deferring poll() is safe — the tail of put() always
+                # polls before the reclaim-watermark check, and release
+                # application never touches virtual time.
+                need = (pwb.header_size + vlen + 7) & ~7
+                capacity = pwb.capacity
+                head = pwb.head
+                pos = head % capacity
+                start = head + capacity - pos if pos + need > capacity else head
+                if (start + need) - pwb.tail > capacity:
+                    self._ensure_pwb_space(pwb, vlen, thread)
+                if enabled:
+                    m.phase("put", "pwb_space_wait", thread.now - t0)
                 t0 = thread.now
                 offset = pwb.append(idx, value, thread)
-                m.phase("put", "pwb_append", thread.now - t0)
+                if enabled:
+                    m.phase("put", "pwb_append", thread.now - t0)
                 word = ptr.encode_pwb(pwb.pwb_id, offset)
             else:
                 t0 = thread.now
                 vs = self._pick_storage(thread.now)
                 chunk_id, off = self._append_sync_retrying(vs, thread, idx, value)
-                m.phase("put", "vs_append", thread.now - t0)
+                if enabled:
+                    m.phase("put", "vs_append", thread.now - t0)
                 word = ptr.encode_vs(vs.vs_id, chunk_id, off)
                 self._maybe_gc(vs, thread.now)
-            self.crash_point.maybe_crash("put.appended")
+            if cp.active:
+                cp.maybe_crash("put.appended")
             t0 = thread.now
-            old = self.hsit.publish_location(idx, word, thread)
-            self._supersede(idx, old, thread)
+            old_word = self.hsit.publish_location_word(idx, word, thread)
+            self._supersede_word(idx, old_word, thread)
             if is_new:
                 self.index.insert(key, idx, thread)
                 inserted = True
-            m.phase("put", "publish", thread.now - t0)
-            self.crash_point.maybe_crash("put.done")
-            self.bytes_put += len(value)
+            if enabled:
+                m.phase("put", "publish", thread.now - t0)
+            if cp.active:
+                cp.maybe_crash("put.done")
+            self.bytes_put += vlen
             self.puts += 1
-            if self.config.enable_pwb:
-                pwb.poll(thread.now)
+            if self._enable_pwb:
+                # poll() and utilization() inlined (once per put).
+                pending = pwb.pending_release
+                if pending is not None and thread.now >= pending[1]:
+                    pwb.pending_release = None
+                    pwb.release_through(pending[0])
                 if (
-                    pwb.utilization() >= self.config.pwb_watermark
+                    (pwb.head - pwb.tail) / pwb.capacity >= self._pwb_watermark
                     and pwb.pending_release is None
                 ):
                     self._reclaim(pwb, thread.now)
@@ -370,6 +407,22 @@ class Prism:
         entry_id = self.hsit.read_svc(idx, thread)
         if entry_id is not None:
             self.hsit.clear_svc(idx, thread)
+            self.svc.invalidate(entry_id, thread)
+
+    def _supersede_word(
+        self, idx: int, old_word: int, thread: Optional[VThread]
+    ) -> None:
+        """:meth:`_supersede` on a raw location word (write hot path —
+        extracts VS fields with bit ops instead of decoding)."""
+        if old_word & ptr.MEDIUM_MASK == ptr.MEDIUM_VS_BITS:
+            self.storages[(old_word >> ptr.VS_ID_SHIFT) & ptr.VS_ID_MASK].invalidate(
+                (old_word >> ptr.VS_CHUNK_SHIFT) & ptr.VS_CHUNK_MASK,
+                old_word & ptr.VS_OFFSET_MASK,
+            )
+        hsit = self.hsit
+        entry_id = hsit.read_svc(idx, thread)
+        if entry_id is not None:
+            hsit.clear_svc(idx, thread)
             self.svc.invalidate(entry_id, thread)
 
     def _ensure_pwb_space(
@@ -413,15 +466,17 @@ class Prism:
         # value: the backward pointer and the HSIT forward pointer).
         live: List[Tuple[int, bytes]] = []
         count = 0
+        # Well-coupled iff the (dirty-cleared) forward pointer encodes
+        # exactly this buffer and offset — one word comparison per
+        # record instead of a Location decode.
+        hsit = self.hsit
+        nvm_load_word = hsit.nvm.load_word
+        hsit_base = hsit._base
+        expect_base = ptr.MEDIUM_PWB_BITS | (pwb.pwb_id << ptr.PWB_ID_SHIFT)
         for offset, hsit_idx, value in pwb.records_between(pwb.tail, upto):
             count += 1
-            word = self.hsit.location_word(hsit_idx)
-            loc = ptr.decode(ptr.clear_dirty(word))
-            if (
-                loc.in_pwb
-                and loc.pwb_id == pwb.pwb_id
-                and loc.pwb_offset == offset
-            ):
+            word = nvm_load_word(None, hsit_base + hsit_idx * ENTRY_BYTES)
+            if word & ~ptr.DIRTY_BIT == expect_base | offset:
                 live.append((hsit_idx, value))
         self.nvm.charge_read(bg, min(region, pwb.capacity) + 16 * count)
         if live:
@@ -445,7 +500,7 @@ class Prism:
                 for (hsit_idx, _value), (chunk_id, offset, _size) in zip(
                     live, placements
                 ):
-                    self.hsit.publish_location(
+                    self.hsit.publish_location_word(
                         hsit_idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
                     )
                     published += 1
@@ -564,7 +619,7 @@ class Prism:
             for (idx, value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
                 moves, placements
             ):
-                self.hsit.publish_location(
+                self.hsit.publish_location_word(
                     idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
                 )
                 published += 1
@@ -612,7 +667,8 @@ class Prism:
             self.gets += 1
             t0 = thread.now
             idx = self.index.lookup(key, thread)
-            m.phase("get", "index_lookup", thread.now - t0)
+            if m.enabled:
+                m.phase("get", "index_lookup", thread.now - t0)
             if idx is None:
                 return None
             return self._read_value(idx, key, thread)
@@ -622,14 +678,19 @@ class Prism:
 
     def _read_value(self, idx: int, key: bytes, thread: VThread) -> Optional[bytes]:
         m = self.metrics
+        enabled = m.enabled
         loc = self.hsit.read_location(idx, thread)
-        if loc.is_null:
+        # Compare the medium field directly: the is_null/in_pwb
+        # properties are descriptor calls and this runs on every read.
+        medium = loc.medium
+        if medium == ptr.MEDIUM_NULL:
             return None
-        if loc.in_pwb:
+        if medium == ptr.MEDIUM_PWB:
             t0 = thread.now
             _, value = self.pwbs[loc.pwb_id].read(loc.pwb_offset, thread)
-            m.phase("get", "pwb_read", thread.now - t0)
-            m.counter("read.pwb_hits").inc()
+            if enabled:
+                m.phase("get", "pwb_read", thread.now - t0)
+                m.counter("read.pwb_hits").inc()
             return value
         # Value Storage — try the DRAM cache first (Figure 2 ➍ over ➌).
         if self.config.enable_svc:
@@ -638,11 +699,14 @@ class Prism:
                 t0 = thread.now
                 cached = self.svc.lookup(entry_id, thread)
                 if cached is not None:
-                    m.phase("get", "svc_hit", thread.now - t0)
-                    m.counter("read.svc_hits").inc()
+                    if enabled:
+                        m.phase("get", "svc_hit", thread.now - t0)
+                        m.counter("read.svc_hits").inc()
                     return cached
-                m.phase("get", "svc_miss", thread.now - t0)
-        m.counter("read.svc_misses").inc()
+                if enabled:
+                    m.phase("get", "svc_miss", thread.now - t0)
+        if enabled:
+            m.counter("read.svc_misses").inc()
         vs = self.storages[loc.vs_id]
         if self._vs_dead(vs):
             # The durable copy sits on a dead device.  With a repair
@@ -666,7 +730,8 @@ class Prism:
         if self.config.enable_svc:
             t0 = thread.now
             self.svc.admit(idx, key, value, thread)
-            m.phase("get", "svc_admit", thread.now - t0)
+            if enabled:
+                m.phase("get", "svc_admit", thread.now - t0)
         return value
 
     def _repair_read(
@@ -709,7 +774,8 @@ class Prism:
         try:
             t0 = thread.now
             matches = self.index.scan(start, count, thread)
-            m.phase("scan", "index_scan", thread.now - t0)
+            if m.enabled:
+                m.phase("scan", "index_scan", thread.now - t0)
             t0 = thread.now
             results: Dict[bytes, bytes] = {}
             misses: Dict[int, List[Tuple[int, int, int, bytes]]] = {}
@@ -752,7 +818,8 @@ class Prism:
             if self.config.enable_svc and self.config.svc_scan_aware:
                 chain_entries.sort()
                 self.svc.link_scan_chain([eid for _, eid in chain_entries])
-            m.phase("scan", "fetch", thread.now - t0)
+            if m.enabled:
+                m.phase("scan", "fetch", thread.now - t0)
             self.scans += 1
             return [(key, results[key]) for key, _ in matches if key in results]
         finally:
@@ -830,15 +897,17 @@ class Prism:
         try:
             t0 = thread.now
             idx = self.index.lookup(key, thread)
-            m.phase("delete", "index_lookup", thread.now - t0)
+            if m.enabled:
+                m.phase("delete", "index_lookup", thread.now - t0)
             if idx is None:
                 return False
             self.crash_point.maybe_crash("delete.begin")
             t0 = thread.now
             self.index.delete(key, thread)
-            old = self.hsit.publish_location(idx, 0, thread)
-            self._supersede(idx, old, thread)
-            m.phase("delete", "publish", thread.now - t0)
+            old_word = self.hsit.publish_location_word(idx, 0, thread)
+            self._supersede_word(idx, old_word, thread)
+            if m.enabled:
+                m.phase("delete", "publish", thread.now - t0)
             self.crash_point.maybe_crash("delete.published")
             # The HSIT entry rejoins the free list after two epochs (§5.4).
             self.epoch.retire(lambda i=idx: self.hsit.free(i))

@@ -248,10 +248,18 @@ class ScanAwareValueCache:
         storages: List[ValueStorage],
     ) -> None:
         """Drain the request queue and enforce capacity (off critical path)."""
+        popleft = self._pending.popleft
+        entries_get = self.entries.get
+        clock = bg.clock
         while self._pending:
-            op, entry_id = self._pending.popleft()
-            bg.spend(_BG_OP_COST)
-            entry = self.entries.get(entry_id)
+            op, entry_id = popleft()
+            # bg.spend(_BG_OP_COST) inlined: runs per queued request.
+            now = bg.now + _BG_OP_COST
+            bg.now = now
+            bg.cpu_time += _BG_OP_COST
+            if now > clock._now:
+                clock._now = now
+            entry = entries_get(entry_id)
             if entry is None or entry.freed:
                 continue
             if op == "admit":
@@ -367,7 +375,7 @@ class ScanAwareValueCache:
                     for member, old, (chunk_id, offset, size) in zip(
                         movable, olds, placements
                     ):
-                        self.hsit.publish_location(
+                        self.hsit.publish_location_word(
                             member.hsit_idx,
                             ptr.encode_vs(target.vs_id, chunk_id, offset),
                             bg,

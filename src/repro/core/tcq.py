@@ -95,7 +95,8 @@ class ThreadCombiner:
             start = thread.now
             done = self.ring.submit_and_wait(thread.now, requests)
             thread.wait_until(done)
-            metrics.phase("read", "ssd_wait", done - start)
+            if metrics.enabled:
+                metrics.phase("read", "ssd_wait", done - start)
             return done
         window = (
             self.combine_window
@@ -116,7 +117,13 @@ class ThreadCombiner:
         if joins:
             # Follower: swap into the TCQ and hand over the request.
             self._batch_count += len(requests)
-            thread.spend(FOLLOWER_HANDOFF_COST)
+            # thread.spend(FOLLOWER_HANDOFF_COST) inlined (hot path).
+            now = thread.now + FOLLOWER_HANDOFF_COST
+            thread.now = now
+            thread.cpu_time += FOLLOWER_HANDOFF_COST
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
             floor = self._batch_close
             self.combined_requests += len(requests)
             for req in requests:
@@ -146,14 +153,27 @@ class ThreadCombiner:
             if len(chunks[-1]) >= limit:
                 self._batch_close = t  # no partial batch left open
                 self._batch_count = 0
-            thread.spend(
+            # thread.spend(...) inlined (hot path).
+            cost = (
                 SUBMIT_SYSCALL_COST * len(chunks)
                 + SQE_PREP_COST * len(requests)
             )
+            now = thread.now + cost
+            thread.now = now
+            thread.cpu_time += cost
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
         submit_at = max(min(floor, done), t)
-        thread.wait_until(done)
-        metrics.phase("read", "combining_wait", submit_at - t)
-        metrics.phase("read", "ssd_wait", max(0.0, done - submit_at))
+        # thread.wait_until(done) inlined.
+        if done > thread.now:
+            thread.now = done
+            clock = thread.clock
+            if done > clock._now:
+                clock._now = done
+        if metrics.enabled:
+            metrics.phase("read", "combining_wait", submit_at - t)
+            metrics.phase("read", "ssd_wait", max(0.0, done - submit_at))
         return done
 
     def _place(self, at: float, req: IORequest) -> float:

@@ -62,7 +62,11 @@ class BTree:
 
     def floor_item(self, key: bytes) -> Optional[Tuple[bytes, Any]]:
         """Largest (k, v) with k <= key, or None."""
-        leaf, _ = self._find_leaf(key)
+        # Descend without building the _find_leaf path list — floor
+        # lookups are the hottest entry point and never need it.
+        leaf = self._root
+        while not leaf.leaf:
+            leaf = leaf.slots[bisect_right(leaf.keys, key)]
         idx = bisect_right(leaf.keys, key) - 1
         if idx >= 0:
             return leaf.keys[idx], leaf.slots[idx]

@@ -25,7 +25,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.index.btree import BTree
 from repro.sim.resources import VLock
 from repro.sim.vthread import VThread
-from repro.storage.nvm import NVMDevice, PersistentHeap
+from repro.storage.nvm import CACHE_LINE, NVMDevice, PersistentHeap
 
 LEAF_CAPACITY = 64
 # Rough on-media footprint of a leaf: packed keys + slots + links.
@@ -79,18 +79,44 @@ class PACTree:
         descent we walk right along the (authoritative) data layer.
         """
         if thread is not None:
-            thread.spend(_SEARCH_STEP_COST * max(self._search.height, 1))
+            height = self._search.height
+            cost = _SEARCH_STEP_COST * (height if height > 1 else 1)
+            now = thread.now + cost
+            thread.now = now
+            thread.cpu_time += cost
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
         found = self._search.floor_item(key)
         assert found is not None, "head anchor b'' always present"
         handle = found[1]
-        leaf = self.heap.get(handle)
-        self.heap.charge_read(thread, handle)
-        while leaf.next_handle:
-            nxt = self.heap.get(leaf.next_handle)
+        # PersistentHeap.get/charge_read inlined: every index operation
+        # descends through here, and the per-step call overhead was a
+        # measurable slice of lookup cost.  Same charges, same order.
+        heap = self.heap
+        objects = heap._objects
+        sizes = heap._sizes
+        device = heap.device
+        read_request = device._read_request
+        read_latency = device._read_latency
+        leaf = objects[handle]
+        while True:
+            size = sizes.get(handle, CACHE_LINE)
+            device.bytes_read += size
+            if thread is not None:
+                end = read_request(thread.now, size, read_latency)
+                if end > thread.now:
+                    thread.now = end
+                    clock = thread.clock
+                    if end > clock._now:
+                        clock._now = end
+            next_handle = leaf.next_handle
+            if not next_handle:
+                break
+            nxt = objects[next_handle]
             if key < nxt.anchor:
                 break
-            handle, leaf = leaf.next_handle, nxt
-            self.heap.charge_read(thread, handle)
+            handle, leaf = next_handle, nxt
         return handle, leaf
 
     # ------------------------------------------------------------------

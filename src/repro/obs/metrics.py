@@ -92,10 +92,16 @@ class LatencyHistogram:
     # -- recording -----------------------------------------------------
     def record(self, seconds: float) -> None:
         # Clamp fp jitter from virtual-time subtraction; observation
-        # must never take the store down.
+        # must never take the store down.  The bucket index computation
+        # is _index() inlined — record() runs several times per op.
         ns = int(seconds * 1e9) if seconds > 0 else 0
-        idx = self._index(ns)
-        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        if ns < _SUB:
+            idx = ns
+        else:
+            exp = ns.bit_length() - (_SUB_BITS + 1)
+            idx = (exp << _SUB_BITS) + (ns >> exp)
+        buckets = self._buckets
+        buckets[idx] = buckets.get(idx, 0) + 1
         self.count += 1
         self.total += seconds
         if ns > self.max_ns:
@@ -249,6 +255,10 @@ class MetricsRegistry:
         self.histograms: Dict[str, LatencyHistogram] = {}
         self.series: Dict[str, TimeSeries] = {}
         self.event_logs: Dict[str, EventLog] = {}
+        # (op, name) -> histogram, so phase() skips the f-string and
+        # dict-of-strings lookup on the per-op hot path.  Lives on the
+        # registry (not the store) because runners swap store.metrics.
+        self._phase_cache: Dict[str, Dict[str, LatencyHistogram]] = {}
 
     def counter(self, name: str) -> Counter:
         name = self.prefix + name
@@ -290,8 +300,30 @@ class MetricsRegistry:
         self.event_logs[self.prefix + name] = log
 
     def phase(self, op: str, name: str, seconds: float) -> None:
-        """Attribute ``seconds`` of an ``op`` to one phase."""
-        self.histogram(f"phase.{op}.{name}").record(seconds)
+        """Attribute ``seconds`` of an ``op`` to one phase.
+
+        Phases are the highest-rate recordings in an instrumented run,
+        so the histogram is resolved through a nested string-keyed
+        cache (no tuple allocation) and record() is inlined.
+        """
+        ops = self._phase_cache.get(op)
+        if ops is None:
+            ops = self._phase_cache[op] = {}
+        h = ops.get(name)
+        if h is None:
+            h = ops[name] = self.histogram(f"phase.{op}.{name}")
+        ns = int(seconds * 1e9) if seconds > 0 else 0
+        if ns < _SUB:
+            idx = ns
+        else:
+            exp = ns.bit_length() - (_SUB_BITS + 1)
+            idx = (exp << _SUB_BITS) + (ns >> exp)
+        buckets = h._buckets
+        buckets[idx] = buckets.get(idx, 0) + 1
+        h.count += 1
+        h.total += seconds
+        if ns > h.max_ns:
+            h.max_ns = ns
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable snapshot of every instrument."""

@@ -1,0 +1,34 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Everything else in this repository measures *virtual* time — how long
+the modelled hardware would take.  This package measures *host* time:
+how fast the pure-Python simulator grinds through a pinned suite of
+seeded workloads.  It exists so that hot-path regressions (an
+accidental allocation per op, a de-inlined call chain) show up as a
+number in CI instead of as a mysteriously slow laptop six months
+later.
+
+Entry point::
+
+    python -m repro.bench perf [--smoke]
+
+which writes ``BENCH_PERF.json`` and, when a committed
+``BENCH_PERF_BASELINE.json`` of the same mode exists, fails if the
+YCSB-A suite's ops/sec regressed by more than the gate threshold.
+"""
+
+from repro.perf.harness import (
+    BASELINE_NAME,
+    OUTPUT_NAME,
+    REGRESSION_TOLERANCE,
+    check_regression,
+    run_perf,
+)
+
+__all__ = [
+    "BASELINE_NAME",
+    "OUTPUT_NAME",
+    "REGRESSION_TOLERANCE",
+    "check_regression",
+    "run_perf",
+]

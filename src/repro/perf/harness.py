@@ -1,0 +1,280 @@
+"""The pinned perf suite: seeded workloads timed in host seconds.
+
+Design notes
+------------
+
+* **Pinned seeds, pinned sizes.**  Every suite is fully determined by
+  its entry in :data:`SUITES` (smoke scales the sizes down).  The
+  simulated output of a suite is therefore byte-stable across runs and
+  across optimization work — the whole point of the bit-identical
+  hot-path discipline (see docs/simulation-model.md) is that wall
+  clock is the *only* thing allowed to change here.
+* **Observability off.**  The store is built with
+  ``enable_metrics=False`` and the runner collects no metrics: the
+  suite measures the simulator, not its instrumentation.  (The
+  instrumented path has its own coverage via the determinism test,
+  which asserts obs-on and obs-off produce identical simulated
+  results.)
+* **Timing and attribution are separate passes.**  cProfile slows the
+  interpreter severalfold, so ops/sec comes from an unprofiled run and
+  the per-subsystem CPU breakdown from a second, profiled run of the
+  same configuration (capped op count — attribution is stable long
+  before throughput is).
+* **Peak RSS** uses ``resource.getrusage`` (no third-party deps).
+  ``ru_maxrss`` is a process-lifetime high-water mark, so each suite
+  reports the peak *as of its completion*; only growth between suites
+  is attributable to a single suite.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import resource
+import sys
+import time
+from typing import Dict, Optional
+
+OUTPUT_NAME = "BENCH_PERF.json"
+BASELINE_NAME = "BENCH_PERF_BASELINE.json"
+# CI gate: fail when ycsb_a throughput drops below (1 - tolerance) of
+# the committed baseline.  Generous because wall clock on shared
+# runners is noisy; real hot-path regressions are usually >2x.
+REGRESSION_TOLERANCE = 0.30
+GATED_SUITE = "ycsb_a"
+# Attribution pass cap: profiling is ~4x slower than running.
+PROFILE_OPS_CAP = 20_000
+
+# name -> full-size spec; smoke divides ops/keys by `smoke_divisor`.
+SUITES = {
+    # The flagship suite (also the CI regression gate): mixed
+    # read/update traffic exercises every subsystem — index descent,
+    # PWB append + reclamation, HSIT publish, SVC admission.
+    "ycsb_a": dict(kind="single", workload="A", ops=100_000, keys=20_000,
+                   threads=4, smoke_divisor=20),
+    "ycsb_b": dict(kind="single", workload="B", ops=100_000, keys=20_000,
+                   threads=4, smoke_divisor=20),
+    "ycsb_c": dict(kind="single", workload="C", ops=100_000, keys=20_000,
+                   threads=4, smoke_divisor=20),
+    # Scan-heavy: range reads walk the PACTree data layer and stream
+    # through the Second-chance Value Cache.
+    "scan_heavy": dict(kind="single", workload="E", ops=12_000, keys=20_000,
+                       threads=4, smoke_divisor=12),
+    # Read storm at twice the thread count: saturates the
+    # thread-combining queue and the io_uring submission path.
+    "tcq_storm": dict(kind="single", workload="C", ops=100_000, keys=20_000,
+                      threads=8, smoke_divisor=20),
+    # Sharded serving layer: 4 shards, RF=1, uniform read-only load.
+    "cluster_4shard": dict(kind="cluster", shards=4, ops=40_000, keys=20_000,
+                           clients_per_shard=4, smoke_divisor=10),
+}
+
+
+def _peak_rss_bytes() -> int:
+    """Process-lifetime peak RSS in bytes (ru_maxrss is KB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a profiled filename to a ``repro.*`` subsystem bucket."""
+    marker = "repro/"
+    pos = filename.rfind(marker)
+    if pos < 0:
+        if filename.startswith("<"):  # builtins / C calls
+            return "interpreter"
+        return "stdlib"
+    rest = filename[pos + len(marker):]
+    top = rest.split("/", 1)[0]
+    if top.endswith(".py"):
+        top = top[:-3]
+    return f"repro.{top}"
+
+
+def _cpu_by_subsystem(profile: cProfile.Profile) -> Dict[str, float]:
+    """Percentage of profiled CPU (tottime) per repro subsystem."""
+    stats = pstats.Stats(profile)
+    totals: Dict[str, float] = {}
+    grand = 0.0
+    for (filename, _line, _name), entry in stats.stats.items():
+        tottime = entry[2]
+        grand += tottime
+        bucket = _subsystem_of(filename)
+        totals[bucket] = totals.get(bucket, 0.0) + tottime
+    if grand <= 0:
+        return {}
+    return {
+        bucket: round(100.0 * t / grand, 2)
+        for bucket, t in sorted(totals.items(), key=lambda kv: -kv[1])
+    }
+
+
+def _scaled(spec: dict, smoke: bool) -> dict:
+    if not smoke:
+        return spec
+    div = spec["smoke_divisor"]
+    out = dict(spec)
+    out["ops"] = max(200, spec["ops"] // div)
+    out["keys"] = max(200, spec["keys"] // div)
+    return out
+
+
+def _run_single(spec: dict, profiled_ops: Optional[int]) -> dict:
+    from repro.bench.runner import preload, run_workload
+    from repro.bench.stores import build_prism
+    from repro.workloads.ycsb import WORKLOADS
+
+    workload = WORKLOADS[spec["workload"]]
+    threads = spec["threads"]
+
+    def one_run(ops: int, profile: Optional[cProfile.Profile]):
+        store = build_prism(num_threads=threads, enable_metrics=False)
+        preload(store, spec["keys"], num_threads=threads)
+        if profile is not None:
+            profile.enable()
+        t0 = time.perf_counter()
+        result = run_workload(
+            store, workload, ops, spec["keys"], threads,
+            collect_metrics=False,
+        )
+        wall = time.perf_counter() - t0
+        if profile is not None:
+            profile.disable()
+        return result, wall
+
+    result, wall = one_run(spec["ops"], None)
+    entry = {
+        "ops": result.ops,
+        "wall_seconds": round(wall, 4),
+        "ops_per_sec": round(result.ops / wall, 1) if wall > 0 else None,
+        "virtual_seconds": result.duration,
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+    if profiled_ops:
+        profile = cProfile.Profile()
+        one_run(min(spec["ops"], profiled_ops), profile)
+        entry["cpu_pct_by_subsystem"] = _cpu_by_subsystem(profile)
+    return entry
+
+
+def _run_cluster(spec: dict, profiled_ops: Optional[int]) -> dict:
+    from repro.bench.cluster import YCSB_C_UNIFORM, _build
+    from repro.cluster.runner import run_cluster_workload
+
+    def one_run(ops: int, profile: Optional[cProfile.Profile]):
+        cluster = _build(spec["shards"], 1, "quorum", spec["keys"])
+        if profile is not None:
+            profile.enable()
+        t0 = time.perf_counter()
+        result = run_cluster_workload(
+            cluster, YCSB_C_UNIFORM, ops, spec["keys"],
+            clients_per_shard=spec["clients_per_shard"], seed=2,
+        )
+        wall = time.perf_counter() - t0
+        if profile is not None:
+            profile.disable()
+        cluster.close()
+        return result, wall
+
+    result, wall = one_run(spec["ops"], None)
+    run = result.run
+    entry = {
+        "ops": run.ops,
+        "wall_seconds": round(wall, 4),
+        "ops_per_sec": round(run.ops / wall, 1) if wall > 0 else None,
+        "virtual_seconds": run.duration,
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+    if profiled_ops:
+        profile = cProfile.Profile()
+        one_run(min(spec["ops"], profiled_ops), profile)
+        entry["cpu_pct_by_subsystem"] = _cpu_by_subsystem(profile)
+    return entry
+
+
+def run_perf(
+    smoke: bool = False,
+    out_path: str = OUTPUT_NAME,
+    baseline_path: Optional[str] = None,
+    profile: bool = True,
+) -> dict:
+    """Run the pinned suite; write ``out_path``; return the payload.
+
+    Raises ``SystemExit(1)`` when the regression gate fails.
+    """
+    payload = {
+        "schema": "bench-perf/v1",
+        "mode": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "suites": {},
+    }
+    profiled_ops = PROFILE_OPS_CAP if profile else None
+    for name, spec in SUITES.items():
+        spec = _scaled(spec, smoke)
+        t0 = time.perf_counter()
+        if spec["kind"] == "cluster":
+            entry = _run_cluster(spec, profiled_ops)
+        else:
+            entry = _run_single(spec, profiled_ops)
+        payload["suites"][name] = entry
+        print(
+            f"  {name:14} {entry['ops']:>8} ops  "
+            f"{entry['wall_seconds']:>8.2f}s wall  "
+            f"{entry['ops_per_sec']:>10.0f} ops/s  "
+            f"rss {entry['peak_rss_bytes'] // (1 << 20)} MiB  "
+            f"(suite total {time.perf_counter() - t0:.1f}s)"
+        )
+        top = entry.get("cpu_pct_by_subsystem")
+        if top:
+            head = ", ".join(
+                f"{k} {v:.0f}%" for k, v in list(top.items())[:4]
+            )
+            print(f"  {'':14} cpu: {head}")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    ok, message = check_regression(payload, baseline_path)
+    print(message)
+    if not ok:
+        raise SystemExit(1)
+    return payload
+
+
+def check_regression(
+    payload: dict, baseline_path: Optional[str] = None
+) -> "tuple[bool, str]":
+    """Compare ``payload`` against the committed baseline, if any.
+
+    Only the :data:`GATED_SUITE` gates, and only when the baseline was
+    recorded in the same mode (smoke vs full) — cross-mode ops/sec are
+    not comparable.
+    """
+    path = baseline_path or BASELINE_NAME
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        return True, f"regression gate: skipped (no {path})"
+    if baseline.get("mode") != payload.get("mode"):
+        return True, (
+            f"regression gate: skipped (baseline mode "
+            f"{baseline.get('mode')!r} != {payload.get('mode')!r})"
+        )
+    base = baseline.get("suites", {}).get(GATED_SUITE, {}).get("ops_per_sec")
+    cur = payload.get("suites", {}).get(GATED_SUITE, {}).get("ops_per_sec")
+    if not base or not cur:
+        return True, "regression gate: skipped (missing ycsb_a ops/sec)"
+    floor = base * (1.0 - REGRESSION_TOLERANCE)
+    if cur < floor:
+        return False, (
+            f"regression gate: FAIL — {GATED_SUITE} {cur:.0f} ops/s is below "
+            f"{floor:.0f} (baseline {base:.0f} - {REGRESSION_TOLERANCE:.0%})"
+        )
+    return True, (
+        f"regression gate: PASS — {GATED_SUITE} {cur:.0f} ops/s vs baseline "
+        f"{base:.0f} (floor {floor:.0f})"
+    )

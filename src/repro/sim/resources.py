@@ -18,7 +18,7 @@ in virtual time consistent.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.vthread import VThread
 
@@ -159,6 +159,13 @@ class BandwidthChannel:
         """Transfer ``nbytes`` starting no earlier than ``at``.
 
         Returns the completion time (transfer end + pipelined latency).
+
+        Performance note: this is the single hottest function of the
+        whole simulator (every timed byte of every device flows through
+        it), so the common case — the arrival bucket alone absorbs the
+        transfer — is special-cased ahead of the general bucket walk.
+        Both paths perform the *same arithmetic in the same order* as
+        the original single loop; completion times are bit-identical.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -167,32 +174,59 @@ class BandwidthChannel:
         self.busy_time += transfer
         if nbytes == 0:
             return at + latency
-        idx = max(int(at / self.bucket), self._horizon)
-        extends_floor = idx <= self._full_floor
-        if extends_floor:
-            idx = max(idx, self._full_floor)
+        bucket = self.bucket
+        cap = self._capacity
+        used_map = self._used
+        idx = int(at / bucket)
+        if idx < self._horizon:
+            idx = self._horizon
+        full_floor = self._full_floor
+        if idx < full_floor:
+            idx = full_floor
+            extends_floor = True
+        else:
+            extends_floor = idx == full_floor
+        # Fast path: the whole transfer fits in the arrival bucket.
+        # (int/float comparison and addition are exact here — nbytes is
+        # far below 2**53 — so skipping the float() conversion keeps the
+        # arithmetic bit-identical.)
+        used = used_map.get(idx, 0.0)
+        free = cap - used
+        if free >= nbytes:
+            new_used = used + nbytes
+            used_map[idx] = new_used
+            end = bucket * (idx + new_used / cap)
+            if extends_floor and new_used >= cap:
+                self._full_floor = idx + 1
+            if len(used_map) > self._PRUNE_TRIGGER:
+                self._prune(idx + 1)
+            floor_end = at + transfer
+            # Never faster than line rate from the actual start.
+            return (end if end > floor_end else floor_end) + latency
+        # General case: drain capacity bucket by bucket.
         remaining = float(nbytes)
         end = at
         while remaining > 0:
-            used = self._used.get(idx, 0.0)
-            free = self._capacity - used
+            used = used_map.get(idx, 0.0)
+            free = cap - used
             if free > 0:
                 take = min(free, remaining)
-                self._used[idx] = used + take
+                new_used = used + take
+                used_map[idx] = new_used
                 remaining -= take
-                end = self.bucket * (idx + (used + take) / self._capacity)
-                if extends_floor and used + take >= self._capacity:
+                end = bucket * (idx + new_used / cap)
+                if extends_floor and new_used >= cap:
                     self._full_floor = idx + 1
                 elif extends_floor:
                     extends_floor = False
             elif extends_floor:
                 self._full_floor = idx + 1
             idx += 1
-        if len(self._used) > self._PRUNE_TRIGGER:
+        if len(used_map) > self._PRUNE_TRIGGER:
             self._prune(idx)
         # Never faster than line rate from the actual start.
-        end = max(end, at + transfer)
-        return end + latency
+        floor_end = at + transfer
+        return (end if end > floor_end else floor_end) + latency
 
     def _prune(self, newest_idx: int) -> None:
         cutoff = newest_idx - int(self.PRUNE_WINDOW / self.bucket)

@@ -51,15 +51,23 @@ class VThread:
         """Consume CPU time: advance the local clock by ``seconds``."""
         if seconds < 0:
             raise ValueError(f"cannot spend negative time: {seconds}")
-        self.now += seconds
+        # Hot path: the clock observation is inlined (instead of calling
+        # VirtualClock.observe) — this method runs several times per
+        # simulated operation.
+        now = self.now + seconds
+        self.now = now
         self.cpu_time += seconds
-        self.clock.observe(self.now)
+        clock = self.clock
+        if now > clock._now:
+            clock._now = now
 
     def wait_until(self, t: float) -> None:
         """Block (idle) until virtual time ``t``."""
         if t > self.now:
             self.now = t
-            self.clock.observe(self.now)
+            clock = self.clock
+            if t > clock._now:
+                clock._now = t
 
     def fork_background(self, name: str) -> "VThread":
         """Create a background helper sharing this thread's clock."""

@@ -68,6 +68,14 @@ class Device:
         self.write_channel = BandwidthChannel(
             spec.write_bandwidth, lanes=spec.lanes, name=f"{self.name}.write"
         )
+        # Latencies and bound channel methods cached off the (frozen)
+        # spec/channels: the charge methods sit on the per-IO hot path
+        # and a two-hop attribute chase per call adds up.
+        self._read_latency = spec.read_latency
+        self._write_latency = spec.write_latency
+        self._capacity = spec.capacity
+        self._read_request = self.read_channel.request
+        self._write_request = self.write_channel.request
         self.bytes_read = 0
         self.bytes_written = 0
         # Fault injection: consulted by the timed IO paths of concrete
@@ -84,15 +92,19 @@ class Device:
 
     @property
     def capacity(self) -> int:
-        return self.spec.capacity
+        return self._capacity
 
     def charge_read(self, thread: Optional[VThread], nbytes: int) -> float:
         """Account and time a read; returns the completion time."""
         self.bytes_read += nbytes
         if thread is None:
             return 0.0
-        end = self.read_channel.request(thread.now, nbytes, self.spec.read_latency)
-        thread.wait_until(end)
+        end = self.read_channel.request(thread.now, nbytes, self._read_latency)
+        if end > thread.now:
+            thread.now = end
+            clock = thread.clock
+            if end > clock._now:
+                clock._now = end
         return end
 
     def charge_write(self, thread: Optional[VThread], nbytes: int) -> float:
@@ -100,8 +112,12 @@ class Device:
         self.bytes_written += nbytes
         if thread is None:
             return 0.0
-        end = self.write_channel.request(thread.now, nbytes, self.spec.write_latency)
-        thread.wait_until(end)
+        end = self.write_channel.request(thread.now, nbytes, self._write_latency)
+        if end > thread.now:
+            thread.now = end
+            clock = thread.clock
+            if end > clock._now:
+                clock._now = end
         return end
 
     def charge_write_async(self, at: float, nbytes: int) -> float:
@@ -111,11 +127,11 @@ class Device:
         that only need to know when the device finished.
         """
         self.bytes_written += nbytes
-        return self.write_channel.request(at, nbytes, self.spec.write_latency)
+        return self.write_channel.request(at, nbytes, self._write_latency)
 
     def charge_read_async(self, at: float, nbytes: int) -> float:
         self.bytes_read += nbytes
-        return self.read_channel.request(at, nbytes, self.spec.read_latency)
+        return self.read_channel.request(at, nbytes, self._read_latency)
 
     def endurance_consumed(self) -> float:
         """Fraction of rated lifetime writes consumed so far."""

@@ -76,6 +76,10 @@ class CrashPoint:
         self.fired: str = ""
         self.recording = False
         self.seen: Dict[str, int] = {}
+        # True while armed or recording.  Hot call sites read this flag
+        # instead of paying a maybe_crash() call per label when the
+        # point is inert (the overwhelmingly common case).
+        self.active = False
 
     def arm(self, label: str, occurrence: int = 1) -> None:
         """Crash at the ``occurrence``-th time ``label`` is reached."""
@@ -84,18 +88,22 @@ class CrashPoint:
         self._armed = label
         self._countdown = occurrence
         self.fired = ""
+        self.active = True
 
     def disarm(self) -> None:
         self._armed = ""
         self._countdown = 0
+        self.active = self.recording
 
     def start_recording(self) -> None:
         """Begin counting every label reached (crash-point discovery)."""
         self.recording = True
         self.seen = {}
+        self.active = True
 
     def stop_recording(self) -> Dict[str, int]:
         self.recording = False
+        self.active = bool(self._armed)
         return dict(self.seen)
 
     def maybe_crash(self, label: str) -> None:
@@ -107,6 +115,7 @@ class CrashPoint:
                 return
             self.fired = label
             self._armed = ""
+            self.active = self.recording
             self.scenario.power_failure()
             raise SimulatedCrash(label)
 

@@ -85,24 +85,32 @@ class IOUring:
         if not requests:
             return at
         t = at + SUBMIT_SYSCALL_COST + SQE_PREP_COST * len(requests)
-        self._reap(t)
+        outstanding = self._outstanding
+        device = self.device
+        qd = self.queue_depth
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while outstanding and outstanding[0] <= t:
+            heappop(outstanding)
         for req in requests:
-            while len(self._outstanding) >= self.queue_depth:
-                t = max(t, heapq.heappop(self._outstanding))
+            while len(outstanding) >= qd:
+                freed = heappop(outstanding)
+                if freed > t:
+                    t = freed
             try:
                 if req.op == "read":
-                    req.completion = self.device.read_async(t, req.offset, req.size)
-                    req.result = self.device.read_raw(req.offset, req.size)
+                    req.completion = device.read_async(t, req.offset, req.size)
+                    req.result = device.read_raw(req.offset, req.size)
                 else:
                     assert req.data is not None
-                    req.completion = self.device.write_async(t, req.offset, req.data)
+                    req.completion = device.write_async(t, req.offset, req.data)
             except StorageError:
                 # Errored CQE: earlier requests of the batch are already
                 # in flight (and, for writes, durable) — exactly the
                 # io_uring contract.  The caller retries or degrades.
                 self.io_errors += 1
                 raise
-            heapq.heappush(self._outstanding, req.completion)
+            heappush(outstanding, req.completion)
         self.batches_submitted += 1
         self.requests_submitted += len(requests)
         return t
@@ -115,20 +123,26 @@ class IOUring:
         time, after any stall for a free ring slot.
         """
         t = at
-        self._reap(t)
-        while len(self._outstanding) >= self.queue_depth:
-            t = max(t, heapq.heappop(self._outstanding))
+        outstanding = self._outstanding
+        while outstanding and outstanding[0] <= t:
+            heapq.heappop(outstanding)
+        qd = self.queue_depth
+        while len(outstanding) >= qd:
+            freed = heapq.heappop(outstanding)
+            if freed > t:
+                t = freed
+        device = self.device
         try:
             if req.op == "read":
-                req.completion = self.device.read_async(t, req.offset, req.size)
-                req.result = self.device.read_raw(req.offset, req.size)
+                req.completion = device.read_async(t, req.offset, req.size)
+                req.result = device.read_raw(req.offset, req.size)
             else:
                 assert req.data is not None
-                req.completion = self.device.write_async(t, req.offset, req.data)
+                req.completion = device.write_async(t, req.offset, req.data)
         except StorageError:
             self.io_errors += 1
             raise
-        heapq.heappush(self._outstanding, req.completion)
+        heapq.heappush(outstanding, req.completion)
         self.requests_submitted += 1
         return req.completion
 

@@ -32,7 +32,12 @@ from repro.storage.base import Device, OutOfSpaceError, StorageError
 from repro.storage.specs import NVM_SPEC, DeviceSpec
 
 CACHE_LINE = 256  # Optane DCPMM internal access granularity (XPLine)
+_LINE_SHIFT = 8  # log2(CACHE_LINE)
 _PAGE = 4096
+_PAGE_SHIFT = 12  # log2(_PAGE)
+_PAGE_MASK = _PAGE - 1
+# Durable content of a never-written line (shared undo snapshot).
+_ZERO_LINE = bytes(CACHE_LINE)
 
 
 class NVMDevice(Device):
@@ -89,6 +94,14 @@ class NVMDevice(Device):
         return page
 
     def _read_raw(self, addr: int, size: int) -> bytes:
+        # Fast path: the access stays within one 4 KB page (true for
+        # every word/cache-line access, the bulk of NVM traffic).
+        off = addr & _PAGE_MASK
+        if off + size <= _PAGE:
+            page = self._pages.get(addr >> _PAGE_SHIFT)
+            if page is None:
+                return bytes(size)
+            return bytes(page[off : off + size])
         out = bytearray(size)
         pos = 0
         while pos < size:
@@ -101,8 +114,12 @@ class NVMDevice(Device):
         return bytes(out)
 
     def _write_raw(self, addr: int, data: bytes) -> None:
-        pos = 0
         size = len(data)
+        off = addr & _PAGE_MASK
+        if off + size <= _PAGE:
+            self._page(addr >> _PAGE_SHIFT)[off : off + size] = data
+            return
+        pos = 0
         while pos < size:
             page_idx, off = divmod(addr + pos, _PAGE)
             take = min(_PAGE - off, size - pos)
@@ -110,8 +127,8 @@ class NVMDevice(Device):
             pos += take
 
     def _lines(self, addr: int, size: int) -> range:
-        first = addr // CACHE_LINE
-        last = (addr + max(size, 1) - 1) // CACHE_LINE
+        first = addr >> _LINE_SHIFT
+        last = (addr + max(size, 1) - 1) >> _LINE_SHIFT
         return range(first, last + 1)
 
     # ------------------------------------------------------------------
@@ -119,25 +136,104 @@ class NVMDevice(Device):
     # ------------------------------------------------------------------
     def load(self, thread: Optional[VThread], addr: int, size: int) -> bytes:
         """Read ``size`` bytes (sees unflushed stores, like a real CPU)."""
-        if addr < 0 or addr + size > self.capacity:
+        if addr < 0 or addr + size > self._capacity:
             raise StorageError(f"{self.name}: load [{addr}, {addr + size}) out of range")
-        self.charge_read(thread, size)
+        # charge_read inlined: word loads dominate NVM traffic.
+        self.bytes_read += size
+        if thread is not None:
+            end = self._read_request(thread.now, size, self._read_latency)
+            if end > thread.now:
+                thread.now = end
+                clock = thread.clock
+                if end > clock._now:
+                    clock._now = end
         return self._read_raw(addr, size)
+
+    def load_word(self, thread: Optional[VThread], addr: int) -> int:
+        """8-byte load returning an int: identical timing/accounting to
+        ``load(thread, addr, 8)`` without the intermediate bytes object.
+        HSIT pointer words are the hottest NVM traffic in the store."""
+        if addr < 0 or addr + 8 > self._capacity:
+            raise StorageError(f"{self.name}: load [{addr}, {addr + 8}) out of range")
+        self.bytes_read += 8
+        if thread is not None:
+            end = self._read_request(thread.now, 8, self._read_latency)
+            if end > thread.now:
+                thread.now = end
+                clock = thread.clock
+                if end > clock._now:
+                    clock._now = end
+        off = addr & _PAGE_MASK
+        if off + 8 > _PAGE:  # pragma: no cover - words are 8-aligned
+            return int.from_bytes(self._read_raw(addr, 8), "little")
+        page = self._pages.get(addr >> _PAGE_SHIFT)
+        if page is None:
+            return 0
+        return int.from_bytes(page[off : off + 8], "little")
+
+    def store_word(self, thread: Optional[VThread], addr: int, word: int) -> None:
+        """8-byte store: identical semantics (undo snapshot, volatile
+        view, CPU cost) to ``store(thread, addr, word.to_bytes(8))``."""
+        if addr < 0 or addr + 8 > self._capacity:
+            raise StorageError(
+                f"{self.name}: store [{addr}, {addr + 8}) out of range"
+            )
+        off = addr & _PAGE_MASK
+        if off + 8 > _PAGE:  # pragma: no cover - words are 8-aligned
+            self.store(thread, addr, word.to_bytes(8, "little"))
+            return
+        undo = self._undo
+        first = addr >> _LINE_SHIFT
+        last = (addr + 7) >> _LINE_SHIFT
+        page_idx = addr >> _PAGE_SHIFT
+        page = self._pages.get(page_idx)
+        if page is None:
+            page = self._pages[page_idx] = bytearray(_PAGE)
+        if first not in undo:
+            # A 256 B line never straddles a 4 KB page, so the snapshot
+            # is a single slice of the page just fetched (_read_raw
+            # inlined).
+            loff = (first << _LINE_SHIFT) & _PAGE_MASK
+            undo[first] = page[loff : loff + CACHE_LINE]
+        if last != first and last not in undo:
+            undo[last] = self._read_raw(last << _LINE_SHIFT, CACHE_LINE)
+        page[off : off + 8] = word.to_bytes(8, "little")
+        if thread is not None:
+            now = thread.now + 5e-9
+            thread.now = now
+            thread.cpu_time += 5e-9
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
 
     def store(self, thread: Optional[VThread], addr: int, data: bytes) -> None:
         """Store bytes into the volatile view; durable only after flush."""
-        if addr < 0 or addr + len(data) > self.capacity:
+        size = len(data)
+        if addr < 0 or addr + size > self._capacity:
             raise StorageError(
-                f"{self.name}: store [{addr}, {addr + len(data)}) out of range"
+                f"{self.name}: store [{addr}, {addr + size}) out of range"
             )
         # Snapshot durable content of each touched line exactly once.
-        for line in self._lines(addr, len(data)):
-            if line not in self._undo:
-                self._undo[line] = self._read_raw(line * CACHE_LINE, CACHE_LINE)
+        undo = self._undo
+        first = addr >> _LINE_SHIFT
+        last = (addr + (size or 1) - 1) >> _LINE_SHIFT
+        if first == last:
+            if first not in undo:
+                undo[first] = self._read_raw(first << _LINE_SHIFT, CACHE_LINE)
+        else:
+            for line in range(first, last + 1):
+                if line not in undo:
+                    undo[line] = self._read_raw(line << _LINE_SHIFT, CACHE_LINE)
         self._write_raw(addr, data)
         if thread is not None:
-            # Stores land in the CPU cache: cheap, but not free.
-            thread.spend(5e-9)
+            # Stores land in the CPU cache: cheap, but not free
+            # (thread.spend(5e-9) inlined).
+            now = thread.now + 5e-9
+            thread.now = now
+            thread.cpu_time += 5e-9
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
 
     def flush(self, thread: Optional[VThread], addr: int, size: int) -> None:
         """clwb/clflushopt: persist the cache lines covering the range.
@@ -146,41 +242,249 @@ class NVMDevice(Device):
         persisted: the covered lines stay volatile, so the operation
         can be retried wholesale (and is, when a retry executor is
         attached)."""
-        def consult() -> None:
+        if self._retry is not None:
+            def consult() -> None:
+                self.injector.before_flush(
+                    self, thread.now if thread is not None else 0.0
+                )
+
+            self._retry.run(consult, thread=thread, device=self.name, op="flush")
+        elif self.injector.enabled:
             self.injector.before_flush(
                 self, thread.now if thread is not None else 0.0
             )
-
-        if self._retry is not None:
-            self._retry.run(consult, thread=thread, device=self.name, op="flush")
+        undo = self._undo
+        first = addr >> _LINE_SHIFT
+        last = (addr + (size or 1) - 1) >> _LINE_SHIFT
+        if first == last:
+            flushed = 1 if undo.pop(first, None) is not None else 0
         else:
-            consult()
-        lines = [l for l in self._lines(addr, size) if l in self._undo]
-        for line in lines:
-            del self._undo[line]
+            flushed = 0
+            for line in range(first, last + 1):
+                if undo.pop(line, None) is not None:
+                    flushed += 1
         self.flushes += 1
-        self.bytes_flushed += len(lines) * CACHE_LINE
-        # The write to the DIMM media happens now.
-        self.charge_write(thread, max(len(lines), 1) * CACHE_LINE)
+        self.bytes_flushed += flushed * CACHE_LINE
+        # The write to the DIMM media happens now (charge_write inlined:
+        # flushes run once or more per put).
+        nbytes = (flushed if flushed > 1 else 1) * CACHE_LINE
+        self.bytes_written += nbytes
+        if thread is not None:
+            end = self._write_request(thread.now, nbytes, self._write_latency)
+            if end > thread.now:
+                thread.now = end
+                clock = thread.clock
+                if end > clock._now:
+                    clock._now = end
 
     def fence(self, thread: Optional[VThread]) -> None:
         """sfence: ordering point; modelled as a small CPU cost."""
         self.fences += 1
         if thread is not None:
-            thread.spend(10e-9)
+            # thread.spend(10e-9) inlined — one fence per persist.
+            now = thread.now + 10e-9
+            thread.now = now
+            thread.cpu_time += 10e-9
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
 
     def persist(self, thread: Optional[VThread], addr: int, data: bytes) -> None:
-        """store + flush + fence in one step."""
-        self.store(thread, addr, data)
-        self.flush(thread, addr, len(data))
-        self.fence(thread)
+        """store + flush + fence in one step.
+
+        The three phases are inlined (same statements, same order) —
+        persist() runs at least once per put and the call transitions
+        were measurable.
+        """
+        # -- store --
+        size = len(data)
+        if addr < 0 or addr + size > self._capacity:
+            raise StorageError(
+                f"{self.name}: store [{addr}, {addr + size}) out of range"
+            )
+        undo = self._undo
+        pages = self._pages
+        first = addr >> _LINE_SHIFT
+        last = (addr + (size or 1) - 1) >> _LINE_SHIFT
+        if self._retry is None and not self.injector.enabled:
+            # Nothing can interrupt between the store and flush phases
+            # here (the only raise points are the gated-off injector
+            # hooks), so the per-line snapshot the store phase would
+            # take is popped unread by the flush phase.  Skip both:
+            # drop pre-existing undo entries and count every line in
+            # range as flushed — exactly what the two phases net to.
+            for line in range(first, last + 1):
+                undo.pop(line, None)
+            snapshot_lines = False
+        else:
+            snapshot_lines = True
+            # Snapshot each touched line exactly once.  A 256 B line
+            # never straddles a 4 KB page, so the snapshot is one page
+            # slice (_read_raw inlined: a value-sized record touches
+            # ~5 lines).
+            for line in range(first, last + 1):
+                if line not in undo:
+                    laddr = line << _LINE_SHIFT
+                    page = pages.get(laddr >> _PAGE_SHIFT)
+                    if page is None:
+                        undo[line] = _ZERO_LINE
+                    else:
+                        loff = laddr & _PAGE_MASK
+                        undo[line] = page[loff : loff + CACHE_LINE]
+        off = addr & _PAGE_MASK
+        if off + size <= _PAGE:
+            page = pages.get(addr >> _PAGE_SHIFT)
+            if page is None:
+                page = pages[addr >> _PAGE_SHIFT] = bytearray(_PAGE)
+            page[off : off + size] = data
+        else:
+            self._write_raw(addr, data)
+        if thread is not None:
+            now = thread.now + 5e-9
+            thread.now = now
+            thread.cpu_time += 5e-9
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
+        # -- flush --
+        if snapshot_lines:
+            if self._retry is not None:
+                def consult() -> None:
+                    self.injector.before_flush(
+                        self, thread.now if thread is not None else 0.0
+                    )
+
+                self._retry.run(
+                    consult, thread=thread, device=self.name, op="flush"
+                )
+            else:
+                self.injector.before_flush(
+                    self, thread.now if thread is not None else 0.0
+                )
+            if first == last:
+                flushed = 1 if undo.pop(first, None) is not None else 0
+            else:
+                flushed = 0
+                for line in range(first, last + 1):
+                    if undo.pop(line, None) is not None:
+                        flushed += 1
+        else:
+            # The store phase guaranteed (then dropped) an undo entry
+            # for every line in range, so all of them count as flushed.
+            flushed = last - first + 1
+        self.flushes += 1
+        self.bytes_flushed += flushed * CACHE_LINE
+        nbytes = (flushed if flushed > 1 else 1) * CACHE_LINE
+        self.bytes_written += nbytes
+        if thread is not None:
+            end = self._write_request(thread.now, nbytes, self._write_latency)
+            if end > thread.now:
+                thread.now = end
+                clock = thread.clock
+                if end > clock._now:
+                    clock._now = end
+        # -- fence --
+        self.fences += 1
+        if thread is not None:
+            now = thread.now + 10e-9
+            thread.now = now
+            thread.cpu_time += 10e-9
+            clock = thread.clock
+            if now > clock._now:
+                clock._now = now
+
+    def publish_word(
+        self,
+        thread: VThread,
+        addr: int,
+        dirty_word: int,
+        clean_word: int,
+        cas_cost: float,
+    ) -> int:
+        """Fused pointer-publish CAS for the HSIT hot path.
+
+        Equivalent to ``load_word`` + ``store_word(dirty)`` + CAS spend
+        + ``flush(addr, 8)`` + ``fence`` + ``store_word(clean)`` with
+        one bounds check and one page lookup.  Every virtual-time
+        charge is issued in the same order with the same operands, so
+        completion times are bit-identical to the discrete sequence.
+        Callers must gate on: a real thread, no active crash points, no
+        retry executor, and a disabled injector — the only behaviours
+        the discrete steps add beyond this fast path.  Returns the raw
+        previous word.
+        """
+        if addr < 0 or addr + 8 > self._capacity:
+            raise StorageError(
+                f"{self.name}: store [{addr}, {addr + 8}) out of range"
+            )
+        off = addr & _PAGE_MASK
+        if off + 8 > _PAGE:  # pragma: no cover - HSIT words are 8-aligned
+            old = self.load_word(thread, addr)
+            self.store_word(thread, addr, dirty_word)
+            thread.spend(cas_cost)
+            self.flush(thread, addr, 8)
+            self.fence(thread)
+            self.store_word(thread, addr, clean_word)
+            return old
+        # -- load_word --
+        self.bytes_read += 8
+        now = thread.now
+        end = self._read_request(now, 8, self._read_latency)
+        if end > now:
+            now = end
+        pages = self._pages
+        page_idx = addr >> _PAGE_SHIFT
+        page = pages.get(page_idx)
+        if page is None:
+            page = pages[page_idx] = bytearray(_PAGE)
+            old = 0
+        else:
+            old = int.from_bytes(page[off : off + 8], "little")
+        # -- store_word(dirty): the snapshot this store would take is
+        # deleted unread by the flush below, so only a pre-existing
+        # undo entry needs dropping (done at the flush step)
+        undo = self._undo
+        first = addr >> _LINE_SHIFT
+        loff = off & ~(CACHE_LINE - 1)
+        page[off : off + 8] = dirty_word.to_bytes(8, "little")
+        now = now + 5e-9
+        thread.cpu_time += 5e-9
+        # -- CAS cost (spent by the caller in the discrete sequence) --
+        now = now + cas_cost
+        thread.cpu_time += cas_cost
+        # -- flush: the dirty line would always be in the undo map here
+        undo.pop(first, None)
+        self.flushes += 1
+        self.bytes_flushed += CACHE_LINE
+        self.bytes_written += CACHE_LINE
+        end = self._write_request(now, CACHE_LINE, self._write_latency)
+        if end > now:
+            now = end
+        # -- fence --
+        self.fences += 1
+        now = now + 10e-9
+        thread.cpu_time += 10e-9
+        # -- store_word(clean): the flush made the dirty word durable,
+        # so the fresh snapshot is the current page content
+        undo[first] = page[loff : loff + CACHE_LINE]
+        page[off : off + 8] = clean_word.to_bytes(8, "little")
+        now = now + 5e-9
+        thread.cpu_time += 5e-9
+        # Clock folding: the discrete steps update the global clock at
+        # every wait/spend, but the values only grow and nothing reads
+        # the clock in between — one final max is identical.
+        thread.now = now
+        clock = thread.clock
+        if now > clock._now:
+            clock._now = now
+        return old
 
     def write_durable(self, thread: Optional[VThread], addr: int, data: bytes) -> None:
         """Bulk non-temporal write (ntstore + sfence): bypasses the
         CPU cache, so the data is durable immediately.  Used for large
         sequential writes (SSTables, log segments) where per-line undo
         tracking would be pointless overhead."""
-        if addr < 0 or addr + len(data) > self.capacity:
+        if addr < 0 or addr + len(data) > self._capacity:
             raise StorageError(
                 f"{self.name}: write [{addr}, {addr + len(data)}) out of range"
             )
@@ -260,14 +564,34 @@ class PersistentHeap:
         obj = self._objects.get(handle)
         if obj is None:
             raise KeyError(f"no live object for handle {handle}")
-        snapshot = {name: self._copy(getattr(obj, name)) for name in self._fields(obj)}
+        fields = getattr(obj, "persistent_fields", None)
+        if not fields:
+            raise TypeError(f"{type(obj).__name__} declares no persistent_fields")
+        # _copy inlined: a leaf commit copies ~5 fields and runs once
+        # per index mutation.
+        snapshot = {}
+        for name in fields:
+            value = getattr(obj, name)
+            if isinstance(value, list):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, (bytearray, set)):
+                value = type(value)(value)
+            snapshot[name] = value
         self._snapshots[handle] = snapshot
-        self.device.bytes_written += self._sizes[handle]
+        size = self._sizes[handle]
+        device = self.device
+        device.bytes_written += size
         if thread is not None:
-            end = self.device.write_channel.request(
-                thread.now, self._sizes[handle], self.device.spec.write_latency
+            end = device._write_request(
+                thread.now, size, device._write_latency
             )
-            thread.wait_until(end)
+            if end > thread.now:
+                thread.now = end
+                clock = thread.clock
+                if end > clock._now:
+                    clock._now = end
 
     def get(self, handle: int) -> object:
         obj = self._objects.get(handle)
@@ -281,8 +605,18 @@ class PersistentHeap:
         self._sizes.pop(handle, None)
 
     def charge_read(self, thread: Optional[VThread], handle: int) -> None:
-        """Time an NVM read of the object."""
-        self.device.charge_read(thread, self._sizes.get(handle, CACHE_LINE))
+        """Time an NVM read of the object (Device.charge_read inlined —
+        the index pays this on every leaf traversal)."""
+        size = self._sizes.get(handle, CACHE_LINE)
+        device = self.device
+        device.bytes_read += size
+        if thread is not None:
+            end = device._read_request(thread.now, size, device._read_latency)
+            if end > thread.now:
+                thread.now = end
+                clock = thread.clock
+                if end > clock._now:
+                    clock._now = end
 
     def crash(self) -> None:
         """Restore all objects to their committed snapshots."""

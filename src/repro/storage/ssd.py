@@ -26,6 +26,8 @@ from repro.storage.base import Device, StorageError
 from repro.storage.specs import FLASH_SSD_GEN4_SPEC, DeviceSpec
 
 _PAGE = 4096
+_PAGE_SHIFT = 12  # log2(_PAGE)
+_PAGE_MASK = _PAGE - 1
 
 
 class SSDDevice(Device):
@@ -48,7 +50,7 @@ class SSDDevice(Device):
         return page
 
     def _check(self, offset: int, size: int) -> None:
-        if offset < 0 or size < 0 or offset + size > self.capacity:
+        if offset < 0 or size < 0 or offset + size > self._capacity:
             raise StorageError(
                 f"{self.name}: access [{offset}, {offset + size}) out of range"
             )
@@ -56,6 +58,13 @@ class SSDDevice(Device):
     def read_raw(self, offset: int, size: int) -> bytes:
         """Untimed data access (used by timed paths and recovery)."""
         self._check(offset, size)
+        # Fast path: access within a single 4 KB page (typical record).
+        off = offset & _PAGE_MASK
+        if off + size <= _PAGE:
+            page = self._pages.get(offset >> _PAGE_SHIFT)
+            if page is None:
+                return bytes(size)
+            return bytes(page[off : off + size])
         out = bytearray(size)
         pos = 0
         while pos < size:
@@ -68,9 +77,13 @@ class SSDDevice(Device):
         return bytes(out)
 
     def write_raw(self, offset: int, data: bytes) -> None:
-        self._check(offset, len(data))
-        pos = 0
         size = len(data)
+        self._check(offset, size)
+        off = offset & _PAGE_MASK
+        if off + size <= _PAGE:
+            self._page(offset >> _PAGE_SHIFT)[off : off + size] = data
+            return
+        pos = 0
         while pos < size:
             page_idx, off = divmod(offset + pos, _PAGE)
             take = min(_PAGE - off, size - pos)

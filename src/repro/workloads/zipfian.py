@@ -16,7 +16,38 @@ from __future__ import annotations
 import bisect
 import random
 import zlib
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+# ----------------------------------------------------------------------
+# Shared per-theta harmonic prefix caches.
+#
+# Benchmark sweeps build many generators with the same theta (one per
+# store x workload x repetition), and the O(n) harmonic setup dominated
+# their construction cost.  Both caches are append-only prefix sums, so
+# extending a cached prefix performs *exactly* the same sequence of
+# float additions a fresh build would — cached and uncached generators
+# produce bit-identical samples.
+#
+# The two regimes accumulate with different expressions (``i**-theta``
+# vs ``1.0 / (i**theta)``); those are NOT interchangeable in floating
+# point, so each keeps its own cache.
+# ----------------------------------------------------------------------
+_EXACT_CUM: Dict[float, List[float]] = {}  # exact-CDF regime: i**-theta
+_ZETA_CUM: Dict[float, List[float]] = {}  # closed-form regime: 1.0/(i**theta)
+
+
+def _exact_prefix(theta: float, n: int) -> List[float]:
+    """Prefix sums of ``i**-theta`` for ``i`` in 1..n (shared, extended
+    in place)."""
+    cum = _EXACT_CUM.get(theta)
+    if cum is None:
+        cum = _EXACT_CUM[theta] = []
+    if len(cum) < n:
+        total = cum[-1] if cum else 0.0
+        for i in range(len(cum) + 1, n + 1):
+            total += i**-theta
+            cum.append(total)
+    return cum
 
 
 class ZipfianGenerator:
@@ -50,12 +81,10 @@ class ZipfianGenerator:
         self.rng = rng or random.Random()
         self._exact = theta >= 1.0
         if self._exact:
-            self._cum: List[float] = []
-            total = 0.0
-            for i in range(1, n + 1):
-                total += i**-theta
-                self._cum.append(total)
-            self.zeta_n = total
+            # The shared prefix may be longer than n (another instance
+            # grew it); next() bounds its binary search by self.n.
+            self._cum: List[float] = _exact_prefix(theta, n)
+            self.zeta_n = self._cum[n - 1]
         else:
             self.zeta_n = self._zeta(n, theta)
             self.zeta_2 = self._zeta(2, theta)
@@ -64,13 +93,21 @@ class ZipfianGenerator:
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
-        return sum(1.0 / (i**theta) for i in range(1, n + 1))
+        cum = _ZETA_CUM.get(theta)
+        if cum is None:
+            cum = _ZETA_CUM[theta] = []
+        if len(cum) < n:
+            total = cum[-1] if cum else 0.0
+            for i in range(len(cum) + 1, n + 1):
+                total += 1.0 / (i**theta)
+                cum.append(total)
+        return cum[n - 1]
 
     def next(self) -> int:
         u = self.rng.random()
         uz = u * self.zeta_n
         if self._exact:
-            return min(bisect.bisect_left(self._cum, uz), self.n - 1)
+            return min(bisect.bisect_left(self._cum, uz, 0, self.n), self.n - 1)
         if uz < 1.0:
             return 0
         if uz < 1.0 + 0.5**self.theta:
@@ -83,11 +120,11 @@ class ZipfianGenerator:
             return
         theta = self.theta
         if self._exact:
-            total = self.zeta_n
-            for i in range(self.n + 1, new_n + 1):
-                total += i**-theta
-                self._cum.append(total)
-            self.zeta_n = total
+            # Extending the shared prefix continues the same running
+            # sum, so growing via the cache is bit-identical to the old
+            # per-instance append loop.
+            self._cum = _exact_prefix(theta, new_n)
+            self.zeta_n = self._cum[new_n - 1]
         else:
             self.zeta_n += sum(i**-theta for i in range(self.n + 1, new_n + 1))
             self.eta = (1 - (2.0 / new_n) ** (1 - theta)) / (

@@ -1,0 +1,92 @@
+"""Tests for the wall-clock perf harness (repro.perf)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import check_regression, run_perf
+from repro.perf.harness import SUITES, _scaled, _subsystem_of
+
+
+def _payload(mode: str, ops_per_sec: float) -> dict:
+    return {
+        "schema": "bench-perf/v1",
+        "mode": mode,
+        "suites": {"ycsb_a": {"ops_per_sec": ops_per_sec}},
+    }
+
+
+class TestCheckRegression:
+    def test_missing_baseline_skips(self, tmp_path):
+        ok, msg = check_regression(
+            _payload("smoke", 1000.0), str(tmp_path / "nope.json")
+        )
+        assert ok and "skipped" in msg
+
+    def test_mode_mismatch_skips(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(_payload("full", 1000.0)))
+        ok, msg = check_regression(_payload("smoke", 1.0), str(path))
+        assert ok and "skipped" in msg
+
+    def test_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(_payload("smoke", 1000.0)))
+        ok, msg = check_regression(_payload("smoke", 750.0), str(path))
+        assert ok and "PASS" in msg
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(_payload("smoke", 1000.0)))
+        ok, msg = check_regression(_payload("smoke", 600.0), str(path))
+        assert not ok and "FAIL" in msg
+
+
+class TestSubsystemMapping:
+    def test_repro_package_maps_to_subpackage(self):
+        assert _subsystem_of("/x/src/repro/storage/nvm.py") == "repro.storage"
+        assert _subsystem_of("/x/src/repro/sim/clock.py") == "repro.sim"
+
+    def test_repro_top_level_module_strips_extension(self):
+        assert _subsystem_of("/x/src/repro/version.py") == "repro.version"
+
+    def test_non_repro_files_bucketed(self):
+        assert _subsystem_of("/usr/lib/python3/heapq.py") == "stdlib"
+        assert _subsystem_of("<built-in>") == "interpreter"
+
+
+class TestSuiteSpecs:
+    def test_smoke_scaling_shrinks_but_keeps_floor(self):
+        for spec in SUITES.values():
+            small = _scaled(spec, smoke=True)
+            assert small["ops"] <= spec["ops"]
+            assert small["ops"] >= 200
+            assert _scaled(spec, smoke=False) is spec
+
+    def test_required_suites_present(self):
+        # The ISSUE's pinned suite: three YCSB mixes, a scan-heavy run,
+        # a TCQ read storm, and a sharded cluster run.
+        assert {"ycsb_a", "ycsb_b", "ycsb_c", "scan_heavy", "tcq_storm",
+                "cluster_4shard"} <= set(SUITES)
+
+
+@pytest.mark.slow_perf
+def test_smoke_run_end_to_end(tmp_path, monkeypatch):
+    """A real (smoke) run produces the full schema for every suite."""
+    out = tmp_path / "BENCH_PERF.json"
+    payload = run_perf(smoke=True, out_path=str(out),
+                       baseline_path=str(tmp_path / "absent.json"))
+    assert out.exists()
+    assert payload == json.loads(out.read_text())
+    assert payload["mode"] == "smoke"
+    for name, entry in payload["suites"].items():
+        assert entry["ops"] > 0, name
+        assert entry["ops_per_sec"] > 0, name
+        assert entry["wall_seconds"] > 0, name
+        assert entry["peak_rss_bytes"] > 0, name
+        assert entry["virtual_seconds"] > 0, name
+        cpu = entry["cpu_pct_by_subsystem"]
+        assert cpu and any(k.startswith("repro.") for k in cpu)
+        assert sum(cpu.values()) == pytest.approx(100.0, abs=1.0)

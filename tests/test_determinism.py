@@ -1,0 +1,116 @@
+"""Determinism and zero-overhead guarantees for the simulator hot path.
+
+Two properties the perf work (see docs/simulation-model.md,
+"Performance engineering") must never erode:
+
+1. **Run-to-run determinism.**  The same seeded workload produces a
+   byte-identical metrics JSON and the exact same final virtual time,
+   every run — whether observability is on or off.
+2. **Observability is free when off.**  With ``enable_metrics=False``
+   the per-op path allocates nothing in the metrics module; simulated
+   results (virtual duration, final clock, store counters) match the
+   instrumented run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+from repro.bench.runner import preload, run_workload
+from repro.bench.stores import build_prism
+from repro.workloads.ycsb import WORKLOADS
+
+NUM_OPS = 4_000
+NUM_KEYS = 3_000
+NUM_THREADS = 4
+
+
+def _run(enable_metrics: bool):
+    store = build_prism(num_threads=NUM_THREADS, enable_metrics=enable_metrics)
+    preload(store, NUM_KEYS, num_threads=NUM_THREADS)
+    result = run_workload(
+        store,
+        WORKLOADS["A"],
+        NUM_OPS,
+        NUM_KEYS,
+        NUM_THREADS,
+        collect_metrics=enable_metrics,
+    )
+    return store, result
+
+
+def test_seeded_run_is_byte_identical_with_obs_on():
+    store1, res1 = _run(enable_metrics=True)
+    store2, res2 = _run(enable_metrics=True)
+    json1 = json.dumps(res1.metrics, sort_keys=True)
+    json2 = json.dumps(res2.metrics, sort_keys=True)
+    assert json1 == json2
+    # repr() equality is bit-equality for floats.
+    assert repr(res1.duration) == repr(res2.duration)
+    assert repr(store1.clock.now) == repr(store2.clock.now)
+    assert res1.stats == res2.stats
+
+
+def test_seeded_run_is_identical_with_obs_off():
+    store1, res1 = _run(enable_metrics=False)
+    store2, res2 = _run(enable_metrics=False)
+    assert res1.metrics is None and res2.metrics is None
+    assert repr(res1.duration) == repr(res2.duration)
+    assert repr(store1.clock.now) == repr(store2.clock.now)
+    assert res1.stats == res2.stats
+
+
+def test_obs_off_matches_obs_on_simulated_results():
+    """Instrumentation must observe, never perturb: virtual outcomes
+    are bit-identical whether metrics are recorded or not."""
+    store_on, res_on = _run(enable_metrics=True)
+    store_off, res_off = _run(enable_metrics=False)
+    assert repr(res_on.duration) == repr(res_off.duration)
+    assert repr(store_on.clock.now) == repr(store_off.clock.now)
+    assert res_on.stats == res_off.stats
+    assert [repr(s) for s in res_on.latency.samples] == [
+        repr(s) for s in res_off.latency.samples
+    ]
+
+
+def test_obs_off_allocates_nothing_in_metrics_module():
+    """The zero-cost fast path: with metrics disabled, running ops
+    must not allocate per-op objects inside repro/obs/metrics.py (no
+    instrument lookups, records, or closures).  The only allowed
+    allocations are ``EventLog.emit`` calls — the event log stays on
+    regardless of the metrics switch (Figure 17 needs GC events) and
+    fires per *reclamation*, not per op."""
+    import inspect
+
+    import repro.obs.metrics as metrics_mod
+
+    store = build_prism(num_threads=NUM_THREADS, enable_metrics=False)
+    preload(store, NUM_KEYS, num_threads=NUM_THREADS)
+    metrics_file = metrics_mod.__file__
+    emit_lines, emit_start = inspect.getsourcelines(
+        metrics_mod.EventLog.emit
+    )
+    emit_range = range(emit_start, emit_start + len(emit_lines))
+    tracemalloc.start()
+    try:
+        run_workload(
+            store,
+            WORKLOADS["A"],
+            NUM_OPS,
+            NUM_KEYS,
+            NUM_THREADS,
+            collect_metrics=False,
+        )
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    obs_allocs = [
+        stat
+        for stat in snapshot.statistics("lineno")
+        if stat.traceback[0].filename == metrics_file
+        and stat.traceback[0].lineno not in emit_range
+    ]
+    assert obs_allocs == [], f"metrics module allocated: {obs_allocs}"
+    # And the event volume is reclamation-scale, not op-scale.
+    assert len(store.events) < NUM_OPS / 10
