@@ -228,6 +228,57 @@ def _cluster(args):
     }
 
 
+def _cache(args):
+    from repro.bench import cache as ca
+    from repro.bench.stores import MB
+
+    smoke = getattr(args, "smoke", False)
+    if smoke:
+        off, on = ca.storm_comparison(num_keys=2500, num_ops=5000)
+        sweep = ca.cache_sweep(
+            capacities=(64 * 1024, 1 * MB), thetas=(1.3,),
+            num_keys=2500, num_ops=2500, num_threads=2,
+        )
+        cluster_runs = None
+    else:
+        off, on = ca.storm_comparison()
+        sweep = ca.cache_sweep()
+        cluster_runs = ca.cluster_hot_spread()
+    print("Read cache — hot-key storm, cache off vs on")
+    for label, run in (("off", off), ("on", on)):
+        reads = run.per_kind["read"]
+        print(f"  cache {label:3} {run.kops:10.1f} Kops/s  "
+              f"read p50 {reads.median():7.2f}us  "
+              f"p99 {reads.p99():7.2f}us  "
+              f"hit ratio {ca.hit_ratio(run):6.1%}")
+    print("\nRead cache — hit ratio vs capacity vs skew")
+    for theta_label, row in sweep.items():
+        cells = " ".join(
+            f"{size}:{ca.hit_ratio(r):6.1%}" for size, r in row.items()
+        )
+        print(f"  {theta_label:12} {cells}")
+    if cluster_runs is not None:
+        primary, spread = cluster_runs
+        print("\nCluster — storm reads, primary vs hot-key spread (RF=2)")
+        for label, res in (("primary", primary), ("spread", spread)):
+            reads = res.run.per_kind["read"]
+            print(f"  {label:8} {res.run.kops:10.1f} Kops/s  "
+                  f"read p50 {reads.median():6.2f}us  "
+                  f"p99 {reads.p99():7.2f}us")
+    ok_hits, hits_msg = ca.check_hit_ratio(on)
+    ok_p99, p99_msg = ca.check_read_p99(off, on)
+    print(f"\n  hit-ratio gate: {'PASS' if ok_hits else 'FAIL'} — {hits_msg}")
+    print(f"  p99 gate:       {'PASS' if ok_p99 else 'FAIL'} — {p99_msg}")
+    if not (ok_hits and ok_p99):
+        raise SystemExit(1)
+    results = {"storm": {"off": off, "on": on}, "sweep": sweep}
+    if cluster_runs is not None:
+        results["cluster"] = {
+            "primary": cluster_runs[0].run, "spread": cluster_runs[1].run,
+        }
+    return results
+
+
 def _perf(args):
     from repro.perf import run_perf
 
@@ -258,6 +309,7 @@ COMMANDS = {
     "fig16": _fig16,
     "fig17": _fig17,
     "ablations": _ablations,
+    "cache": _cache,
     "cluster": _cluster,
     "faults": _faults,
     "perf": _perf,
@@ -283,7 +335,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="tiny fast configuration (CI smoke; scrub, cluster, and perf)",
+        help="tiny fast configuration (CI smoke; cache, cluster, perf, "
+             "and scrub)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -1,0 +1,247 @@
+"""Read-cache experiments: hit ratio, tail latency, hot-key defense.
+
+Three questions the DRAM value cache must answer:
+
+* **storm** — under a hot-key storm (theta >= 1.2 with a handful of
+  celebrity keys taking >30% of reads), does the cache absorb the hot
+  set?  The acceptance gates require a >= 50% hit ratio and a lower
+  read p99 than the identical cache-off run.
+* **sweep** — how does hit ratio trade against cache size and skew?
+  A grid of storm runs over (capacity, theta).
+* **cluster** — with per-shard caches and the router's hot-key
+  defense (``read_policy="spread"`` + ``hot_key_threshold``), do
+  replicated reads relieve the celebrity shard versus primary-only
+  reads?  (Full mode only; smoke skips it.)
+
+All runs are seeded and virtual-time deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bench.experiments import scaled
+from repro.bench.runner import RunResult, preload, run_workload
+from repro.bench.stores import MB, build_prism
+from repro.workloads.ycsb import WorkloadSpec
+
+# The storm mix: read-heavy, Zipfian tail at extreme skew, with five
+# celebrity keys taking 35% of the traffic on top (HotKeyStormGenerator
+# defaults).  95/5 read/update keeps invalidation in the picture —
+# cached celebrities are periodically overwritten and must re-admit.
+STORM = WorkloadSpec(
+    name="STORM", read=0.95, update=0.05, distribution="hotstorm",
+    description="Hot-key storm: 95% reads, celebrity-skewed",
+)
+
+DEFAULT_THETA = 1.3
+# Large objects on a single SSD: the configuration where a hot-key
+# storm actually hurts.  32 KB values make SSD transfers long enough
+# (32 KB / 7 GBps ≈ 4.6 us) that eight closed-loop readers queue on
+# the device's bandwidth channel — the tail the cache then relieves.
+# Small values at these op rates never saturate the channel, and the
+# p99 is a bare device read with or without the cache.
+STORM_VALUE_SIZE = 32 * 1024
+STORM_THREADS = 8
+STORM_SSDS = 1
+DEFAULT_CACHE_CAPACITY = 16 * MB
+
+
+def _build(
+    num_keys: int,
+    num_threads: int,
+    cache_capacity: int,
+    value_size: int = STORM_VALUE_SIZE,
+    num_ssds: int = STORM_SSDS,
+):
+    """A preloaded Prism; ``cache_capacity == 0`` disables the cache.
+
+    Storm runs shrink the SVC to 5% of the dataset (from the cost-parity
+    default of 20%): the experiment measures the *read-cache* tier, so
+    the layer below it must feel the storm — with the default SVC the
+    hot set fits there too and both runs serve p99 from DRAM.
+    """
+    dataset = num_keys * value_size
+    store = build_prism(
+        num_threads=num_threads,
+        num_ssds=num_ssds,
+        dataset_bytes=dataset,
+        svc_capacity=max(64 * 1024, dataset // 20),
+        enable_read_cache=cache_capacity > 0,
+        read_cache_capacity=cache_capacity or 8 * MB,
+    )
+    preload(store, num_keys, value_size=value_size, num_threads=num_threads)
+    return store
+
+
+def storm_run(
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+    cache_capacity: int,
+    theta: float = DEFAULT_THETA,
+    seed: int = 2,
+    warmup_ops: Optional[int] = None,
+    value_size: int = STORM_VALUE_SIZE,
+    num_ssds: int = STORM_SSDS,
+) -> RunResult:
+    """One seeded hot-key-storm run at the given cache capacity."""
+    store = _build(
+        num_keys, num_threads, cache_capacity,
+        value_size=value_size, num_ssds=num_ssds,
+    )
+    if warmup_ops is None:
+        warmup_ops = num_ops // 5
+    return run_workload(
+        store, STORM, num_ops, num_keys,
+        num_threads=num_threads, value_size=value_size, theta=theta,
+        seed=seed, warmup_ops=warmup_ops,
+    )
+
+
+def storm_comparison(
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    num_threads: int = STORM_THREADS,
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    theta: float = DEFAULT_THETA,
+) -> Tuple[RunResult, RunResult]:
+    """The same storm, cache off vs on (identical seeds and sizing).
+
+    Returns ``(off, on)``.
+    """
+    num_keys = num_keys if num_keys is not None else scaled(4_000)
+    num_ops = num_ops if num_ops is not None else scaled(16_000)
+    off = storm_run(num_keys, num_ops, num_threads, 0, theta=theta)
+    on = storm_run(num_keys, num_ops, num_threads, cache_capacity, theta=theta)
+    return off, on
+
+
+def cache_sweep(
+    capacities: Sequence[int] = (256 * 1024, 1 * MB, 4 * MB),
+    thetas: Sequence[float] = (0.99, 1.2, 1.4),
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    num_threads: int = 4,
+    value_size: int = 1024,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Hit ratio vs cache size vs skew: a (theta, capacity) grid of
+    storm runs with the cache on (1 KB values — the grid is about
+    coverage, not device queueing)."""
+    num_keys = num_keys if num_keys is not None else scaled(20_000)
+    num_ops = num_ops if num_ops is not None else scaled(20_000)
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for theta in thetas:
+        row: Dict[str, RunResult] = {}
+        for capacity in capacities:
+            label = (
+                f"{capacity // MB}MB" if capacity >= MB
+                else f"{capacity // 1024}KB"
+            )
+            row[label] = storm_run(
+                num_keys, num_ops, num_threads, capacity, theta=theta,
+                value_size=value_size, num_ssds=2,
+            )
+        results[f"theta={theta}"] = row
+    return results
+
+
+def hit_ratio(result: RunResult) -> float:
+    """Cache hit ratio from a run's store stats (0.0 when cache off)."""
+    hits = result.stats.get("rc_hits", 0.0)
+    misses = result.stats.get("rc_misses", 0.0)
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def check_hit_ratio(on: RunResult, minimum: float = 0.5) -> Tuple[bool, str]:
+    """Acceptance gate: the storm's hit ratio must reach ``minimum``."""
+    ratio = hit_ratio(on)
+    ok = ratio >= minimum
+    return ok, f"storm hit ratio {ratio:.1%} (gate: >= {minimum:.0%})"
+
+
+def check_read_p99(off: RunResult, on: RunResult) -> Tuple[bool, str]:
+    """Acceptance gate: cache-on read p99 strictly below cache-off."""
+    p_off = off.per_kind["read"].p99()
+    p_on = on.per_kind["read"].p99()
+    ok = p_on < p_off
+    return ok, (
+        f"read p99 {p_on:.1f}us with cache vs {p_off:.1f}us without "
+        f"(gate: lower)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cluster hot-key defense (full mode only)
+# ----------------------------------------------------------------------
+def _cached_shard_factory(cache_capacity: int):
+    """Like the default shard factory, plus a per-shard read cache."""
+    from repro.core.config import PrismConfig
+    from repro.core.prism import Prism
+    from repro.faults.injector import FaultConfig
+    from repro.obs.metrics import MetricsRegistry
+
+    def factory(shard_id, clock):
+        config = PrismConfig(
+            faults=FaultConfig(seed=9000 + shard_id),
+            enable_read_cache=True,
+            read_cache_capacity=cache_capacity,
+        )
+        return Prism(
+            config,
+            metrics=MetricsRegistry(prefix=f"shard{shard_id}/"),
+            clock=clock,
+        )
+
+    return factory
+
+
+def cluster_hot_spread(
+    num_shards: int = 4,
+    num_keys: Optional[int] = None,
+    num_ops: Optional[int] = None,
+    clients_per_shard: int = 4,
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    hot_key_threshold: int = 8,
+    theta: float = DEFAULT_THETA,
+    value_size: int = STORM_VALUE_SIZE,
+):
+    """Storm on a replicated cluster: primary reads vs hot-key spread.
+
+    Both clusters run RF=2 with per-shard read caches; the second adds
+    the router's hot-key defense so celebrity reads round-robin across
+    replicas instead of hammering one shard.  Storm-sized (32 KB)
+    values make the celebrity shard's DRAM channel the bottleneck —
+    the serving capacity the spread doubles.  Returns
+    ``(primary, spread)`` as :class:`ClusterRunResult`.
+    """
+    from repro.cluster.router import ClusterConfig, PrismCluster
+    from repro.cluster.runner import run_cluster_workload
+
+    num_keys = num_keys if num_keys is not None else scaled(2_000)
+    num_ops = num_ops if num_ops is not None else scaled(16_000)
+
+    def one(read_policy: str, threshold: Optional[int]):
+        cluster = PrismCluster(
+            ClusterConfig(
+                num_shards=num_shards,
+                replication_factor=2,
+                replication_mode="quorum",
+                read_policy=read_policy,
+                hot_key_threshold=threshold,
+            ),
+            shard_factory=_cached_shard_factory(cache_capacity),
+        )
+        preload(
+            cluster, num_keys, value_size=value_size, num_threads=4, seed=1
+        )
+        result = run_cluster_workload(
+            cluster, STORM, num_ops, num_keys,
+            clients_per_shard=clients_per_shard, value_size=value_size,
+            theta=theta, seed=3,
+        )
+        cluster.close()
+        return result
+
+    return one("primary", None), one("spread", hot_key_threshold)

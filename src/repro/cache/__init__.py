@@ -1,0 +1,14 @@
+"""DRAM read-cache tier (ISSUE 6).
+
+Caching as a first-class storage medium: a size-bounded value cache in
+front of the store that serves hot point reads at DRAM latency instead
+of the full HSIT -> PWB/Value-Storage path.  Admission is frequency
+based (TinyLFU-style count-min sketch), so one-hit wonders and
+"latest"-churn never flush the resident hot set the way a plain LRU
+would.
+"""
+
+from repro.cache.read_cache import ReadCache
+from repro.cache.sketch import FrequencySketch
+
+__all__ = ["FrequencySketch", "ReadCache"]

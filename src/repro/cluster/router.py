@@ -41,6 +41,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.cache.sketch import FrequencySketch
 from repro.cluster.admission import AdmissionController
 from repro.cluster.errors import ShardUnavailableError
 from repro.cluster.ring import HashRing
@@ -80,6 +81,12 @@ class ClusterConfig:
     max_queue_depth: Optional[int] = None
     rate_limit_ops: Optional[float] = None  # tokens (ops) per virtual second
     rate_burst: float = 64.0
+    # Hot-key defense (ISSUE 6), behind read_policy="spread": keys
+    # whose recent read frequency (router-side TinyLFU sketch) reaches
+    # this threshold round-robin across every replica; colder keys keep
+    # reading their primary, preserving per-shard cache locality.  None
+    # keeps the old spread behavior — round-robin every read.
+    hot_key_threshold: Optional[int] = None
     # Re-replicate automatically when a shard fails.  Off, reads are
     # restricted to surviving static owners until rebuild() is called.
     auto_rebuild: bool = True
@@ -96,6 +103,10 @@ class ClusterConfig:
             raise ValueError(f"unknown replication mode: {self.replication_mode}")
         if self.read_policy not in (READ_PRIMARY, READ_SPREAD):
             raise ValueError(f"unknown read policy: {self.read_policy}")
+        if self.hot_key_threshold is not None and self.hot_key_threshold < 1:
+            raise ValueError(
+                f"hot key threshold must be positive: {self.hot_key_threshold}"
+            )
 
     @property
     def write_acks_required(self) -> int:
@@ -170,6 +181,12 @@ class PrismCluster:
         self._default_thread = VThread(0, self.clock, name="cluster-caller")
         self._spread_rr = itertools.count()
         self._async = cfg.replication_mode == MODE_ASYNC
+        # Router-side hot-key detector (None when the defense is off —
+        # the read path then costs one None check, keeping the
+        # 1-shard/RF=1 bit-identity contract).
+        self._hot_sketch: Optional[FrequencySketch] = None
+        if cfg.hot_key_threshold is not None:
+            self._hot_sketch = FrequencySketch(width=1024)
 
     # ------------------------------------------------------------------
     # store-shaped surface
@@ -279,9 +296,19 @@ class PrismCluster:
             raise ShardUnavailableError(key, static)
         return [self.shards[i] for i in live]
 
-    def _pick_reader(self, candidates: Sequence[Shard]) -> Shard:
+    def _pick_reader(self, key: bytes, candidates: Sequence[Shard]) -> Shard:
         if self.config.read_policy == READ_SPREAD and len(candidates) > 1:
-            return candidates[next(self._spread_rr) % len(candidates)]
+            sketch = self._hot_sketch
+            if sketch is None:
+                # Classic spread: round-robin every read.
+                return candidates[next(self._spread_rr) % len(candidates)]
+            # Hot-key defense: replicated reads only for keys the
+            # router has detected as hot; the cold tail keeps its
+            # primary so per-shard read caches stay warm.
+            sketch.add(key)
+            if sketch.estimate(key) >= self.config.hot_key_threshold:
+                self.metrics.counter("cluster.hot_spread_reads").inc()
+                return candidates[next(self._spread_rr) % len(candidates)]
         return candidates[0]
 
     def _admit(self, shard: Shard, at: float) -> None:
@@ -393,7 +420,7 @@ class PrismCluster:
             ]
             if not candidates:
                 break
-            shard = self._pick_reader(candidates)
+            shard = self._pick_reader(key, candidates)
             tried.add(shard.shard_id)
             self._admit(shard, thread.now)
             if self._async:

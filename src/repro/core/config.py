@@ -50,6 +50,16 @@ class PrismConfig:
     svc_scan_aware: bool = True  # ablation: plain 2Q without chains
     svc_page_mode: bool = False  # ablation: page-granularity accounting
 
+    # DRAM read-cache tier (ISSUE 6).  Off by default: with the cache
+    # off the store never constructs one and the read path is
+    # bit-identical to a build without the subsystem.  Enabled, point
+    # reads consult a TinyLFU-admitted value cache *before* the index,
+    # so hot keys are served at DRAM latency; every put/delete/GC-
+    # relocation publish invalidates the cached copy synchronously.
+    enable_read_cache: bool = False
+    read_cache_capacity: int = 8 * MB
+    read_cache_sketch_width: int = 4096
+
     # Value Storage
     chunk_size: int = 512 * 1024
     queue_depth: int = 64
@@ -105,6 +115,10 @@ class PrismConfig:
         if not 0.0 <= self.gc_free_threshold < 1.0:
             raise ValueError(
                 f"gc threshold must be in [0, 1): {self.gc_free_threshold}"
+            )
+        if self.enable_read_cache and self.read_cache_capacity <= 0:
+            raise ValueError(
+                f"read cache capacity must be positive: {self.read_cache_capacity}"
             )
         if self.scrub_bandwidth <= 0:
             raise ValueError(

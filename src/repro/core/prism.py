@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.read_cache import ReadCache
 from repro.core import pointers as ptr
 from repro.core.config import PrismConfig
 from repro.core.containment import resolve_partial_publish
@@ -141,6 +142,17 @@ class Prism:
             scan_aware=cfg.svc_scan_aware,
             page_mode=cfg.svc_page_mode,
         )
+        # DRAM read-cache tier (ISSUE 6): consulted by get() before the
+        # index.  None when disabled — the read path then costs one
+        # attribute load and a None check, and runs are bit-identical
+        # to a build without the cache subsystem.
+        self.read_cache: Optional[ReadCache] = None
+        if cfg.enable_read_cache:
+            self.read_cache = ReadCache(
+                self.dram,
+                cfg.read_cache_capacity,
+                sketch_width=cfg.read_cache_sketch_width,
+            )
 
         # --- background threads ----------------------------------------
         self._bg_reclaim = VThread(-1, self.clock, name="bg-reclaim", background=True)
@@ -408,6 +420,8 @@ class Prism:
         if entry_id is not None:
             self.hsit.clear_svc(idx, thread)
             self.svc.invalidate(entry_id, thread)
+        if self.read_cache is not None:
+            self.read_cache.invalidate_idx(idx)
 
     def _supersede_word(
         self, idx: int, old_word: int, thread: Optional[VThread]
@@ -424,6 +438,8 @@ class Prism:
         if entry_id is not None:
             hsit.clear_svc(idx, thread)
             self.svc.invalidate(entry_id, thread)
+        if self.read_cache is not None:
+            self.read_cache.invalidate_idx(idx)
 
     def _ensure_pwb_space(
         self, pwb: PersistentWriteBuffer, value_len: int, thread: VThread
@@ -615,6 +631,7 @@ class Prism:
         bg.wait_until(done)
         self.crash_point.maybe_crash("gc.pre_publish")
         published = 0
+        rc = self.read_cache
         try:
             for (idx, value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
                 moves, placements
@@ -624,6 +641,12 @@ class Prism:
                 )
                 published += 1
                 vs.invalidate(old_chunk, old_off)
+                if rc is not None:
+                    # GC freed the chunk the cached copy was coupled
+                    # to; drop it with the relocation publish rather
+                    # than risk serving from a reference into a
+                    # reclaimed region.
+                    rc.invalidate_idx(idx)
         except DeviceError:
             resolve_partial_publish(
                 self.hsit,
@@ -665,13 +688,34 @@ class Prism:
         self.epoch.enter(thread.tid)
         try:
             self.gets += 1
+            # DRAM read-cache tier: a hit short-circuits the whole
+            # index -> HSIT -> PWB/VS path at DRAM cost.  Coherent by
+            # construction — every publish invalidates synchronously —
+            # so a hit never returns superseded bytes.
+            rc = self.read_cache
+            if rc is not None:
+                t0 = thread.now
+                cached = rc.lookup(key, thread)
+                if cached is not None:
+                    if m.enabled:
+                        m.phase("get", "cache_hit", thread.now - t0)
+                        m.counter("read.cache_hits").inc()
+                    return cached
+                if m.enabled:
+                    m.counter("read.cache_misses").inc()
             t0 = thread.now
             idx = self.index.lookup(key, thread)
             if m.enabled:
                 m.phase("get", "index_lookup", thread.now - t0)
             if idx is None:
                 return None
-            return self._read_value(idx, key, thread)
+            value = self._read_value(idx, key, thread)
+            if rc is not None and value is not None:
+                t0 = thread.now
+                rc.admit(key, idx, value, thread)
+                if m.enabled:
+                    m.phase("get", "cache_admit", thread.now - t0)
+            return value
         finally:
             self.epoch.exit(thread.tid)
             self._tick()
@@ -945,6 +989,8 @@ class Prism:
         self.index.crash()
         self.dram.crash()
         self.svc.crash()
+        if self.read_cache is not None:
+            self.read_cache.crash()
         for ssd in self.ssds:
             ssd.crash()
         for ssd in self.mirror_ssds:
@@ -974,7 +1020,7 @@ class Prism:
         return self.nvm.used
 
     def stats(self) -> Dict[str, float]:
-        return {
+        stats = {
             "puts": self.puts,
             "gets": self.gets,
             "scans": self.scans,
@@ -990,3 +1036,8 @@ class Prism:
             "nvm_bytes_used": self.nvm_bytes_used(),
             "hsit_entries": self.hsit.allocations - self.hsit.frees,
         }
+        # Only present when the tier is on, so cache-off metrics JSONs
+        # stay byte-identical to builds without the cache subsystem.
+        if self.read_cache is not None:
+            stats.update(self.read_cache.stats())
+        return stats

@@ -1,6 +1,7 @@
 """Workload generators: YCSB (Table 2) and the Nutanix production mix."""
 
 from repro.workloads.zipfian import (
+    HotKeyStormGenerator,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
@@ -22,6 +23,7 @@ from repro.workloads.trace import TraceWriter, capture_workload, read_trace, rep
 
 __all__ = [
     "ZipfianGenerator",
+    "HotKeyStormGenerator",
     "ScrambledZipfianGenerator",
     "UniformGenerator",
     "LatestGenerator",

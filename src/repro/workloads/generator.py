@@ -59,6 +59,7 @@ class OpStream:
         insert_seq: Optional["InsertSequence"] = None,
     ) -> None:
         from repro.workloads.zipfian import (
+            HotKeyStormGenerator,
             LatestGenerator,
             ScrambledZipfianGenerator,
             UniformGenerator,
@@ -74,6 +75,8 @@ class OpStream:
             self.chooser = LatestGenerator(num_keys, theta, self.rng)
         elif spec.distribution == "uniform":
             self.chooser = UniformGenerator(num_keys, self.rng)
+        elif spec.distribution == "hotstorm":
+            self.chooser = HotKeyStormGenerator(num_keys, theta, self.rng)
         else:
             raise ValueError(f"unknown distribution: {spec.distribution}")
         self._version = self.rng.randrange(1 << 30)
@@ -84,17 +87,27 @@ class OpStream:
 
     def ops(self, count: int) -> Iterator[Op]:
         spec = self.spec
+        # Cumulative thresholds, hoisted (same left-to-right float sums
+        # as the old inline comparisons).  When the spec's insert share
+        # snaps to zero, the scan threshold is forced to 1.0 so float
+        # residue in read+update+scan (e.g. 0.95 + 0.05 summing a hair
+        # under 1.0) can never emit a phantom insert on a rare draw.
+        c_read = spec.read
+        c_update = c_read + spec.update
+        c_scan = c_update + spec.scan
+        if spec.insert == 0.0:
+            c_scan = 1.0
         for _ in range(count):
             roll = self.rng.random()
-            if roll < spec.read:
+            if roll < c_read:
                 yield Op("read", self._pick_key())
-            elif roll < spec.read + spec.update:
+            elif roll < c_update:
                 key = self._pick_key()
                 self._version += 1
                 yield Op(
                     "update", key, make_value(key, self.value_size, self._version)
                 )
-            elif roll < spec.read + spec.update + spec.scan:
+            elif roll < c_scan:
                 length = self.rng.randint(1, spec.max_scan_length)
                 yield Op("scan", self._pick_key(), scan_length=length)
             else:

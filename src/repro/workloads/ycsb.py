@@ -19,13 +19,18 @@ class WorkloadSpec:
     read: float = 0.0
     update: float = 0.0
     scan: float = 0.0
-    distribution: str = "zipfian"  # "zipfian" | "latest" | "uniform"
+    distribution: str = "zipfian"  # "zipfian" | "latest" | "uniform" | "hotstorm"
     max_scan_length: int = 100  # uniform 1..N, mean ~50 (§7.1)
     description: str = ""
 
     @property
     def insert(self) -> float:
-        return max(0.0, 1.0 - self.read - self.update - self.scan)
+        remainder = 1.0 - self.read - self.update - self.scan
+        # Snap float residue to zero: 1.0 - 0.95 - 0.05 is ~4.2e-17,
+        # not a real insert share — left unsnapped, nominally
+        # insert-free mixes (B/D/E) report a phantom insert fraction
+        # and can emit phantom inserts on rare draws.
+        return remainder if remainder > 1e-9 else 0.0
 
     def __post_init__(self) -> None:
         total = self.read + self.update + self.scan

@@ -79,7 +79,10 @@ class ZipfianGenerator:
         self.n = n
         self.theta = theta
         self.rng = rng or random.Random()
-        self._exact = theta >= 1.0
+        # Gray's closed form also degenerates for n <= 2: with n == 2
+        # the eta expression is 0/0 (zeta_2 == zeta_n), so tiny key
+        # spaces use exact inversion too (valid for any theta > 0).
+        self._exact = theta >= 1.0 or n < 3
         if self._exact:
             # The shared prefix may be longer than n (another instance
             # grew it); next() bounds its binary search by self.n.
@@ -112,7 +115,11 @@ class ZipfianGenerator:
             return 0
         if uz < 1.0 + 0.5**self.theta:
             return 1
-        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+        # Clamp: for u close enough to 1 the base rounds to exactly 1.0
+        # (e.g. u = 1 - 2**-53) and the closed form yields rank n — one
+        # past the key space.  The exact-CDF branch clamps likewise.
+        rank = int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+        return rank if rank < self.n else self.n - 1
 
     def grow(self, new_n: int) -> None:
         """Extend the key space to ``new_n`` items incrementally."""
@@ -147,6 +154,62 @@ class ScrambledZipfianGenerator:
     def next(self) -> int:
         rank = self._zipf.next()
         return zlib.crc32(rank.to_bytes(8, "little")) % self.n
+
+    def grow(self, new_n: int) -> None:
+        """Extend the key space after inserts.
+
+        Without this, scrambled workloads kept sampling the stale rank
+        range and hash modulo after the key space grew (its siblings
+        already grew); delegates to :meth:`ZipfianGenerator.grow`,
+        which is incremental (amortized O(1) per insert)."""
+        if new_n > self.n:
+            self._zipf.grow(new_n)
+            self.n = new_n
+
+
+class HotKeyStormGenerator:
+    """Celebrity skew: a handful of hot keys absorb a fixed share of
+    traffic, the rest falls through to a scrambled Zipfian tail.
+
+    Models the extreme-skew storm (theta >= 1.2) that crushes a single
+    shard: with probability ``celebrity_share`` a draw returns one of
+    ``celebrities`` keys — the *same* keys the scrambled tail maps its
+    top ranks to, so the boost stacks on the distribution's natural hot
+    set rather than inventing a second one.  With the defaults (5
+    celebrities at 35%), well over 30% of all traffic lands on five
+    keys scattered across the key space.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float = 1.2,
+        rng: Optional[random.Random] = None,
+        celebrities: int = 5,
+        celebrity_share: float = 0.35,
+    ):
+        if celebrities < 1:
+            raise ValueError(f"need at least one celebrity: {celebrities}")
+        if not 0.0 < celebrity_share < 1.0:
+            raise ValueError(
+                f"celebrity share must be in (0, 1): {celebrity_share}"
+            )
+        self.n = n
+        self.rng = rng or random.Random()
+        self.celebrities = min(celebrities, n)
+        self.celebrity_share = celebrity_share
+        self._tail = ScrambledZipfianGenerator(n, theta, self.rng)
+
+    def next(self) -> int:
+        if self.rng.random() < self.celebrity_share:
+            rank = self.rng.randrange(self.celebrities)
+            return zlib.crc32(rank.to_bytes(8, "little")) % self.n
+        return self._tail.next()
+
+    def grow(self, new_n: int) -> None:
+        if new_n > self.n:
+            self._tail.grow(new_n)
+            self.n = new_n
 
 
 class UniformGenerator:

@@ -1,0 +1,69 @@
+"""FrequencySketch unit tests: counting, saturation, aging, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.sketch import FrequencySketch
+
+
+def test_estimate_tracks_adds():
+    sketch = FrequencySketch(width=256)
+    assert sketch.estimate(b"a") == 0
+    for _ in range(5):
+        sketch.add(b"a")
+    assert sketch.estimate(b"a") == 5
+    assert sketch.estimate(b"never-seen") == 0
+
+
+def test_counters_saturate_at_max_count():
+    sketch = FrequencySketch(width=256, max_count=15)
+    for _ in range(100):
+        sketch.add(b"hot")
+    assert sketch.estimate(b"hot") == 15
+
+
+def test_aging_halves_counts():
+    # sample_size = width * factor = 16: the 16th counted add triggers
+    # an aging pass that halves every counter.
+    sketch = FrequencySketch(width=8, depth=1, sample_factor=2)
+    for _ in range(10):
+        sketch.add(b"a")
+    assert sketch.estimate(b"a") == 10
+    for _ in range(6):
+        sketch.add(b"b")
+    assert sketch.estimate(b"a") == 5
+    assert sketch.size == sketch.sample_size // 2
+
+
+def test_estimate_never_underestimates_single_key():
+    sketch = FrequencySketch(width=1024)
+    keys = [b"k%d" % i for i in range(50)]
+    for key in keys:
+        for _ in range(3):
+            sketch.add(key)
+    # Count-min may overestimate on collisions but never undercount.
+    for key in keys:
+        assert sketch.estimate(key) >= 3
+
+
+def test_deterministic_across_instances():
+    a, b = FrequencySketch(width=128), FrequencySketch(width=128)
+    for key in (b"x", b"y", b"x", b"z", b"x", b"y"):
+        a.add(key)
+        b.add(key)
+    for key in (b"x", b"y", b"z", b"w"):
+        assert a.estimate(key) == b.estimate(key)
+
+
+@pytest.mark.parametrize("width", [0, 1, 3, 100])
+def test_width_must_be_power_of_two(width):
+    with pytest.raises(ValueError):
+        FrequencySketch(width=width)
+
+
+def test_depth_bounds():
+    with pytest.raises(ValueError):
+        FrequencySketch(depth=0)
+    with pytest.raises(ValueError):
+        FrequencySketch(depth=5)

@@ -1,0 +1,137 @@
+"""Regression tests for the workload-generator fixes (ISSUE 6).
+
+Three bugs, each pinned here with the exact input that triggered it:
+
+* the closed-form Zipfian could return rank ``n`` (one past the key
+  space) when the uniform draw was close enough to 1;
+* ``WorkloadSpec.insert`` reported float residue (~1e-16) for mixes
+  that sum to 1.0, letting nominally insert-free workloads emit
+  phantom inserts on a rare draw;
+* ``ScrambledZipfianGenerator`` had no ``grow()``, so scrambled
+  streams kept sampling the stale key range after inserts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.generator import OpStream
+from repro.workloads.zipfian import (
+    HotKeyStormGenerator,
+    ScrambledZipfianGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import WorkloadSpec, YCSB_B, YCSB_D, YCSB_E
+
+
+class StubRng:
+    """random()-compatible stub replaying a fixed sequence."""
+
+    def __init__(self, *values: float) -> None:
+        self._values = list(values)
+
+    def random(self) -> float:
+        return self._values.pop(0)
+
+
+# ----------------------------------------------------------------------
+# Zipfian closed-form overflow
+# ----------------------------------------------------------------------
+def test_closed_form_clamps_u_near_one():
+    # 1 - 2**-53 is the largest value random() can return; the
+    # closed-form base then rounds to exactly 1.0 and the unclamped
+    # rank came out as n — one past the key space.
+    u_max = 1.0 - 2.0**-53
+    for theta in (0.5, 0.8, 0.99):
+        gen = ZipfianGenerator(1000, theta, StubRng(u_max))
+        assert gen.next() == 999
+
+
+def test_closed_form_in_range_across_draws():
+    gen = ZipfianGenerator(100, 0.99, random.Random(7))
+    for _ in range(5000):
+        assert 0 <= gen.next() < 100
+
+
+def test_tiny_key_spaces_use_exact_regime():
+    # n == 2 made the closed form's eta expression 0/0 (zeta_2 ==
+    # zeta_n); these now fall back to exact CDF inversion.
+    for n in (1, 2):
+        gen = ZipfianGenerator(n, 0.5, random.Random(3))
+        for _ in range(200):
+            assert 0 <= gen.next() < n
+
+
+# ----------------------------------------------------------------------
+# Phantom-insert float residue
+# ----------------------------------------------------------------------
+def test_insert_share_snaps_float_residue_to_zero():
+    # 1.0 - 0.95 - 0.05 is ~4.2e-17 in floats, not a real insert share.
+    for spec in (YCSB_B, YCSB_D, YCSB_E):
+        assert spec.insert == 0.0
+
+
+def test_real_insert_shares_survive_the_snap():
+    spec = WorkloadSpec(name="insert-heavy", read=0.5, update=0.4)
+    assert abs(spec.insert - 0.1) < 1e-12
+
+
+def test_no_phantom_insert_on_extreme_roll():
+    # A roll of 1 - 2**-53 lands above read + update in floats; before
+    # the fix it fell through to the insert branch of YCSB-B.
+    stream = OpStream(YCSB_B, num_keys=100, seed=0)
+    stream.rng = StubRng(1.0 - 2.0**-53, 0.3)  # roll, then key draw
+    op = next(stream.ops(1))
+    assert op.kind != "insert"
+
+
+def test_insert_free_specs_emit_no_inserts():
+    for spec in (YCSB_B, YCSB_D, YCSB_E):
+        stream = OpStream(spec, num_keys=500, seed=11)
+        kinds = {op.kind for op in stream.ops(4000)}
+        assert "insert" not in kinds
+
+
+# ----------------------------------------------------------------------
+# ScrambledZipfianGenerator.grow
+# ----------------------------------------------------------------------
+def test_scrambled_grow_updates_n_and_range():
+    gen = ScrambledZipfianGenerator(10, 0.99, random.Random(5))
+    gen.grow(1000)
+    assert gen.n == 1000
+    assert gen._zipf.n == 1000
+    seen = {gen.next() for _ in range(3000)}
+    assert all(0 <= k < 1000 for k in seen)
+    # The widened hash modulo actually reaches beyond the old range.
+    assert any(k >= 10 for k in seen)
+
+
+def test_scrambled_grow_ignores_shrink():
+    gen = ScrambledZipfianGenerator(100, 0.99, random.Random(5))
+    gen.grow(50)
+    assert gen.n == 100 and gen._zipf.n == 100
+
+
+# ----------------------------------------------------------------------
+# Hot-key storm generator
+# ----------------------------------------------------------------------
+def test_hotstorm_celebrities_absorb_configured_share():
+    gen = HotKeyStormGenerator(
+        10_000, theta=1.2, rng=random.Random(9),
+        celebrities=5, celebrity_share=0.35,
+    )
+    celebrity_keys = {
+        __import__("zlib").crc32(r.to_bytes(8, "little")) % 10_000
+        for r in range(5)
+    }
+    draws = [gen.next() for _ in range(20_000)]
+    share = sum(1 for d in draws if d in celebrity_keys) / len(draws)
+    # Boost (35%) stacks on the tail's natural mass for the same keys.
+    assert share > 0.30
+    assert all(0 <= d < 10_000 for d in draws)
+
+
+def test_hotstorm_grow_delegates():
+    gen = HotKeyStormGenerator(100, rng=random.Random(1))
+    gen.grow(500)
+    assert gen.n == 500 and gen._tail.n == 500
