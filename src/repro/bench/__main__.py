@@ -228,6 +228,36 @@ def _cluster(args):
     }
 
 
+def _grayfail(args):
+    from repro.bench import grayfail as gf
+
+    if getattr(args, "smoke", False):
+        results = gf.grayfail_comparison(num_keys=1200, num_ops=4000)
+    else:
+        results = gf.grayfail_comparison()
+    print("Gray failure — fail-slow replica (10x), read-heavy uniform, "
+          "RF=2 quorum")
+    for label in ("healthy", "undefended", "defended"):
+        res = results[label]
+        reads = res.run.per_kind["read"]
+        counters = (res.run.metrics or {}).get("counters", {})
+        hedges = ""
+        if label == "defended":
+            hedges = (f"  hedges {counters.get('hedge.fired', 0)} fired / "
+                      f"{counters.get('hedge.won', 0)} won / "
+                      f"{counters.get('hedge.wasted', 0)} wasted; "
+                      f"breaker opened {counters.get('breaker.opened', 0)}x")
+        print(f"  {label:10} read p50 {reads.median():7.1f}us  "
+              f"p99 {reads.p99():7.1f}us{hedges}")
+    ok_tail, tail_msg = gf.check_tail(results["healthy"], results["defended"])
+    ok_cost, cost_msg = gf.check_overhead(results["defended"])
+    print(f"\n  tail gate:     {'PASS' if ok_tail else 'FAIL'} — {tail_msg}")
+    print(f"  overhead gate: {'PASS' if ok_cost else 'FAIL'} — {cost_msg}")
+    if not (ok_tail and ok_cost):
+        raise SystemExit(1)
+    return {label: res.run for label, res in results.items()}
+
+
 def _cache(args):
     from repro.bench import cache as ca
     from repro.bench.stores import MB
@@ -312,6 +342,7 @@ COMMANDS = {
     "cache": _cache,
     "cluster": _cluster,
     "faults": _faults,
+    "grayfail": _grayfail,
     "perf": _perf,
     "scalars": _scalars,
     "scrub": _scrub,
@@ -335,8 +366,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="tiny fast configuration (CI smoke; cache, cluster, perf, "
-             "and scrub)",
+        help="tiny fast configuration (CI smoke; cache, cluster, grayfail, "
+             "perf, and scrub)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -13,6 +13,7 @@ from repro.cluster.errors import (
     ShardOverloadedError,
     ShardUnavailableError,
 )
+from repro.cluster.health import CircuitBreaker, HealthConfig, HealthMonitor
 from repro.cluster.ring import HashRing
 from repro.cluster.router import (
     ClusterConfig,
@@ -23,9 +24,12 @@ from repro.cluster.shard import Shard
 
 __all__ = [
     "AdmissionController",
+    "CircuitBreaker",
     "ClusterConfig",
     "ClusterError",
     "HashRing",
+    "HealthConfig",
+    "HealthMonitor",
     "PrismCluster",
     "Shard",
     "ShardOverloadedError",

@@ -119,15 +119,38 @@ def default_cluster_factory() -> PrismCluster:
 
 
 class ClusterCrashSweep:
-    """Kills one shard at every reachable crash point; audits the router."""
+    """Kills one shard at every reachable crash point; audits the router.
+
+    With ``gray_shard`` set, that shard's devices are latency-inflated
+    (``gray_multiplier``×, no errors) from the start of every replay —
+    the compound scenario: one member fail-slow while another
+    fail-stops mid-operation.  The durability contract is unchanged;
+    gray slowness must never cost an acknowledged write.
+    """
 
     def __init__(
         self,
         cluster_factory: Callable[[], PrismCluster] = default_cluster_factory,
         ops: Optional[List[Op]] = None,
+        gray_shard: Optional[int] = None,
+        gray_multiplier: float = 10.0,
     ) -> None:
         self.cluster_factory = cluster_factory
         self.ops = list(ops) if ops is not None else default_ops()
+        if gray_shard is not None and gray_shard == CRASH_SHARD:
+            raise ValueError(
+                f"gray shard must differ from the crash shard {CRASH_SHARD}"
+            )
+        self.gray_shard = gray_shard
+        self.gray_multiplier = gray_multiplier
+
+    def _make_cluster(self) -> PrismCluster:
+        cluster = self.cluster_factory()
+        if self.gray_shard is not None:
+            cluster.slow_shard(
+                self.gray_shard, 0.0, multiplier=self.gray_multiplier
+            )
+        return cluster
 
     @staticmethod
     def _apply_op(cluster: PrismCluster, op: Op) -> None:
@@ -145,7 +168,7 @@ class ClusterCrashSweep:
 
     def discover(self) -> Dict[str, int]:
         """Labels shard 0's store reaches while serving the workload."""
-        cluster = self.cluster_factory()
+        cluster = self._make_cluster()
         point = cluster.shards[CRASH_SHARD].store.crash_point
         point.start_recording()
         for op in self.ops:
@@ -155,7 +178,7 @@ class ClusterCrashSweep:
 
     def verify_label(self, label: str, occurrence: int = 1) -> ClusterLabelOutcome:
         """One shard death at one label, then audit through the router."""
-        cluster = self.cluster_factory()
+        cluster = self._make_cluster()
         point = cluster.shards[CRASH_SHARD].store.crash_point
         point.arm(label, occurrence)
         acked: Dict[bytes, Optional[bytes]] = {}

@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.cache.sketch import FrequencySketch
 from repro.cluster.admission import AdmissionController
 from repro.cluster.errors import ShardUnavailableError
+from repro.cluster.health import HealthConfig, HealthMonitor
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import STATE_DOWN, Shard
 from repro.core.config import PrismConfig
@@ -54,7 +55,7 @@ from repro.faults.errors import (
     DeviceError,
     NoHealthyStorageError,
 )
-from repro.faults.injector import FaultConfig
+from repro.faults.injector import FaultConfig, slow_store_devices
 from repro.obs.metrics import EventLog, MetricsRegistry, merge_registries
 from repro.sim.clock import VirtualClock
 from repro.sim.vthread import VThread
@@ -90,6 +91,11 @@ class ClusterConfig:
     # Re-replicate automatically when a shard fails.  Off, reads are
     # restricted to surviving static owners until rebuild() is called.
     auto_rebuild: bool = True
+    # Gray-failure defense (ISSUE 7): latency health scoring, per-shard
+    # circuit breakers, and hedged reads.  None (the default) keeps
+    # every hook disabled — the router consumes no extra virtual time
+    # or randomness and stays bit-identical to the pre-health tree.
+    health: Optional[HealthConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -187,6 +193,18 @@ class PrismCluster:
         self._hot_sketch: Optional[FrequencySketch] = None
         if cfg.hot_key_threshold is not None:
             self._hot_sketch = FrequencySketch(width=1024)
+        # Gray-failure defense: health monitor plus one reusable
+        # virtual thread for speculative (hedged) reads.  Both are None
+        # with health off, so the undefended read path is untouched.
+        self._health: Optional[HealthMonitor] = None
+        self._hedge_thread: Optional[VThread] = None
+        if cfg.health is not None:
+            self._health = HealthMonitor(
+                cfg.num_shards, cfg.health, self.metrics, self.events
+            )
+            self._hedge_thread = VThread(
+                -60, self.clock, name="hedge-read", background=True
+            )
 
     # ------------------------------------------------------------------
     # store-shaped surface
@@ -311,6 +329,20 @@ class PrismCluster:
                 return candidates[next(self._spread_rr) % len(candidates)]
         return candidates[0]
 
+    def _arm_deadline(self, thread: VThread) -> bool:
+        """Give the op a deadline budget (virtual seconds) when the
+        health config carries one.  Returns True when this call armed
+        it (the caller must clear it when the op finishes)."""
+        health = self._health
+        if (
+            health is None
+            or health.config.op_deadline is None
+            or thread.deadline is not None
+        ):
+            return False
+        thread.deadline = thread.now + health.config.op_deadline
+        return True
+
     def _admit(self, shard: Shard, at: float) -> None:
         try:
             shard.admission.admit(at)
@@ -350,19 +382,24 @@ class PrismCluster:
         self, key: bytes, value: Optional[bytes], thread: Optional[VThread]
     ) -> object:
         thread = self._thread(thread)
-        last_error: Optional[_ShardOpError] = None
-        for _attempt in range(2):
-            try:
-                return self._replicated_apply(key, value, thread)
-            except _ShardOpError as err:
-                last_error = err
-                self._handle_failure(err, thread.now)
-                if not self._permanent(err.cause):
-                    # Transient escape: nothing will change on retry
-                    # beyond the store's own retries; surface it.
-                    break
-        assert last_error is not None
-        raise last_error.cause
+        armed = self._arm_deadline(thread)
+        try:
+            last_error: Optional[_ShardOpError] = None
+            for _attempt in range(2):
+                try:
+                    return self._replicated_apply(key, value, thread)
+                except _ShardOpError as err:
+                    last_error = err
+                    self._handle_failure(err, thread.now)
+                    if not self._permanent(err.cause):
+                        # Transient escape: nothing will change on retry
+                        # beyond the store's own retries; surface it.
+                        break
+            assert last_error is not None
+            raise last_error.cause
+        finally:
+            if armed:
+                thread.deadline = None
 
     def _replicated_apply(
         self, key: bytes, value: Optional[bytes], thread: VThread
@@ -412,6 +449,17 @@ class PrismCluster:
     def get(self, key: bytes, thread: Optional[VThread] = None) -> Optional[bytes]:
         """Point lookup; returns None for missing keys."""
         thread = self._thread(thread)
+        if self._health is None:
+            return self._get_plain(key, thread)
+        armed = self._arm_deadline(thread)
+        try:
+            return self._get_defended(key, thread)
+        finally:
+            if armed:
+                thread.deadline = None
+
+    def _get_plain(self, key: bytes, thread: VThread) -> Optional[bytes]:
+        """The undefended read path — byte-for-byte the pre-health one."""
         tried: Set[int] = set()
         last_error: Optional[_ShardOpError] = None
         for _attempt in range(1 + self.config.replication_factor):
@@ -436,6 +484,106 @@ class PrismCluster:
         assert last_error is not None
         raise last_error.cause
 
+    def _get_defended(self, key: bytes, thread: VThread) -> Optional[bytes]:
+        """Health-aware read: breaker steering plus hedged reads.
+
+        Candidate selection first drops shards whose breaker is open
+        (falling back to the full candidate list if *every* breaker is
+        open — steering must never make a readable key unreadable).
+        After the primary read completes, if it overran the adaptive
+        hedge delay, the read is hedged: a speculative read is modeled
+        at the next healthy replica as if fired ``hedge_delay`` after
+        the primary started, and the caller resumes at whichever
+        completion came first.  Sequential simulation makes the hedge
+        retroactive — the outcome (and the device bandwidth both reads
+        consume) matches an implementation that truly raced them.
+        """
+        health = self._health
+        tried: Set[int] = set()
+        last_error: Optional[_ShardOpError] = None
+        for _attempt in range(1 + self.config.replication_factor):
+            candidates = [
+                s for s in self._read_shards(key) if s.shard_id not in tried
+            ]
+            if not candidates:
+                break
+            allowed = [
+                s for s in candidates if health.allow(s.shard_id, thread.now)
+            ]
+            shard = self._pick_reader(key, allowed or candidates)
+            tried.add(shard.shard_id)
+            self._admit(shard, thread.now)
+            if self._async:
+                shard.pump(thread.now)
+            t0 = thread.now
+            try:
+                value = self._guard(shard, lambda: shard.store.get(key, thread))
+            except _ShardOpError as err:
+                last_error = err
+                health.record_failure(shard.shard_id, thread.now)
+                self._handle_failure(err, thread.now)
+                continue
+            t1 = thread.now
+            health.record_read(shard.shard_id, t1 - t0, t1)
+            if health.config.enable_hedging and t1 - t0 > health.hedge_delay():
+                value = self._hedge(key, shard, value, t0, t1, thread)
+            shard.admission.complete(thread.now)
+            return value
+        assert last_error is not None
+        raise last_error.cause
+
+    def _hedge(
+        self,
+        key: bytes,
+        primary: Shard,
+        primary_value: Optional[bytes],
+        t0: float,
+        t1: float,
+        thread: VThread,
+    ) -> Optional[bytes]:
+        """Model the speculative read; returns the winning value and
+        rewinds ``thread.now`` to the earlier completion."""
+        health = self._health
+        fired_at = t0 + health.hedge_delay()
+        alt: Optional[Shard] = None
+        for candidate in self._read_shards(key):
+            if candidate is not primary and health.allow(
+                candidate.shard_id, fired_at
+            ):
+                alt = candidate
+                break
+        if alt is None:
+            return primary_value  # nowhere healthy to hedge to
+        self.metrics.counter("hedge.fired").inc()
+        ht = self._hedge_thread
+        ht.now = fired_at
+        if self._async:
+            alt.pump(fired_at)
+        try:
+            alt_value = alt.store.get(key, ht)
+        except (DeviceError, DegradedError):
+            health.record_failure(alt.shard_id, ht.now)
+            self.metrics.counter("hedge.wasted").inc()
+            return primary_value
+        t2 = ht.now
+        health.record_read(alt.shard_id, t2 - fired_at, t2)
+        # The hedge wins only when it finished first AND saw the key
+        # (an async replica may not have received it yet — a faster
+        # miss must not shadow the primary's hit).
+        if t2 < t1 and not (alt_value is None and primary_value is not None):
+            self.metrics.counter("hedge.won").inc()
+            self.events.emit(
+                t2,
+                "hedge_won",
+                shard=alt.shard_id,
+                over=primary.shard_id,
+                saved=t1 - t2,
+            )
+            thread.now = t2
+            return alt_value
+        self.metrics.counter("hedge.wasted").inc()
+        return primary_value
+
     def scan(
         self, start: bytes, count: int, thread: Optional[VThread] = None
     ) -> List[Tuple[bytes, bytes]]:
@@ -443,6 +591,16 @@ class PrismCluster:
         live shard scans locally (in parallel virtual time) and the
         router merges, keeping each key's copy from its read primary."""
         thread = self._thread(thread)
+        armed = self._arm_deadline(thread)
+        try:
+            return self._scan(start, count, thread)
+        finally:
+            if armed:
+                thread.deadline = None
+
+    def _scan(
+        self, start: bytes, count: int, thread: VThread
+    ) -> List[Tuple[bytes, bytes]]:
         t0 = thread.now
         ends: List[float] = []
         merged: Dict[bytes, bytes] = {}
@@ -477,6 +635,31 @@ class PrismCluster:
         at = self.clock.now if at is None else at
         self.shards[shard_id].kill(at)
         self.fail_shard(shard_id, at)
+
+    def slow_shard(
+        self,
+        shard_id: int,
+        at: Optional[float] = None,
+        multiplier: float = 10.0,
+        **kwargs,
+    ) -> List[str]:
+        """Gray-fail a shard: inflate every device's latency without
+        any error — the shard keeps serving, just slowly.  Nothing in
+        the fail-stop machinery reacts; only the health monitor (when
+        armed) will notice.  Returns the inflated device names."""
+        at = self.clock.now if at is None else at
+        names = slow_store_devices(
+            self.shards[shard_id].store, at, multiplier=multiplier, **kwargs
+        )
+        self.metrics.counter("cluster.gray_injected").inc()
+        self.events.emit(
+            at,
+            "shard_gray_injected",
+            shard=shard_id,
+            multiplier=multiplier,
+            devices=len(names),
+        )
+        return names
 
     def fail_shard(self, shard_id: int, at: Optional[float] = None) -> None:
         """Mark a shard down, drop its unsent replication backlog, and

@@ -61,6 +61,27 @@ class KillPlan:
             )
 
 
+@dataclass
+class GrayPlan:
+    """Gray-fail ``shard_id`` mid-run: latency-inflate its devices
+    (no errors) after ``at_fraction`` of the ops have run."""
+
+    shard_id: int
+    at_fraction: float = 0.25
+    multiplier: float = 10.0
+    add_latency: float = 0.0
+    duration: float = float("inf")
+    stall_interval: float = 0.0
+    stall_duration: float = 0.0
+    stall_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction < 1.0:
+            raise ValueError(
+                f"gray fraction must be in [0, 1): {self.at_fraction}"
+            )
+
+
 class WriteLedger:
     """Every write the cluster acknowledged, as virtual-time intervals."""
 
@@ -161,6 +182,7 @@ def run_cluster_workload(
     theta: float = 0.99,
     seed: int = 2,
     kill_plan: Optional[KillPlan] = None,
+    gray_plan: Optional[GrayPlan] = None,
     timeline_bucket: Optional[float] = None,
     collect_metrics: bool = True,
     audit: bool = True,
@@ -201,9 +223,29 @@ def run_cluster_workload(
         registry = MetricsRegistry()
         restore = cluster.metrics
         cluster.metrics = registry
+        if cluster._health is not None:
+            # The monitor's breakers hold their own registry reference;
+            # keep them writing into this run's registry, and pre-touch
+            # the defense counters so they appear in the metrics JSON
+            # even when a healthy run never fires them.
+            cluster._health.set_metrics(registry)
+            for name in (
+                "hedge.fired", "hedge.won", "hedge.wasted",
+                "breaker.opened", "breaker.closed",
+            ):
+                registry.counter(name).inc(0)
+        if gray_plan is not None:
+            registry.counter("fault.slow_injections").inc(0)
     ledger = WriteLedger()
     kill_at = int(num_ops * kill_plan.at_fraction) if kill_plan else None
     killed = False
+    gray_at = int(num_ops * gray_plan.at_fraction) if gray_plan else None
+    grayed = False
+    slow_before = sum(
+        s.store.injector.slow_injections
+        for s in cluster.shards
+        if s.store.injector is not None
+    )
     ok = shed = failed = 0
     start = max(t.now for t in threads)
     ssd_before = cluster.ssd_bytes_written()
@@ -225,6 +267,18 @@ def run_cluster_workload(
             if kill_at is not None and not killed and executed >= kill_at:
                 killed = True
                 cluster.kill_shard(kill_plan.shard_id, thread.now)
+            if gray_at is not None and not grayed and executed >= gray_at:
+                grayed = True
+                cluster.slow_shard(
+                    gray_plan.shard_id,
+                    thread.now,
+                    multiplier=gray_plan.multiplier,
+                    add_latency=gray_plan.add_latency,
+                    duration=gray_plan.duration,
+                    stall_interval=gray_plan.stall_interval,
+                    stall_duration=gray_plan.stall_duration,
+                    stall_penalty=gray_plan.stall_penalty,
+                )
             before = thread.now
             is_write = op.kind in ("update", "insert", "delete")
             value = op.value if op.kind in ("update", "insert") else None
@@ -265,6 +319,8 @@ def run_cluster_workload(
     finally:
         if restore is not None:
             cluster.metrics = restore
+            if cluster._health is not None:
+                cluster._health.set_metrics(restore)
     duration = max(t.now for t in threads) - start
     new_put = cluster.bytes_put - put_before
     new_ssd = cluster.ssd_bytes_written() - ssd_before
@@ -283,6 +339,15 @@ def run_cluster_workload(
         audit_report = ledger.audit(cluster, audit_thread)
     metrics_dict: Optional[Dict[str, object]] = None
     if registry is not None:
+        if gray_plan is not None:
+            slow_after = sum(
+                s.store.injector.slow_injections
+                for s in cluster.shards
+                if s.store.injector is not None
+            )
+            registry.counter("fault.slow_injections").inc(
+                slow_after - slow_before
+            )
         registry.gauge("ops").set(executed)
         registry.gauge("duration_s").set(duration)
         if duration > 0:

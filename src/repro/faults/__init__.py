@@ -18,6 +18,7 @@ See the "Fault model" section of ``docs/simulation-model.md``.
 """
 
 from repro.faults.errors import (
+    DeadlineExceededError,
     DegradedError,
     DeviceDeadError,
     DeviceError,
@@ -30,10 +31,16 @@ from repro.faults.errors import (
     TransientReadError,
     TransientWriteError,
 )
-from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    SlowFault,
+    slow_store_devices,
+)
 from repro.faults.retry import RetryExecutor, RetryPolicy
 
 __all__ = [
+    "DeadlineExceededError",
     "DegradedError",
     "DeviceDeadError",
     "DeviceError",
@@ -45,8 +52,10 @@ __all__ = [
     "RetryExecutor",
     "RetryExhaustedError",
     "RetryPolicy",
+    "SlowFault",
     "StuckIOError",
     "TransientIOError",
     "TransientReadError",
     "TransientWriteError",
+    "slow_store_devices",
 ]

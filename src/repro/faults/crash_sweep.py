@@ -362,13 +362,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cluster mode: kill a whole shard at each crash point and "
              "audit durability through the router (repro.cluster)",
     )
+    parser.add_argument(
+        "--gray", type=int, default=None, metavar="SHARD",
+        help="cluster mode: additionally latency-inflate this shard's "
+             "devices 10x from the start (gray failure + fail-stop combined)",
+    )
     args = parser.parse_args(argv)
+
+    if args.gray is not None and not args.cluster:
+        parser.error("--gray requires --cluster")
 
     if args.cluster:
         from repro.cluster.crash_sweep import ClusterCrashSweep
 
         sweep = ClusterCrashSweep(
-            ops=default_ops(args.ops, args.keys, args.seed)
+            ops=default_ops(args.ops, args.keys, args.seed),
+            gray_shard=args.gray,
         )
         report = sweep.run()
         if args.fuzz:

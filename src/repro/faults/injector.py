@@ -37,7 +37,69 @@ from repro.faults.errors import (
 from repro.obs.metrics import EventLog, MetricsRegistry, NULL_REGISTRY
 from repro.storage.base import NULL_INJECTOR  # re-export for convenience
 
-__all__ = ["FaultConfig", "FaultInjector", "NULL_INJECTOR"]
+__all__ = ["FaultConfig", "FaultInjector", "NULL_INJECTOR", "SlowFault"]
+
+
+@dataclass(frozen=True)
+class SlowFault:
+    """One fail-slow (gray-failure) schedule: the device stays alive
+    but serves IO with inflated latency.
+
+    Unlike every other fault kind, fail-slow never raises — the consult
+    hooks return an extra virtual-time *penalty* the device adds to the
+    IO's completion.  The penalty for one IO at virtual time ``at`` is::
+
+        add_latency + (multiplier - 1) × base device latency
+        [+ stall_penalty when ``at`` falls inside a stall burst]
+
+    where the base latency is the device spec's per-op latency for the
+    direction (read/write; flush uses the write latency).  The fault is
+    active on ``[start, start + duration)`` of virtual time; stall
+    bursts, when configured, open for ``stall_duration`` at the head of
+    every ``stall_interval`` within the active window.  The schedule is
+    purely a function of virtual time — no randomness is drawn — so two
+    identical runs inject identically and a run with no slow faults is
+    bit-identical to one without the feature.
+    """
+
+    devices: Tuple[str, ...] = ()  # empty = every consulted device
+    multiplier: float = 1.0
+    add_latency: float = 0.0
+    start: float = 0.0
+    duration: float = float("inf")
+    stall_interval: float = 0.0  # 0 disables stall bursts
+    stall_duration: float = 0.0
+    stall_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        for name in ("add_latency", "stall_interval", "stall_duration",
+                     "stall_penalty"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0: {getattr(self, name)}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.stall_interval > 0 and self.stall_duration > self.stall_interval:
+            raise ValueError(
+                "stall_duration must fit inside stall_interval: "
+                f"{self.stall_duration} > {self.stall_interval}"
+            )
+
+    def active(self, at: float) -> bool:
+        return self.start <= at < self.start + self.duration
+
+    def penalty(self, base_latency: float, at: float) -> float:
+        """Extra virtual seconds for one IO at ``at`` (0.0 if inactive)."""
+        if not self.active(at):
+            return 0.0
+        extra = self.add_latency + (self.multiplier - 1.0) * base_latency
+        if (
+            self.stall_interval > 0.0
+            and (at - self.start) % self.stall_interval < self.stall_duration
+        ):
+            extra += self.stall_penalty
+        return extra
 
 
 @dataclass
@@ -64,6 +126,10 @@ class FaultConfig:
     torn_write_rate: float = 0.0
     max_faults: Optional[int] = None
     dead_devices: Tuple[str, ...] = ()
+    # Fail-slow (gray-failure) schedules: latency inflation that never
+    # raises.  More can be added at run time with
+    # :meth:`FaultInjector.add_slow_fault`.
+    slow: Tuple[SlowFault, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -103,6 +169,11 @@ class FaultInjector:
         # at-rest rot) — the scrubber uses this to know whether a scan
         # pass can possibly find anything.
         self.silent_injected = 0
+        # Fail-slow: active schedules, per-device onset announcements,
+        # and the count of delayed IOs (``fault.slow_injections``).
+        self._slow: List[SlowFault] = list(config.slow)
+        self._slow_seen: set = set()
+        self.slow_injections = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -140,10 +211,63 @@ class FaultInjector:
         return name in self.dead
 
     # ------------------------------------------------------------------
+    # fail-slow (gray failures): latency inflation, never raising
+    # ------------------------------------------------------------------
+    def add_slow_fault(self, fault: SlowFault, at: float = 0.0) -> None:
+        """Attach one fail-slow schedule mid-run (gray-failure onset)."""
+        self._slow.append(fault)
+        self.events.emit(
+            at,
+            "slow_fault_added",
+            devices=list(fault.devices) or ["*"],
+            multiplier=fault.multiplier,
+            add_latency=fault.add_latency,
+            start=fault.start,
+        )
+
+    def clear_slow_faults(self, at: float = 0.0) -> int:
+        """Drop every fail-slow schedule (the device recovers)."""
+        count = len(self._slow)
+        self._slow.clear()
+        if count:
+            self.events.emit(at, "slow_faults_cleared", count=count)
+        return count
+
+    def slow_penalty(self, device, op: str, at: float) -> float:
+        """Extra virtual seconds the IO loses to active fail-slow faults.
+
+        Purely a function of the schedule and ``at`` — no randomness —
+        so identical runs inject identically and zero-schedule runs
+        never diverge.
+        """
+        name = device.name
+        spec = device.spec
+        base = spec.read_latency if op == "read" else spec.write_latency
+        penalty = 0.0
+        for fault in self._slow:
+            if fault.devices and name not in fault.devices:
+                continue
+            penalty += fault.penalty(base, at)
+        if penalty > 0.0:
+            self.slow_injections += 1
+            self.metrics.counter("fault.slow_injections").inc()
+            if name not in self._slow_seen:
+                self._slow_seen.add(name)
+                self.events.emit(
+                    at, "slow_onset", device=name, op=op, penalty=penalty
+                )
+        return penalty
+
+    # ------------------------------------------------------------------
     # consult hooks (called by devices before charging any time)
     # ------------------------------------------------------------------
-    def before_io(self, device, op: str, at: float) -> None:
-        """May raise a typed error for one read/write on ``device``."""
+    def before_io(self, device, op: str, at: float) -> float:
+        """May raise a typed error for one read/write on ``device``.
+
+        Returns the fail-slow latency penalty (virtual seconds) the
+        device must add to this IO's completion — 0.0 unless a
+        :class:`SlowFault` is active for the device at ``at``.
+        """
         self.consults += 1
         name = device.name
         if name in self.dead:
@@ -162,9 +286,15 @@ class FaultInjector:
         ):
             self._emit(at, name, op, "stuck")
             raise StuckIOError(name, op, timeout=cfg.stuck_timeout)
+        if self._slow:
+            return self.slow_penalty(device, op, at)
+        return 0.0
 
-    def before_flush(self, device, at: float) -> None:
-        """May fail one NVM cache-line flush on ``device``."""
+    def before_flush(self, device, at: float) -> float:
+        """May fail one NVM cache-line flush on ``device``.
+
+        Returns the fail-slow latency penalty, like :meth:`before_io`.
+        """
         self.consults += 1
         name = device.name
         if name in self.dead:
@@ -177,6 +307,9 @@ class FaultInjector:
         ):
             self._emit(at, name, "flush", "flush_error")
             raise FlushError(name)
+        if self._slow:
+            return self.slow_penalty(device, "flush", at)
+        return 0.0
 
     # ------------------------------------------------------------------
     # silent corruption (never raises — only checksums can catch it)
@@ -269,4 +402,43 @@ def kill_store_devices(store, at: float = 0.0) -> List[str]:
         )
     names = store_device_names(store)
     store.injector.kill_devices(names, at)
+    return names
+
+
+def slow_store_devices(
+    store,
+    at: float = 0.0,
+    multiplier: float = 10.0,
+    add_latency: float = 0.0,
+    duration: float = float("inf"),
+    stall_interval: float = 0.0,
+    stall_duration: float = 0.0,
+    stall_penalty: float = 0.0,
+) -> List[str]:
+    """Gray-failure onset for a whole node: every device of one store
+    starts serving IO with inflated latency from ``at`` on.
+
+    The fail-slow sibling of :func:`kill_store_devices` — the node
+    stays alive and keeps acknowledging, it just gets slow, which is
+    exactly the failure mode health scoring and hedged reads exist to
+    defend against.  Returns the device names inflated.
+    """
+    if store.injector is None:
+        raise ValueError(
+            "store has no fault injector; build it with config.faults set"
+        )
+    names = store_device_names(store)
+    store.injector.add_slow_fault(
+        SlowFault(
+            devices=tuple(names),
+            multiplier=multiplier,
+            add_latency=add_latency,
+            start=at,
+            duration=duration,
+            stall_interval=stall_interval,
+            stall_duration=stall_duration,
+            stall_penalty=stall_penalty,
+        ),
+        at,
+    )
     return names

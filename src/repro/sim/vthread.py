@@ -31,7 +31,9 @@ class VThread:
         device bandwidth.
     """
 
-    __slots__ = ("tid", "name", "clock", "now", "background", "cpu_time")
+    __slots__ = (
+        "tid", "name", "clock", "now", "background", "cpu_time", "deadline",
+    )
 
     def __init__(
         self,
@@ -46,6 +48,11 @@ class VThread:
         self.now = self.clock.now
         self.background = background
         self.cpu_time = 0.0
+        # Absolute virtual time this thread's current operation must
+        # finish by, or None.  Set by deadline-aware callers (the
+        # cluster router's per-op budget); honoured by the retry layer,
+        # which refuses to sleep a backoff past it.
+        self.deadline: Optional[float] = None
 
     def spend(self, seconds: float) -> None:
         """Consume CPU time: advance the local clock by ``seconds``."""

@@ -28,11 +28,14 @@ class _NullFaultInjector:
 
     enabled = False
 
-    def before_io(self, device, op: str, at: float) -> None:
-        pass
+    # The consult hooks return the fail-slow latency penalty (extra
+    # virtual seconds the device adds to the IO); the null injector
+    # never delays anything.
+    def before_io(self, device, op: str, at: float) -> float:
+        return 0.0
 
-    def before_flush(self, device, at: float) -> None:
-        pass
+    def before_flush(self, device, at: float) -> float:
+        return 0.0
 
     def corrupt_write(self, device, at: float, offset: int, data: bytes) -> bytes:
         return data

@@ -242,15 +242,18 @@ class NVMDevice(Device):
         persisted: the covered lines stay volatile, so the operation
         can be retried wholesale (and is, when a retry executor is
         attached)."""
+        penalty = 0.0
         if self._retry is not None:
-            def consult() -> None:
-                self.injector.before_flush(
+            def consult() -> float:
+                return self.injector.before_flush(
                     self, thread.now if thread is not None else 0.0
                 )
 
-            self._retry.run(consult, thread=thread, device=self.name, op="flush")
+            penalty = self._retry.run(
+                consult, thread=thread, device=self.name, op="flush"
+            )
         elif self.injector.enabled:
-            self.injector.before_flush(
+            penalty = self.injector.before_flush(
                 self, thread.now if thread is not None else 0.0
             )
         undo = self._undo
@@ -271,6 +274,8 @@ class NVMDevice(Device):
         self.bytes_written += nbytes
         if thread is not None:
             end = self._write_request(thread.now, nbytes, self._write_latency)
+            if penalty:
+                end += penalty  # fail-slow inflation (gray failure)
             if end > thread.now:
                 thread.now = end
                 clock = thread.clock
@@ -347,18 +352,19 @@ class NVMDevice(Device):
             if now > clock._now:
                 clock._now = now
         # -- flush --
+        penalty = 0.0
         if snapshot_lines:
             if self._retry is not None:
-                def consult() -> None:
-                    self.injector.before_flush(
+                def consult() -> float:
+                    return self.injector.before_flush(
                         self, thread.now if thread is not None else 0.0
                     )
 
-                self._retry.run(
+                penalty = self._retry.run(
                     consult, thread=thread, device=self.name, op="flush"
                 )
             else:
-                self.injector.before_flush(
+                penalty = self.injector.before_flush(
                     self, thread.now if thread is not None else 0.0
                 )
             if first == last:
@@ -378,6 +384,8 @@ class NVMDevice(Device):
         self.bytes_written += nbytes
         if thread is not None:
             end = self._write_request(thread.now, nbytes, self._write_latency)
+            if penalty:
+                end += penalty  # fail-slow inflation (gray failure)
             if end > thread.now:
                 thread.now = end
                 clock = thread.clock

@@ -57,11 +57,12 @@ class RAID0:
         return pieces
 
     @staticmethod
-    def _consult(member: int, dev: SSDDevice, op: str, at: float) -> None:
+    def _consult(member: int, dev: SSDDevice, op: str, at: float) -> float:
         """Let the member's injector veto the IO; tag failures with the
-        member index so callers know which leg of the stripe died."""
+        member index so callers know which leg of the stripe died.
+        Returns the member's fail-slow latency penalty (0.0 normally)."""
         try:
-            dev.injector.before_io(dev, op, at)
+            return dev.injector.before_io(dev, op, at)
         except StorageError as exc:
             exc.raid_member = member
             raise
@@ -81,13 +82,13 @@ class RAID0:
         at = thread.now if thread is not None else 0.0
         done = at
         for member, dev, dev_off, length in self._extents(offset, size):
-            self._consult(member, dev, "read", at)
+            penalty = self._consult(member, dev, "read", at)
             chunks.append(dev.read_raw(dev_off, length))
             dev.read_ios += 1
             if thread is not None:
                 end = dev.read_channel.request(thread.now, length, dev.spec.read_latency)
                 dev.bytes_read += length
-                done = max(done, end)
+                done = max(done, end + penalty if penalty else end)
             else:
                 dev.bytes_read += length
         if thread is not None:
@@ -99,14 +100,14 @@ class RAID0:
         done = at
         pos = 0
         for member, dev, dev_off, length in self._extents(offset, len(data)):
-            self._consult(member, dev, "write", at)
+            penalty = self._consult(member, dev, "write", at)
             dev.write_raw(dev_off, data[pos : pos + length])
             dev.write_ios += 1
             pos += length
             if thread is not None:
                 end = dev.write_channel.request(thread.now, length, dev.spec.write_latency)
                 dev.bytes_written += length
-                done = max(done, end)
+                done = max(done, end + penalty if penalty else end)
             else:
                 dev.bytes_written += length
         if thread is not None:
@@ -140,13 +141,13 @@ class RAID0:
                 missing.append((pos, length))
                 pos += length
                 continue
-            self._consult(member, dev, "read", at)
+            penalty = self._consult(member, dev, "read", at)
             chunks.append(dev.read_raw(dev_off, length))
             dev.read_ios += 1
             dev.bytes_read += length
             if thread is not None:
                 end = dev.read_channel.request(thread.now, length, dev.spec.read_latency)
-                done = max(done, end)
+                done = max(done, end + penalty if penalty else end)
             pos += length
         if thread is not None:
             thread.wait_until(done)

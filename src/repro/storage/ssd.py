@@ -95,38 +95,46 @@ class SSDDevice(Device):
     # ------------------------------------------------------------------
     def read(self, thread: Optional[VThread], offset: int, size: int) -> bytes:
         """Blocking read: the thread waits for device completion."""
-        self.injector.before_io(self, "read", thread.now if thread is not None else 0.0)
+        penalty = self.injector.before_io(
+            self, "read", thread.now if thread is not None else 0.0
+        )
         data = self.read_raw(offset, size)
         self.read_ios += 1
         self.charge_read(thread, size)
+        if penalty and thread is not None:
+            thread.wait_until(thread.now + penalty)
         return data
 
     def write(self, thread: Optional[VThread], offset: int, data: bytes) -> None:
         """Blocking write."""
         at = thread.now if thread is not None else 0.0
-        self.injector.before_io(self, "write", at)
+        penalty = self.injector.before_io(self, "write", at)
         # Silent-corruption hook: the stored bytes may differ from the
         # submitted ones (bit flip / torn write) while the device still
         # reports success — timing and accounting cover the full size.
         self.write_raw(offset, self.injector.corrupt_write(self, at, offset, data))
         self.write_ios += 1
         self.charge_write(thread, len(data))
+        if penalty and thread is not None:
+            thread.wait_until(thread.now + penalty)
 
     # ------------------------------------------------------------------
     # asynchronous (timed) IO — building blocks for IOUring
     # ------------------------------------------------------------------
     def read_async(self, at: float, offset: int, size: int) -> float:
         """Start a read at virtual time ``at``; returns completion time."""
-        self.injector.before_io(self, "read", at)
+        penalty = self.injector.before_io(self, "read", at)
         self.read_ios += 1
-        return self.charge_read_async(at, size)
+        end = self.charge_read_async(at, size)
+        return end + penalty if penalty else end
 
     def write_async(self, at: float, offset: int, data: bytes) -> float:
         """Start a write at ``at``; data is durable at the returned time."""
-        self.injector.before_io(self, "write", at)
+        penalty = self.injector.before_io(self, "write", at)
         self.write_raw(offset, self.injector.corrupt_write(self, at, offset, data))
         self.write_ios += 1
-        return self.charge_write_async(at, len(data))
+        end = self.charge_write_async(at, len(data))
+        return end + penalty if penalty else end
 
     def crash(self) -> None:
         """Completed writes are durable; nothing volatile to drop here."""

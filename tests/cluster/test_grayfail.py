@@ -1,0 +1,142 @@
+"""End-to-end gray failure: injection through the router's defenses.
+
+Tier-1 runs a small smoke configuration (cheap enough for every CI
+run); the full-size bench gates are marked ``slow_gray``.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import grayfail as gf
+from repro.cluster.crash_sweep import ClusterCrashSweep
+from repro.cluster.health import HealthConfig
+from repro.cluster.runner import GrayPlan
+from repro.faults.crash_sweep import default_ops
+
+SMOKE = dict(num_keys=800, num_ops=2500)
+
+
+@pytest.fixture(scope="module")
+def smoke_runs():
+    return gf.grayfail_comparison(**SMOKE)
+
+
+class TestGrayPlan:
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            GrayPlan(shard_id=0, at_fraction=1.0)
+
+    def test_gray_shard_is_injected_and_run_stays_green(self, smoke_runs):
+        undefended = smoke_runs["undefended"]
+        counters = undefended.run.metrics["counters"]
+        assert counters["fault.slow_injections"] > 0
+        assert counters["cluster.gray_injected"] == 1
+        # Gray failure is silent: nothing errors, nothing is lost.
+        assert undefended.ops_failed == 0
+        assert undefended.audit["lost_acked"] == 0
+        assert undefended.audit["wrong_value"] == 0
+
+
+class TestDefense:
+    def test_defense_counters_present_in_metrics_json(self, smoke_runs):
+        """The metrics JSON schema: every defense counter is present
+        (pre-touched) even when a mechanism never fired."""
+        counters = smoke_runs["defended"].run.metrics["counters"]
+        for name in (
+            "hedge.fired", "hedge.won", "hedge.wasted",
+            "breaker.opened", "breaker.closed", "fault.slow_injections",
+        ):
+            assert name in counters, f"missing counter {name}"
+
+    def test_hedges_fire_and_accounting_adds_up(self, smoke_runs):
+        counters = smoke_runs["defended"].run.metrics["counters"]
+        assert counters["hedge.fired"] > 0
+        assert (
+            counters["hedge.won"] + counters["hedge.wasted"]
+            == counters["hedge.fired"]
+        )
+
+    def test_breaker_opens_on_the_gray_shard(self, smoke_runs):
+        counters = smoke_runs["defended"].run.metrics["counters"]
+        assert counters["breaker.opened"] > 0
+
+    def test_defended_tail_beats_undefended(self, smoke_runs):
+        defended = gf.read_p99(smoke_runs["defended"])
+        undefended = gf.read_p99(smoke_runs["undefended"])
+        assert defended < undefended
+
+    def test_gates_pass_at_smoke_size(self, smoke_runs):
+        ok_tail, msg = gf.check_tail(
+            smoke_runs["healthy"], smoke_runs["defended"]
+        )
+        assert ok_tail, msg
+        ok_cost, msg = gf.check_overhead(smoke_runs["defended"])
+        assert ok_cost, msg
+
+    def test_defended_run_loses_nothing(self, smoke_runs):
+        defended = smoke_runs["defended"]
+        assert defended.audit["lost_acked"] == 0
+        assert defended.audit["wrong_value"] == 0
+
+
+class TestDeterminism:
+    def test_two_defended_gray_runs_are_byte_identical(self):
+        def payload():
+            results = gf.grayfail_comparison(num_keys=400, num_ops=1200)
+            return json.dumps(
+                results["defended"].run.metrics, sort_keys=True, indent=1
+            )
+
+        assert payload() == payload()
+
+
+class TestGrayCrashSweep:
+    def test_gray_shard_must_differ_from_crash_shard(self):
+        with pytest.raises(ValueError):
+            ClusterCrashSweep(gray_shard=0)
+
+    def test_kill_under_gray_keeps_durability(self):
+        sweep = ClusterCrashSweep(
+            ops=default_ops(120, 30, seed=7), gray_shard=1
+        )
+        report = sweep.run()
+        assert report.ok, report.summary()
+
+
+@pytest.mark.slow_gray
+class TestFullGates:
+    def test_full_size_gates(self):
+        results = gf.grayfail_comparison()
+        ok_tail, msg = gf.check_tail(results["healthy"], results["defended"])
+        assert ok_tail, msg
+        ok_cost, msg = gf.check_overhead(results["defended"])
+        assert ok_cost, msg
+
+    def test_full_gray_crash_sweep(self):
+        sweep = ClusterCrashSweep(gray_shard=1)
+        report = sweep.run()
+        assert report.ok, report.summary()
+
+
+class TestHealthyDefenseOverhead:
+    def test_armed_but_healthy_cluster_hedges_rarely(self):
+        """With no gray fault, the defense must stay near-free: no
+        breaker opens and wasted hedges stay under the overhead gate."""
+        results = {
+            "healthy": gf.grayfail_comparison(
+                num_keys=400, num_ops=1200
+            )["healthy"],
+        }
+        cluster = gf._build(HealthConfig(), 400)
+        from repro.cluster.runner import run_cluster_workload
+
+        armed = run_cluster_workload(
+            cluster, gf.READ_HEAVY_UNIFORM, 1200, 400,
+            clients_per_shard=2, seed=5,
+        )
+        cluster.close()
+        counters = armed.run.metrics["counters"]
+        assert counters["breaker.opened"] == 0
+        ok, msg = gf.check_overhead(armed)
+        assert ok, msg

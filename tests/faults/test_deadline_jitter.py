@@ -1,0 +1,123 @@
+"""Per-op deadline budgets and bounded decorrelated backoff jitter."""
+
+import pytest
+
+from repro.faults.errors import DeadlineExceededError, TransientWriteError
+from repro.faults.retry import RetryExecutor, RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import VirtualClock
+from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
+
+
+def _thread():
+    return VThread(0, VirtualClock())
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, at=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientWriteError("dev", "write")
+        return "ok" if at is None else at
+
+
+class TestDeadline:
+    def test_backoff_past_deadline_raises_typed(self):
+        metrics = MetricsRegistry()
+        exe = RetryExecutor(
+            RetryPolicy(max_retries=4, backoff_base=100e-6), metrics=metrics
+        )
+        thread = _thread()
+        with pytest.raises(DeadlineExceededError) as err:
+            exe.run(Flaky(99), thread=thread, device="dev", op="write",
+                    deadline=50e-6)
+        # The executor refused to sleep: the thread never crossed it.
+        assert thread.now <= 50e-6
+        assert err.value.deadline == 50e-6
+        assert isinstance(err.value, StorageError)
+        assert exe.deadline_exceeded == 1
+        assert metrics.counter("faults.deadline_exceeded").value == 1
+
+    def test_deadline_with_headroom_does_not_fire(self):
+        exe = RetryExecutor(RetryPolicy(max_retries=4, backoff_base=10e-6))
+        thread = _thread()
+        assert exe.run(Flaky(2), thread=thread, device="dev", op="write",
+                       deadline=1.0) == "ok"
+        assert exe.deadline_exceeded == 0
+
+    def test_thread_deadline_attribute_is_honoured(self):
+        exe = RetryExecutor(RetryPolicy(max_retries=4, backoff_base=100e-6))
+        thread = _thread()
+        thread.deadline = 50e-6
+        with pytest.raises(DeadlineExceededError):
+            exe.run(Flaky(99), thread=thread, device="dev", op="write")
+
+    def test_explicit_deadline_overrides_thread(self):
+        exe = RetryExecutor(RetryPolicy(max_retries=4, backoff_base=10e-6))
+        thread = _thread()
+        thread.deadline = 1e-9  # would fire immediately
+        assert exe.run(Flaky(1), thread=thread, device="dev", op="write",
+                       deadline=1.0) == "ok"
+
+    def test_run_at_honours_deadline(self):
+        exe = RetryExecutor(RetryPolicy(max_retries=4, backoff_base=100e-6))
+        with pytest.raises(DeadlineExceededError):
+            exe.run_at(Flaky(99), at=0.0, device="dev", op="write",
+                       deadline=50e-6)
+
+    def test_no_deadline_keeps_old_behaviour(self):
+        exe = RetryExecutor(RetryPolicy(max_retries=2, backoff_base=10e-6))
+        thread = _thread()
+        assert exe.run(Flaky(2), thread=thread, device="dev", op="write") == "ok"
+        assert thread.now == pytest.approx(30e-6)
+
+
+class TestJitter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(backoff_base=10e-6, backoff_factor=2.0)
+        assert policy.delay(0) == 10e-6
+        assert policy.delay(3) == 80e-6
+        assert policy._jitter_rng is None  # no RNG exists to drift
+
+    def test_jitter_bounded_below_base(self):
+        policy = RetryPolicy(backoff_base=10e-6, backoff_factor=2.0,
+                             jitter=0.5, jitter_seed=11)
+        for attempt in range(6):
+            base = 10e-6 * 2.0**attempt
+            d = policy.delay(attempt)
+            assert base * 0.5 <= d <= base
+
+    def test_same_seed_same_delays(self):
+        a = RetryPolicy(jitter=0.5, jitter_seed=7)
+        b = RetryPolicy(jitter=0.5, jitter_seed=7)
+        c = RetryPolicy(jitter=0.5, jitter_seed=8)
+        seq_a = [a.delay(i) for i in range(8)]
+        seq_b = [b.delay(i) for i in range(8)]
+        seq_c = [c.delay(i) for i in range(8)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_jittered_retries_spread_threads(self):
+        def total(seed):
+            exe = RetryExecutor(RetryPolicy(
+                max_retries=4, backoff_base=10e-6, jitter=0.9,
+                jitter_seed=seed,
+            ))
+            thread = _thread()
+            exe.run(Flaky(3), thread=thread, device="dev", op="write")
+            return thread.now
+
+        assert total(1) != total(2)  # different streams desynchronize
