@@ -258,6 +258,35 @@ def _grayfail(args):
     return {label: res.run for label, res in results.items()}
 
 
+def _rebalance(args):
+    from repro.bench import rebalance as rb
+
+    if getattr(args, "smoke", False):
+        results = rb.cluster_rebalance(
+            num_keys=1200, num_ops=3000, clients_per_shard=2,
+            bandwidth=64.0 * 1024,
+        )
+    else:
+        results = rb.cluster_rebalance()
+    print("Elasticity — live resharding under load (YCSB-A uniform, "
+          "RF=2, quorum)")
+    all_ok = True
+    for label in ("scale_out", "scale_in"):
+        res = results[label]
+        reb = res.rebalance
+        print(f"  {label:9} {res.run.kops:9.1f} Kops/s  "
+              f"ok/shed/failed {res.ops_ok}/{res.ops_shed}/{res.ops_failed}  "
+              f"moved {reb.get('keys_moved', 0)} keys  "
+              f"forwarded-read p99 window {reb.get('read_p99_migrating', 0.0):6.1f}us "
+              f"vs steady {reb.get('read_p99_steady', 0.0):6.1f}us")
+        ok, msg = rb.check_rebalance(res)
+        print(f"  {label} gate: {'PASS' if ok else 'FAIL'} — {msg}")
+        all_ok = all_ok and ok
+    if not all_ok:
+        raise SystemExit(1)
+    return {label: res.run for label, res in results.items()}
+
+
 def _cache(args):
     from repro.bench import cache as ca
     from repro.bench.stores import MB
@@ -344,6 +373,7 @@ COMMANDS = {
     "faults": _faults,
     "grayfail": _grayfail,
     "perf": _perf,
+    "rebalance": _rebalance,
     "scalars": _scalars,
     "scrub": _scrub,
     "media": _media,
@@ -367,7 +397,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help="tiny fast configuration (CI smoke; cache, cluster, grayfail, "
-             "perf, and scrub)",
+             "perf, rebalance, and scrub)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

@@ -10,11 +10,20 @@ re-replication, and per-shard admission control.  See
 from repro.cluster.admission import AdmissionController, TokenBucket
 from repro.cluster.errors import (
     ClusterError,
+    RebalanceInProgressError,
+    ShardDrainingError,
     ShardOverloadedError,
     ShardUnavailableError,
 )
 from repro.cluster.health import CircuitBreaker, HealthConfig, HealthMonitor
-from repro.cluster.ring import HashRing
+from repro.cluster.rebalance import Migration, MoveSpec, plan_moves
+from repro.cluster.ring import (
+    DuplicateShardError,
+    HashRing,
+    LastShardError,
+    RingError,
+    UnknownShardError,
+)
 from repro.cluster.router import (
     ClusterConfig,
     PrismCluster,
@@ -27,13 +36,22 @@ __all__ = [
     "CircuitBreaker",
     "ClusterConfig",
     "ClusterError",
+    "DuplicateShardError",
     "HashRing",
     "HealthConfig",
     "HealthMonitor",
+    "LastShardError",
+    "Migration",
+    "MoveSpec",
     "PrismCluster",
+    "RebalanceInProgressError",
+    "RingError",
     "Shard",
+    "ShardDrainingError",
     "ShardOverloadedError",
     "ShardUnavailableError",
     "TokenBucket",
+    "UnknownShardError",
     "default_shard_factory",
+    "plan_moves",
 ]

@@ -216,9 +216,10 @@ class ClusterCrashSweep:
         cluster: PrismCluster,
         acked: Dict[bytes, Optional[bytes]],
         pending: Optional[Op],
+        crash_shard: int = CRASH_SHARD,
     ) -> List[str]:
         violations: List[str] = []
-        if CRASH_SHARD not in {s.shard_id for s in cluster.shards if not s.up}:
+        if crash_shard not in {s.shard_id for s in cluster.shards if not s.up}:
             violations.append("crashed shard never marked down")
         pend_key = (
             pending[1] if pending and pending[0] in ("put", "delete") else None
@@ -280,6 +281,199 @@ class ClusterCrashSweep:
             label, count = labels[rng.randrange(len(labels))]
             outcomes.append(self.verify_label(label, rng.randint(1, count)))
         return outcomes
+
+
+class RebalanceCrashSweep(ClusterCrashSweep):
+    """Shard death at every crash label reached *during a live
+    migration* — the crash-safety half of the elasticity contract.
+
+    A membership change triggers at ``trigger_fraction`` of the
+    workload; discovery then records which crash labels the watched
+    shard's store reaches inside the migration window, and each replay
+    arms one of those in-window occurrences and kills the shard when
+    it fires.  Three roles cover the interesting deaths:
+
+    * ``source`` — shard 0 (an old owner streaming keys out) dies
+      while a new member is being added;
+    * ``target`` — the joining shard itself dies mid-copy (the
+      migration must abort and routing revert to the old ring, with
+      migration-window writes resynced back);
+    * ``leaving`` — scale-in: shard 0 drains out and a *surviving*
+      owner (shard 1, receiving the copy stream) dies mid-migration
+      (the handoff fast-forwards onto the remaining members).
+
+    Every crash label lives on a mutation path, and a draining shard
+    admits no mutations — it has no torn mid-operation state to
+    explore — so the scale-in role kills the member with inbound
+    stream writes instead; the draining shard's own (state-less) death
+    is covered by the direct kill-mid-drain tests.
+
+    The audit is the parent's: every acknowledged write readable with
+    its exact value through the router, the pending operation atomic.
+    """
+
+    ROLES = ("source", "target", "leaving")
+
+    def __init__(
+        self,
+        cluster_factory: Callable[[], PrismCluster] = default_cluster_factory,
+        ops: Optional[List[Op]] = None,
+        role: str = "source",
+        trigger_fraction: float = 1.0 / 3.0,
+        bandwidth: float = 32.0 * 1024,
+    ) -> None:
+        super().__init__(cluster_factory, ops)
+        if role not in self.ROLES:
+            raise ValueError(f"unknown rebalance-crash role: {role}")
+        self.role = role
+        self.action = "remove" if role == "leaving" else "add"
+        # The member whose crash points are explored ("target" watches
+        # the joining shard, which only exists after the trigger).
+        self.watch_sid = 1 if role == "leaving" else CRASH_SHARD
+        self.trigger_at = max(1, int(len(self.ops) * trigger_fraction))
+        self.bandwidth = bandwidth
+        # Label counts on the watched shard *before* the migration
+        # window opens; replays arm the (before + k)-th occurrence so
+        # the crash always lands inside the window.
+        self._before: Dict[str, int] = {}
+
+    def _trigger(self, cluster: PrismCluster) -> int:
+        if self.action == "add":
+            return cluster.add_shard(bandwidth=self.bandwidth)
+        cluster.remove_shard(CRASH_SHARD, bandwidth=self.bandwidth)
+        return CRASH_SHARD
+
+    def discover(self) -> Dict[str, int]:
+        """Labels the watched shard reaches inside the migration window."""
+        cluster = self._make_cluster()
+        point = None
+        before: Dict[str, int] = {}
+        window_end: Optional[Dict[str, int]] = None
+        if self.role != "target":
+            point = cluster.shards[self.watch_sid].store.crash_point
+            point.start_recording()
+        for i, op in enumerate(self.ops):
+            if i == self.trigger_at:
+                sid = self._trigger(cluster)
+                if self.role == "target":
+                    point = cluster.shards[sid].store.crash_point
+                    point.start_recording()
+                else:
+                    before = dict(point.seen)
+            self._apply_op(cluster, op)
+            if (
+                point is not None
+                and i >= self.trigger_at
+                and window_end is None
+                and not cluster.rebalancing
+            ):
+                window_end = dict(point.seen)
+        if window_end is None:
+            # The stream outlived the workload: its drain is still part
+            # of the migration window.
+            cluster.finish_rebalance()
+            window_end = dict(point.seen)
+        point.stop_recording()
+        self._before = before
+        return {
+            label: count - before.get(label, 0)
+            for label, count in window_end.items()
+            if count > before.get(label, 0)
+        }
+
+    def verify_label(self, label: str, occurrence: int = 1) -> ClusterLabelOutcome:
+        """One in-window shard death, then audit through the router."""
+        cluster = self._make_cluster()
+        point = None
+        crash_sid = self.watch_sid
+        if self.role != "target":
+            point = cluster.shards[self.watch_sid].store.crash_point
+            point.arm(label, self._before.get(label, 0) + occurrence)
+        acked: Dict[bytes, Optional[bytes]] = {}
+        pending: Optional[Op] = None
+        crashed = False
+        for i, op in enumerate(self.ops):
+            if i == self.trigger_at:
+                sid = self._trigger(cluster)
+                if self.role == "target":
+                    crash_sid = sid
+                    point = cluster.shards[sid].store.crash_point
+                    point.arm(label, occurrence)
+            try:
+                self._apply_op(cluster, op)
+            except SimulatedCrash:
+                crashed = True
+                pending = op
+                cluster.fail_shard(crash_sid)
+                continue
+            except (ClusterError, StorageError):
+                continue  # failed cleanly; not acked
+            if op[0] == "put":
+                acked[op[1]] = op[2]
+            elif op[0] == "delete":
+                acked[op[1]] = None
+        if not crashed:
+            # The armed occurrence may sit in the tail of the copy
+            # stream, past the last client op.
+            try:
+                cluster.finish_rebalance()
+            except SimulatedCrash:
+                crashed = True
+                cluster.fail_shard(crash_sid)
+        cluster.finish_rebalance()
+        fired = point is not None and point.fired == label
+        outcome = ClusterLabelOutcome(
+            label=label, occurrence=occurrence, fired=fired
+        )
+        if not fired:
+            if point is not None:
+                point.disarm()
+            return outcome
+        assert crashed, f"label {label} fired but no crash surfaced"
+        outcome.violations = self._audit(
+            cluster, acked, pending, crash_shard=crash_sid
+        )
+        outcome.keys_checked = len(acked)
+        return outcome
+
+
+def rebalance_main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.crash_sweep --rebalance",
+        description=(
+            "Kill a shard at every crash point reached during a live "
+            "migration (source, target, and leaving roles); audit the "
+            "router."
+        ),
+    )
+    parser.add_argument("--ops", type=int, default=300, help="workload length")
+    parser.add_argument("--keys", type=int, default=60, help="key-space size")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--role", choices=RebalanceCrashSweep.ROLES + ("all",), default="all",
+        help="which migration participant dies",
+    )
+    parser.add_argument(
+        "--fuzz", type=int, default=0,
+        help="extra randomized (label, occurrence) trials per role",
+    )
+    args = parser.parse_args(argv)
+    roles = (
+        RebalanceCrashSweep.ROLES if args.role == "all" else (args.role,)
+    )
+    ok = True
+    for role in roles:
+        sweep = RebalanceCrashSweep(
+            ops=default_ops(args.ops, args.keys, args.seed), role=role
+        )
+        report = sweep.run()
+        if args.fuzz:
+            report.outcomes.extend(sweep.fuzz(args.fuzz, seed=args.seed))
+        print(f"[role={role}] {report.summary()}")
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,8 +1,8 @@
 """Typed failures of the cluster serving layer.
 
 Everything derives from :class:`ClusterError` so callers can treat the
-router as one fallible component, while the two leaf classes keep the
-crucial distinction visible:
+router as one fallible component, while the leaf classes keep the
+crucial distinctions visible:
 
 * :class:`ShardOverloadedError` — *load shedding*: the target shard's
   admission control (queue-depth cap or token bucket) rejected the
@@ -38,6 +38,34 @@ class ShardOverloadedError(ClusterError):
         self.shard_id = shard_id
         self.reason = reason
         self.retry_after = retry_after
+
+
+class ShardDrainingError(ClusterError):
+    """The shard is being decommissioned and admits no *new* writes.
+
+    Raised by admission control on a draining member: in-flight
+    operations and migration traffic still flow, reads still serve
+    (the dual-read window needs them), but fresh writes must go to the
+    key's new owner — the router catches this and retries there.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(
+            f"shard {shard_id} is draining; new writes go to the new owner"
+        )
+        self.shard_id = shard_id
+
+
+class RebalanceInProgressError(ClusterError):
+    """Only one membership change may run at a time.
+
+    ``add_shard``/``remove_shard`` during an active migration would
+    need a three-ring routing rule; callers must wait for (or finish)
+    the current migration first.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"a rebalance is already in progress: {detail}")
 
 
 class ShardUnavailableError(ClusterError):

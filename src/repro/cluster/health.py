@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.obs.metrics import EventLog, MetricsRegistry, NULL_REGISTRY
 
@@ -227,6 +227,10 @@ class HealthMonitor:
         self._recent: Deque[float] = deque(maxlen=config.hedge_window)
         self._hedge_delay = float("inf")  # no hedging until warmed up
         self._since_refresh = 0
+        # Shards whose observations are ignored while set — live
+        # resharding exempts the migration source and target so
+        # bulk-move latency cannot flip a healthy shard's breaker.
+        self.exempt: Set[int] = set()
 
     # ------------------------------------------------------------------
     # the router swaps its registry per run; keep breakers in sync
@@ -235,6 +239,31 @@ class HealthMonitor:
         self.metrics = metrics
         for breaker in self.breakers.values():
             breaker.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # membership (live resharding adds shards after construction)
+    # ------------------------------------------------------------------
+    def register(self, shard_id: int) -> None:
+        """Start tracking a shard added after construction."""
+        if shard_id in self.shards:
+            return
+        self.shards[shard_id] = ShardHealth(shard_id)
+        self.breakers[shard_id] = CircuitBreaker(
+            shard_id, self.config, self.metrics, self.events
+        )
+
+    def set_exempt(self, shard_id: int, exempt: bool) -> None:
+        """Suspend (or resume) verdicts for one shard.
+
+        While exempt, :meth:`record_read` and :meth:`record_failure`
+        are no-ops for the shard: its EWMA freezes, its breaker takes
+        no verdicts, and its latencies stay out of the pooled hedge
+        window.  Migration traffic is real load, not sickness.
+        """
+        if exempt:
+            self.exempt.add(shard_id)
+        else:
+            self.exempt.discard(shard_id)
 
     # ------------------------------------------------------------------
     # scoring and verdicts
@@ -271,6 +300,8 @@ class HealthMonitor:
 
     def record_read(self, shard_id: int, latency: float, at: float) -> None:
         """Feed one served read; updates scores, breaker, hedge window."""
+        if self.exempt and shard_id in self.exempt:
+            return
         cfg = self.config
         health = self.shards[shard_id]
         health.record(latency, cfg.ewma_alpha)
@@ -302,6 +333,8 @@ class HealthMonitor:
     def record_failure(self, shard_id: int, at: float) -> None:
         """A routed request to the shard raised: hard evidence it is
         unwell — counts as a gray verdict (and fails any probe)."""
+        if self.exempt and shard_id in self.exempt:
+            return
         if self.config.enable_breaker:
             self.breakers[shard_id].on_verdict(True, at)
 

@@ -23,6 +23,42 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 _HASH_BYTES = 8  # 64-bit ring positions
 
+RING_SPAN = 1 << 64  # positions live in [0, RING_SPAN)
+
+
+class RingError(ValueError):
+    """Base for ring membership failures (still a ValueError, so
+    callers written against the old untyped raises keep working)."""
+
+
+class UnknownShardError(RingError):
+    """The shard id is not a member of the ring."""
+
+    def __init__(self, shard_id: int, members: Iterable[int]) -> None:
+        super().__init__(
+            f"shard {shard_id} not on the ring (members: {sorted(members)})"
+        )
+        self.shard_id = shard_id
+
+
+class DuplicateShardError(RingError):
+    """The shard id is already a member of the ring."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"shard {shard_id} already on the ring")
+        self.shard_id = shard_id
+
+
+class LastShardError(RingError):
+    """Removing this shard would leave the ring empty — every key
+    would become unroutable, so the operation is refused up front."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(
+            f"cannot remove shard {shard_id}: it is the last ring member"
+        )
+        self.shard_id = shard_id
+
 
 def _hash64(data: bytes, seed: int) -> int:
     digest = hashlib.blake2b(
@@ -69,7 +105,7 @@ class HashRing:
     def add_shard(self, shard_id: int) -> None:
         """Insert a shard's vnodes; only ranges they land in re-map."""
         if shard_id in self._shards:
-            raise ValueError(f"shard {shard_id} already on the ring")
+            raise DuplicateShardError(shard_id)
         self._shards.add(shard_id)
         for point in self._vnode_points(shard_id):
             idx = bisect.bisect_left(self._points, point)
@@ -77,12 +113,36 @@ class HashRing:
             self._keys.insert(idx, point[0])
 
     def remove_shard(self, shard_id: int) -> None:
-        """Drop a shard's vnodes; only keys it owned re-map."""
+        """Drop a shard's vnodes; only keys it owned re-map.
+
+        Refuses (typed) to remove an id that is not a member, and to
+        remove the last member — an empty ring cannot route anything,
+        so the caller must know it is decommissioning the whole
+        cluster rather than discover it one failed lookup at a time.
+        """
         if shard_id not in self._shards:
-            raise ValueError(f"shard {shard_id} not on the ring")
+            raise UnknownShardError(shard_id, self._shards)
+        if len(self._shards) == 1:
+            raise LastShardError(shard_id)
         self._shards.discard(shard_id)
         self._points = [p for p in self._points if p[1] != shard_id]
         self._keys = [pos for pos, _ in self._points]
+
+    def with_shard_added(self, shard_id: int) -> "HashRing":
+        """A fresh ring with ``shard_id`` added (this one untouched)."""
+        return HashRing(
+            sorted(self._shards | {shard_id}), vnodes=self.vnodes, seed=self.seed
+        )
+
+    def with_shard_removed(self, shard_id: int) -> "HashRing":
+        """A fresh ring with ``shard_id`` removed (this one untouched)."""
+        if shard_id not in self._shards:
+            raise UnknownShardError(shard_id, self._shards)
+        if len(self._shards) == 1:
+            raise LastShardError(shard_id)
+        return HashRing(
+            sorted(self._shards - {shard_id}), vnodes=self.vnodes, seed=self.seed
+        )
 
     # ------------------------------------------------------------------
     # lookups
@@ -133,6 +193,40 @@ class HashRing:
             if len(result) == want:
                 break
         return result
+
+    # ------------------------------------------------------------------
+    # ranges (rebalancing works range-by-range, not key-by-key)
+    # ------------------------------------------------------------------
+    def owned_ranges(self, shard_id: int) -> List[Tuple[int, int]]:
+        """The ring arcs whose keys ``shard_id`` owns as primary.
+
+        Each arc is ``(lo, hi]``: positions strictly above ``lo`` up to
+        and including ``hi``, where ``hi`` is one of the shard's vnode
+        positions and ``lo`` is the preceding point on the ring (any
+        member's).  An arc with ``lo >= hi`` wraps past the top of the
+        ring.  The live-resharding migrator uses these arcs as its
+        per-range cutover units.
+        """
+        if shard_id not in self._shards:
+            raise UnknownShardError(shard_id, self._shards)
+        ranges: List[Tuple[int, int]] = []
+        total = len(self._points)
+        for i, (pos, sid) in enumerate(self._points):
+            if sid != shard_id:
+                continue
+            lo = self._points[i - 1][0] if total > 1 else pos
+            ranges.append((lo, pos))
+        return ranges
+
+    @staticmethod
+    def position_in_range(position: int, arc: Tuple[int, int]) -> bool:
+        """Is a 64-bit ring position inside the ``(lo, hi]`` arc?"""
+        lo, hi = arc
+        if lo < hi:
+            return lo < position <= hi
+        # Wrapped arc (or a single-member ring, where lo == hi means
+        # the whole ring): everything above lo or at-or-below hi.
+        return position > lo or position <= hi
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -42,11 +42,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cache.sketch import FrequencySketch
-from repro.cluster.admission import AdmissionController
-from repro.cluster.errors import ShardUnavailableError
+from repro.cluster.admission import KIND_READ, KIND_WRITE, AdmissionController
+from repro.cluster.errors import (
+    RebalanceInProgressError,
+    ShardDrainingError,
+    ShardUnavailableError,
+)
 from repro.cluster.health import HealthConfig, HealthMonitor
+from repro.cluster.rebalance import ACTION_ADD, ACTION_REMOVE, Migration
 from repro.cluster.ring import HashRing
-from repro.cluster.shard import STATE_DOWN, Shard
+from repro.cluster.shard import STATE_DOWN, STATE_DRAINING, STATE_RETIRED, Shard
 from repro.core.config import PrismConfig
 from repro.core.prism import Prism
 from repro.faults.errors import (
@@ -66,6 +71,10 @@ MODE_SYNC = "sync"
 
 READ_PRIMARY = "primary"
 READ_SPREAD = "spread"
+
+# Default key-migration stream budget for live resharding, in bytes of
+# value payload per virtual second.
+DEFAULT_REBALANCE_BANDWIDTH = 8.0 * 1024 * 1024
 
 
 @dataclass
@@ -158,17 +167,9 @@ class PrismCluster:
         cfg = self.config
         self.clock = VirtualClock()
         factory = shard_factory or default_shard_factory
+        self._shard_factory = factory  # add_shard builds members with it
         self.shards: List[Shard] = [
-            Shard(
-                sid,
-                factory(sid, self.clock),
-                AdmissionController(
-                    sid,
-                    max_queue_depth=cfg.max_queue_depth,
-                    rate=cfg.rate_limit_ops,
-                    burst=cfg.rate_burst,
-                ),
-            )
+            Shard(sid, factory(sid, self.clock), self._admission_for(sid))
             for sid in range(cfg.num_shards)
         ]
         for shard in self.shards:
@@ -184,6 +185,11 @@ class PrismCluster:
         self.events = EventLog("cluster")
         self._down: Set[int] = set()
         self._unrebuilt: Set[int] = set()
+        # Live resharding: at most one membership change in flight.
+        # Every hook on the hot paths is behind this None check, so a
+        # run with no membership change stays byte-identical to the
+        # pre-elasticity tree.
+        self._migration: Optional[Migration] = None
         self._default_thread = VThread(0, self.clock, name="cluster-caller")
         self._spread_rr = itertools.count()
         self._async = cfg.replication_mode == MODE_ASYNC
@@ -233,10 +239,12 @@ class PrismCluster:
         return times
 
     def __len__(self) -> int:
-        # Replicated copies of a key count once.
+        # Replicated copies of a key count once.  Draining members
+        # still hold authoritative (unmoved) keys; retired ones hold
+        # only handed-off garbage and are excluded.
         counted: Set[bytes] = set()
         for shard in self.shards:
-            if shard.up:
+            if shard.serving:
                 counted.update(key for key, _ in shard.store.index.items())
         return len(counted)
 
@@ -247,7 +255,9 @@ class PrismCluster:
                 totals[key] = totals.get(key, 0.0) + value
         put = self.bytes_put
         totals["waf"] = self.ssd_bytes_written() / put if put else 0.0
-        totals["cluster_shards"] = float(len(self.shards))
+        totals["cluster_shards"] = float(
+            sum(1 for s in self.shards if s.state != STATE_RETIRED)
+        )
         totals["cluster_shards_down"] = float(len(self._down))
         totals["cluster_shed"] = float(
             sum(s.admission.shed_queue + s.admission.shed_rate for s in self.shards)
@@ -275,16 +285,54 @@ class PrismCluster:
     def _thread(self, thread: Optional[VThread]) -> VThread:
         return thread if thread is not None else self._default_thread
 
+    def _admission_for(self, shard_id: int) -> AdmissionController:
+        cfg = self.config
+        return AdmissionController(
+            shard_id,
+            max_queue_depth=cfg.max_queue_depth,
+            rate=cfg.rate_limit_ops,
+            burst=cfg.rate_burst,
+        )
+
+    @property
+    def rebalancing(self) -> bool:
+        return self._migration is not None
+
+    def _pump_migration(self, at: float) -> Optional[Migration]:
+        """Advance the migrator up to ``at``; returns the migration if
+        it is still active afterwards (it may have just finished)."""
+        mig = self._migration
+        if mig is not None:
+            mig.pump(at)
+        return self._migration
+
     def _owner_ids(self, key: bytes) -> List[int]:
         return self.ring.preference_list(key, self.config.replication_factor)
 
-    def _write_shards(self, key: bytes) -> List[Shard]:
-        """Live owners, primary first — where a write must land."""
-        if not self._down:
+    def _write_shards(
+        self, key: bytes, exclude_draining: bool = False
+    ) -> List[Shard]:
+        """Live owners, primary first — where a write must land.
+
+        Mid-migration, writes route to the key's *new* owners (the
+        migrator marks such keys fresh so it never clobbers them with
+        a stale copy).  ``exclude_draining`` is the retry posture after
+        a :class:`ShardDrainingError`: an operator-drained shard is
+        skipped and the ring walk promotes the next owner.
+        """
+        mig = self._migration
+        exclude = self._down
+        if exclude_draining:
+            exclude = exclude | {
+                s.shard_id for s in self.shards if s.state == STATE_DRAINING
+            }
+        if mig is not None:
+            ids = mig.write_owners(key, exclude if exclude else None)
+        elif not exclude:
             ids = self._owner_ids(key)
         else:
             ids = self.ring.preference_list(
-                key, self.config.replication_factor, exclude=self._down
+                key, self.config.replication_factor, exclude=exclude
             )
         if not ids:
             raise ShardUnavailableError(key, self.ring.shards | self._down)
@@ -343,9 +391,14 @@ class PrismCluster:
         thread.deadline = thread.now + health.config.op_deadline
         return True
 
-    def _admit(self, shard: Shard, at: float) -> None:
+    def _admit(self, shard: Shard, at: float, kind: str = KIND_READ) -> None:
         try:
-            shard.admission.admit(at)
+            shard.admission.admit(at, kind)
+        except ShardDrainingError:
+            # Not load shedding: the shard is leaving and the caller
+            # retries the write at the key's new owner.
+            self.metrics.counter("rebalance.drain_rejects").inc()
+            raise
         except Exception:
             self.metrics.counter("cluster.shed").inc()
             raise
@@ -382,12 +435,21 @@ class PrismCluster:
         self, key: bytes, value: Optional[bytes], thread: Optional[VThread]
     ) -> object:
         thread = self._thread(thread)
+        if self._migration is not None:
+            self._pump_migration(thread.now)
         armed = self._arm_deadline(thread)
         try:
             last_error: Optional[_ShardOpError] = None
             for _attempt in range(2):
                 try:
                     return self._replicated_apply(key, value, thread)
+                except ShardDrainingError:
+                    # The primary is being decommissioned: retry once
+                    # with draining members excluded so the ring walk
+                    # promotes the key's next (new) owner.
+                    return self._replicated_apply(
+                        key, value, thread, exclude_draining=True
+                    )
                 except _ShardOpError as err:
                     last_error = err
                     self._handle_failure(err, thread.now)
@@ -402,11 +464,15 @@ class PrismCluster:
                 thread.deadline = None
 
     def _replicated_apply(
-        self, key: bytes, value: Optional[bytes], thread: VThread
+        self,
+        key: bytes,
+        value: Optional[bytes],
+        thread: VThread,
+        exclude_draining: bool = False,
     ) -> object:
-        owners = self._write_shards(key)
+        owners = self._write_shards(key, exclude_draining=exclude_draining)
         primary, replicas = owners[0], owners[1:]
-        self._admit(primary, thread.now)
+        self._admit(primary, thread.now, KIND_WRITE)
         if self._async:
             primary.pump(thread.now)
         result = self._guard(
@@ -434,12 +500,21 @@ class PrismCluster:
                         else (lambda r=replica: r.store.delete(key, thread)),
                     )
                     ends.append(thread.now)
-                need = self.config.write_acks_required
+                # The mode's ack count is capped at the owners that
+                # actually exist: when failures (or a drain) leave
+                # fewer live owners than the replication factor, the
+                # write acknowledges at every surviving copy rather
+                # than waiting for replicas that cannot exist.
+                need = min(self.config.write_acks_required, len(owners))
                 if need > 1:
                     ends.sort()
                     thread.now = ends[need - 2]
                 else:
                     thread.now = primary_end
+        if self._migration is not None:
+            # Acked mid-migration at the new owners: the target's copy
+            # is now the newest — the migrator must not overwrite it.
+            self._migration.note_write(key)
         primary.admission.complete(thread.now)
         return result
 
@@ -449,6 +524,9 @@ class PrismCluster:
     def get(self, key: bytes, thread: Optional[VThread] = None) -> Optional[bytes]:
         """Point lookup; returns None for missing keys."""
         thread = self._thread(thread)
+        if self._migration is not None:
+            if self._pump_migration(thread.now) is not None:
+                return self._get_migrating(key, thread)
         if self._health is None:
             return self._get_plain(key, thread)
         armed = self._arm_deadline(thread)
@@ -457,6 +535,44 @@ class PrismCluster:
         finally:
             if armed:
                 thread.deadline = None
+
+    def _get_migrating(self, key: bytes, thread: VThread) -> Optional[bytes]:
+        """The dual-read window: unmoved affected keys are *forwarded*
+        to their old owner; moved/fresh and unaffected keys read from
+        the new ring.  Migration reads bypass the health scorer and
+        hedging entirely — breakers must not trip on (and hedges must
+        not race) migration traffic.
+        """
+        mig = self._migration
+        exclude = self._down if self._down else None
+        ids, forwarded = mig.read_route(key, exclude)
+        if not ids:
+            raise ShardUnavailableError(key, self.ring.shards | self._down)
+        if forwarded:
+            self.metrics.counter("rebalance.forwarded_reads").inc()
+        last_error: Optional[_ShardOpError] = None
+        for sid in ids:
+            shard = self.shards[sid]
+            if not shard.serving:
+                continue
+            self._admit(shard, thread.now, KIND_READ)
+            if self._async:
+                shard.pump(thread.now)
+            try:
+                value = self._guard(shard, lambda: shard.store.get(key, thread))
+            except _ShardOpError as err:
+                last_error = err
+                self._handle_failure(err, thread.now)
+                if self._migration is None:
+                    # The failure resolved the migration (abort or
+                    # fast-forward) — re-route on the settled ring.
+                    return self.get(key, thread)
+                continue
+            shard.admission.complete(thread.now)
+            return value
+        if last_error is not None:
+            raise last_error.cause
+        raise ShardUnavailableError(key, self.ring.shards | self._down)
 
     def _get_plain(self, key: bytes, thread: VThread) -> Optional[bytes]:
         """The undefended read path — byte-for-byte the pre-health one."""
@@ -598,13 +714,28 @@ class PrismCluster:
             if armed:
                 thread.deadline = None
 
+    def _read_primary(self, key: bytes) -> Optional[Shard]:
+        """The shard whose copy of ``key`` is authoritative right now
+        (migration-aware: the old owner inside the dual-read window)."""
+        mig = self._migration
+        if mig is not None:
+            ids, _forwarded = mig.read_route(
+                key, self._down if self._down else None
+            )
+            return self.shards[ids[0]] if ids else None
+        return self._read_shards(key)[0]
+
     def _scan(
         self, start: bytes, count: int, thread: VThread
     ) -> List[Tuple[bytes, bytes]]:
         t0 = thread.now
+        if self._migration is not None:
+            self._pump_migration(t0)
         ends: List[float] = []
         merged: Dict[bytes, bytes] = {}
-        serving = [s for s in self.shards if s.up]
+        # Draining members still serve scans — unmoved keys have no
+        # other authoritative copy until the migrator hands them off.
+        serving = [s for s in self.shards if s.serving]
         if not serving:
             raise ShardUnavailableError(start, self.ring.shards)
         for shard in serving:
@@ -622,10 +753,130 @@ class PrismCluster:
             ends.append(thread.now)
             shard.admission.complete(thread.now)
             for key, value in pairs:
-                if self._read_shards(key)[0] is shard:
+                if self._read_primary(key) is shard:
                     merged[key] = value
         thread.now = max(ends) if ends else t0
         return [(key, merged[key]) for key in sorted(merged)[:count]]
+
+    # ------------------------------------------------------------------
+    # elasticity (live resharding)
+    # ------------------------------------------------------------------
+    def add_shard(
+        self,
+        at: Optional[float] = None,
+        bandwidth: float = DEFAULT_REBALANCE_BANDWIDTH,
+        shard_factory: Optional[Callable[[int, VirtualClock], Prism]] = None,
+    ) -> int:
+        """Scale out by one member, live: build the shard, plan the
+        minimal key movement onto a ring with it added, and start the
+        background migrator.  Returns the new shard id.  The workload
+        keeps running throughout — reads of not-yet-moved keys forward
+        to the old owners, writes route to the new owners.
+        """
+        if self._migration is not None:
+            raise RebalanceInProgressError(repr(self._migration.snapshot()))
+        at = self.clock.now if at is None else at
+        if self._unrebuilt:
+            # Membership change on top of an unhealed failure would mix
+            # two rebalancing regimes; restore RF first.
+            self.rebuild(at)
+        sid = len(self.shards)
+        factory = shard_factory or self._shard_factory
+        store = factory(sid, self.clock)
+        if store.clock is not self.clock:
+            raise ValueError(
+                f"shard {sid} does not share the cluster clock; "
+                "build it with Prism(..., clock=clock)"
+            )
+        self.shards.append(Shard(sid, store, self._admission_for(sid)))
+        if self._health is not None:
+            self._health.register(sid)
+        new_ring = self.ring.with_shard_added(sid)
+        self._start_migration(ACTION_ADD, sid, new_ring, bandwidth, at)
+        return sid
+
+    def remove_shard(
+        self,
+        shard_id: int,
+        at: Optional[float] = None,
+        bandwidth: float = DEFAULT_REBALANCE_BANDWIDTH,
+    ) -> None:
+        """Scale in by one member, live: the shard drains (admission
+        rejects new writes, reads keep serving), its keys stream to
+        the surviving owners, and it retires at handoff.  Raises
+        :class:`~repro.cluster.ring.LastShardError` for the last
+        member and :class:`~repro.cluster.ring.UnknownShardError` for
+        an id not on the ring (both typed, both before any state
+        changes)."""
+        if self._migration is not None:
+            raise RebalanceInProgressError(repr(self._migration.snapshot()))
+        at = self.clock.now if at is None else at
+        new_ring = self.ring.with_shard_removed(shard_id)  # typed raises
+        shard = self.shards[shard_id]
+        if not shard.up:
+            raise ValueError(
+                f"cannot remove shard {shard_id}: state is {shard.state!r} "
+                "(a failed shard is removed by rebuild, not by drain)"
+            )
+        if self._unrebuilt:
+            self.rebuild(at)
+        shard.start_drain()
+        self.events.emit(at, "shard_draining", shard=shard_id)
+        self._start_migration(ACTION_REMOVE, shard_id, new_ring, bandwidth, at)
+
+    def _start_migration(
+        self,
+        action: str,
+        shard_id: int,
+        new_ring: HashRing,
+        bandwidth: float,
+        at: float,
+    ) -> None:
+        mig = Migration(self, action, shard_id, new_ring, bandwidth, at)
+        mig.plan(self.config.replication_factor)
+        self._migration = mig
+        # Pre-touch every migration instrument so the run's metrics
+        # JSON carries them (zero-valued) even when the window sees no
+        # traffic of that sort.
+        for name in (
+            "rebalance.keys_moved",
+            "rebalance.forwarded_reads",
+            "rebalance.redirected_writes",
+            "rebalance.drain_rejects",
+            "rebalance.keys_lost",
+            "rebalance.keys_retired",
+        ):
+            self.metrics.counter(name)
+        self.metrics.gauge("rebalance.cutover_seconds")
+        self.metrics.gauge("rebalance.duration_seconds")
+        if self._health is not None:
+            # Breakers must not trip on migration traffic: the member
+            # being bulk-loaded (add) or drained (remove) is exempt
+            # from health scoring until the migration resolves.
+            self._health.set_exempt(shard_id, True)
+        self.events.emit(
+            at,
+            "rebalance_started",
+            action=action,
+            shard=shard_id,
+            keys=len(mig.moves),
+            ranges=len(mig.range_total),
+            bandwidth=bandwidth,
+        )
+        mig.pump(at)  # an empty plan resolves immediately
+
+    def _end_migration(self, mig: Migration) -> None:
+        """Called by the migration itself on finish or abort."""
+        self._migration = None
+        if self._health is not None:
+            self._health.set_exempt(mig.shard_id, False)
+
+    def finish_rebalance(self) -> None:
+        """Drive any active migration to completion (drains the
+        remaining copy stream at the bandwidth budget)."""
+        mig = self._migration
+        if mig is not None:
+            mig.pump(float("inf"))
 
     # ------------------------------------------------------------------
     # failure handling
@@ -685,6 +936,13 @@ class PrismCluster:
         )
         if dropped:
             self.metrics.counter("cluster.repl.dropped").inc(dropped)
+        if self._migration is not None:
+            # Resolve the membership change *before* re-replication so
+            # the rebuild restores RF on one consistent ring: death of
+            # the joining member aborts (routing reverts to the old
+            # ring, migration-window writes resynced back), any other
+            # death fast-forwards the handoff to completion.
+            self._migration.on_shard_failed(shard_id, at)
         if self.config.auto_rebuild:
             self.rebuild(at)
 
@@ -763,16 +1021,18 @@ class PrismCluster:
     # lifecycle
     # ------------------------------------------------------------------
     def flush(self, thread: Optional[VThread] = None) -> None:
-        """Drain replication queues, then flush every live store."""
+        """Drain background work — the migration stream and the
+        replication queues — then flush every live store."""
+        self.finish_rebalance()
         for shard in self.shards:
-            if shard.up and shard.queue:
+            if shard.serving and shard.queue:
                 shard.pump(float("inf"))
         for shard in self.shards:
-            if shard.up:
+            if shard.serving:
                 shard.store.flush()
 
     def close(self) -> None:
         self.flush()
         for shard in self.shards:
-            if shard.up:
+            if shard.serving:
                 shard.store.close()

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bench.runner import RunResult
 from repro.cluster.errors import ClusterError, ShardOverloadedError
-from repro.cluster.router import PrismCluster
+from repro.cluster.router import DEFAULT_REBALANCE_BANDWIDTH, PrismCluster
 from repro.faults.errors import StorageError
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.stats import LatencyRecorder, Timeline
@@ -79,6 +79,30 @@ class GrayPlan:
         if not 0.0 <= self.at_fraction < 1.0:
             raise ValueError(
                 f"gray fraction must be in [0, 1): {self.at_fraction}"
+            )
+
+
+@dataclass
+class RebalancePlan:
+    """Change membership mid-run: grow by one shard (``action="add"``)
+    or drain and retire ``shard_id`` (``action="remove"``) once
+    ``at_fraction`` of the operations have executed.  The migration
+    streams at ``bandwidth`` bytes of value payload per virtual second
+    while the remaining operations keep running against the router."""
+
+    action: str = "add"
+    shard_id: Optional[int] = None  # required for "remove"
+    at_fraction: float = 0.25
+    bandwidth: float = DEFAULT_REBALANCE_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.action not in ("add", "remove"):
+            raise ValueError(f"unknown rebalance action: {self.action}")
+        if self.action == "remove" and self.shard_id is None:
+            raise ValueError("remove needs the shard_id to drain")
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ValueError(
+                f"rebalance fraction must be in (0, 1): {self.at_fraction}"
             )
 
 
@@ -156,6 +180,9 @@ class ClusterRunResult:
     audit: Dict[str, object] = field(default_factory=dict)
     recovery_seconds: Optional[float] = None
     killed_shard: Optional[int] = None
+    # Live-resharding outcomes (RebalancePlan runs only).
+    rebalanced_shard: Optional[int] = None
+    rebalance: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -183,6 +210,7 @@ def run_cluster_workload(
     seed: int = 2,
     kill_plan: Optional[KillPlan] = None,
     gray_plan: Optional[GrayPlan] = None,
+    rebalance_plan: Optional[RebalancePlan] = None,
     timeline_bucket: Optional[float] = None,
     collect_metrics: bool = True,
     audit: bool = True,
@@ -241,6 +269,13 @@ def run_cluster_workload(
     killed = False
     gray_at = int(num_ops * gray_plan.at_fraction) if gray_plan else None
     grayed = False
+    reb_at = int(num_ops * rebalance_plan.at_fraction) if rebalance_plan else None
+    rebalanced = False
+    reb_shard: Optional[int] = None
+    # Phase-split read latencies for the elasticity gate: reads while
+    # the migration is in flight vs. steady-state reads around it.
+    reads_steady = LatencyRecorder("read_steady") if rebalance_plan else None
+    reads_migrating = LatencyRecorder("read_migrating") if rebalance_plan else None
     slow_before = sum(
         s.store.injector.slow_injections
         for s in cluster.shards
@@ -279,7 +314,21 @@ def run_cluster_workload(
                     stall_duration=gray_plan.stall_duration,
                     stall_penalty=gray_plan.stall_penalty,
                 )
+            if reb_at is not None and not rebalanced and executed >= reb_at:
+                rebalanced = True
+                if rebalance_plan.action == "add":
+                    reb_shard = cluster.add_shard(
+                        at=thread.now, bandwidth=rebalance_plan.bandwidth
+                    )
+                else:
+                    reb_shard = rebalance_plan.shard_id
+                    cluster.remove_shard(
+                        reb_shard,
+                        at=thread.now,
+                        bandwidth=rebalance_plan.bandwidth,
+                    )
             before = thread.now
+            migrating = cluster.rebalancing
             is_write = op.kind in ("update", "insert", "delete")
             value = op.value if op.kind in ("update", "insert") else None
             try:
@@ -309,6 +358,8 @@ def run_cluster_workload(
             elapsed = thread.now - before
             latency.record(elapsed)
             per_kind.setdefault(op.kind, LatencyRecorder(op.kind)).record(elapsed)
+            if reads_steady is not None and op.kind == "read":
+                (reads_migrating if migrating else reads_steady).record(elapsed)
             if registry is not None:
                 registry.histogram("op.all").record(elapsed)
                 registry.histogram(f"op.{op.kind}").record(elapsed)
@@ -316,6 +367,11 @@ def run_cluster_workload(
                 timeline.record(thread.now - start)
             executed += 1
             heapq.heappush(heap, (thread.now, i))
+        if rebalanced:
+            # Drain the remaining copy stream (still at the bandwidth
+            # budget) while the run's metrics registry is installed, so
+            # the cutover/duration gauges land in this run's JSON.
+            cluster.finish_rebalance()
     finally:
         if restore is not None:
             cluster.metrics = restore
@@ -329,6 +385,30 @@ def run_cluster_workload(
     rebuilds = cluster.events.of_kind("rebuild")
     if rebuilds:
         recovery = float(rebuilds[-1]["duration"])
+    reb_report: Dict[str, object] = {}
+    if rebalanced:
+        done = [
+            e for e in cluster.events.of_kind("rebalance_done")
+            if e["at"] >= start
+        ]
+        aborted = [
+            e for e in cluster.events.of_kind("rebalance_aborted")
+            if e["at"] >= start
+        ]
+        reb_report = {
+            "action": rebalance_plan.action,
+            "shard": reb_shard,
+            "completed": bool(done),
+            "aborted": bool(aborted),
+            "read_p99_steady": reads_steady.p99(),
+            "read_p99_migrating": reads_migrating.p99(),
+            "reads_migrating": len(reads_migrating.samples),
+        }
+        if done:
+            reb_report["keys_moved"] = int(done[-1]["keys_moved"])
+            reb_report["keys_lost"] = int(done[-1]["keys_lost"])
+            reb_report["cutover_seconds"] = float(done[-1]["cutover_seconds"])
+            reb_report["time_to_rebalance"] = float(done[-1]["duration"])
     audit_report: Dict[str, object] = {}
     if audit:
         # Converge first (drain async replication), then read back on a
@@ -358,6 +438,17 @@ def run_cluster_workload(
         registry.gauge("ops_failed").set(failed)
         if recovery is not None:
             registry.gauge("cluster.recovery_seconds").set(recovery)
+        if rebalanced:
+            registry.gauge("rebalance.read_p99_steady_us").set(
+                reads_steady.p99()
+            )
+            registry.gauge("rebalance.read_p99_migrating_us").set(
+                reads_migrating.p99()
+            )
+            if "time_to_rebalance" in reb_report:
+                registry.gauge("rebalance.time_to_rebalance_seconds").set(
+                    float(reb_report["time_to_rebalance"])
+                )
         for key, value in audit_report.items():
             if isinstance(value, (int, float)):
                 registry.gauge(f"audit.{key}").set(float(value))
@@ -387,4 +478,6 @@ def run_cluster_workload(
         audit=audit_report,
         recovery_seconds=recovery,
         killed_shard=kill_plan.shard_id if (kill_plan and killed) else None,
+        rebalanced_shard=reb_shard,
+        rebalance=reb_report,
     )

@@ -33,6 +33,12 @@ from repro.sim.vthread import VThread
 
 STATE_UP = "up"
 STATE_DOWN = "down"
+# Live-resharding lifecycle: a DRAINING shard is healthy but being
+# decommissioned (serves reads and migration traffic, admits no new
+# writes); a RETIRED shard has handed off every key and left the ring
+# (its store is intact but the router never touches it again).
+STATE_DRAINING = "draining"
+STATE_RETIRED = "retired"
 
 # (key, value-or-None-for-delete, source shard id, enqueued at)
 ReplItem = Tuple[bytes, Optional[bytes], int, float]
@@ -65,8 +71,26 @@ class Shard:
     def up(self) -> bool:
         return self.state == STATE_UP
 
+    @property
+    def serving(self) -> bool:
+        """May this shard serve reads?  Draining members still must —
+        the dual-read window reads unmoved keys from the old owner."""
+        return self.state == STATE_UP or self.state == STATE_DRAINING
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Shard({self.shard_id}, {self.state}, queued={len(self.queue)})"
+
+    # ------------------------------------------------------------------
+    # decommissioning (live resharding)
+    # ------------------------------------------------------------------
+    def start_drain(self) -> None:
+        self.state = STATE_DRAINING
+        self.admission.start_drain()
+
+    def retire(self) -> None:
+        """Handoff complete: leave the serving set for good."""
+        self.state = STATE_RETIRED
+        self.admission.stop_drain()
 
     # ------------------------------------------------------------------
     # asynchronous replication

@@ -367,10 +367,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cluster mode: additionally latency-inflate this shard's "
              "devices 10x from the start (gray failure + fail-stop combined)",
     )
+    parser.add_argument(
+        "--rebalance", action="store_true",
+        help="elasticity mode: kill a migration participant (source, "
+             "target, and leaving shard) at every crash point reached "
+             "during a live reshard, and audit through the router",
+    )
+    parser.add_argument(
+        "--role", default="all",
+        help="rebalance mode: which participant dies "
+             "(source | target | leaving | all)",
+    )
     args = parser.parse_args(argv)
 
     if args.gray is not None and not args.cluster:
         parser.error("--gray requires --cluster")
+    if args.rebalance and (args.cluster or args.gray is not None):
+        parser.error("--rebalance and --cluster are mutually exclusive")
+
+    if args.rebalance:
+        from repro.cluster.crash_sweep import rebalance_main
+
+        forwarded = [
+            "--ops", str(args.ops), "--keys", str(args.keys),
+            "--seed", str(args.seed), "--role", args.role,
+        ]
+        if args.fuzz:
+            forwarded += ["--fuzz", str(args.fuzz)]
+        return rebalance_main(forwarded)
 
     if args.cluster:
         from repro.cluster.crash_sweep import ClusterCrashSweep
