@@ -338,6 +338,43 @@ def _cache(args):
     return results
 
 
+def _tiering(args):
+    from repro.bench import tiering as ti
+
+    if getattr(args, "smoke", False):
+        tiered, spread, allfast = ti.tiering_comparison(
+            num_keys=1000, num_ops=6000
+        )
+    else:
+        tiered, spread, allfast = ti.tiering_comparison()
+    print("Tiering — Zipfian YCSB-B, working set 2x the fast tier")
+    for label, run in (("tiered", tiered), ("spread", spread),
+                       ("allfast", allfast)):
+        reads = run.per_kind["read"]
+        print(f"  {label:8} {run.kops:9.1f} Kops/s  "
+              f"read p50 {reads.median():7.1f}us  "
+              f"p99 {reads.p99():8.1f}us  "
+              f"waf {run.waf:5.2f}  "
+              f"${ti.cost_per_mop(run):8.2f}/Mops")
+    stats = tiered.stats
+    print(f"\n  tiered placement: {stats.get('tier_demotions', 0):.0f} GC "
+          f"demotions + {stats.get('tier_cold_reclaims', 0):.0f} cold "
+          f"reclaims, {stats.get('tier_promotions', 0):.0f} promotions "
+          f"({stats.get('tier_promotions_stale', 0):.0f} stale-dropped)")
+    print(f"  demotion WAF {stats.get('tier_demotion_waf', 0.0):.3f}  "
+          f"fast occupancy {stats.get('tier_fast_occupancy', 0.0):5.1%}  "
+          f"cold occupancy {stats.get('tier_cold_occupancy', 0.0):5.1%}")
+    ok_p99, p99_msg = ti.check_read_p99(tiered, spread)
+    ok_cost, cost_msg = ti.check_cost_per_op(tiered, allfast)
+    ok_waf, waf_msg = ti.check_demotion_waf(tiered)
+    print(f"\n  p99 gate:  {'PASS' if ok_p99 else 'FAIL'} — {p99_msg}")
+    print(f"  cost gate: {'PASS' if ok_cost else 'FAIL'} — {cost_msg}")
+    print(f"  waf gate:  {'PASS' if ok_waf else 'FAIL'} — {waf_msg}")
+    if not (ok_p99 and ok_cost and ok_waf):
+        raise SystemExit(1)
+    return {"tiered": tiered, "spread": spread, "allfast": allfast}
+
+
 def _perf(args):
     from repro.perf import run_perf
 
@@ -376,6 +413,7 @@ COMMANDS = {
     "rebalance": _rebalance,
     "scalars": _scalars,
     "scrub": _scrub,
+    "tiering": _tiering,
     "media": _media,
 }
 
@@ -397,7 +435,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help="tiny fast configuration (CI smoke; cache, cluster, grayfail, "
-             "perf, rebalance, and scrub)",
+             "perf, rebalance, scrub, and tiering)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":

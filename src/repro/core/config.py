@@ -20,10 +20,20 @@ from repro.core.tcq import (
     MODE_TIMEOUT_ASYNC,
     TIMEOUT_WINDOW,
 )
-from repro.storage.specs import FLASH_SSD_GEN4_SPEC, NVM_SPEC, DRAM_SPEC, DeviceSpec
+from repro.storage.specs import (
+    FLASH_SSD_GEN4_SPEC,
+    NVM_SPEC,
+    DRAM_SPEC,
+    QLC_SSD_SPEC,
+    DeviceSpec,
+)
 
 MB = 1024**2
 GB = 1024**3
+
+# Tiering placement policies (ISSUE 9).
+TIER_TEMPERATURE = "temperature"  # hot data fast, cold data demoted
+TIER_SPREAD = "spread"  # round-robin over every tier (no-tiering baseline)
 
 
 @dataclass
@@ -97,6 +107,32 @@ class PrismConfig:
     # virtual second.
     scrub_bandwidth: float = 64 * MB
 
+    # Hot/cold tiered data placement (ISSUE 9).  Off by default: the
+    # store then builds no cold pool and no temperature tracker, and
+    # runs are bit-identical to a build without the tiering subsystem.
+    # Enabled, a pool of cheap high-capacity cold SSDs joins Value
+    # Storage; GC/reclamation demote cold values onto it and re-access
+    # promotes them back through the normal write path.
+    enable_tiering: bool = False
+    num_cold_ssds: int = 2
+    cold_ssd_spec: DeviceSpec = field(default_factory=lambda: QLC_SSD_SPEC)
+    # "temperature" places by hotness; "spread" round-robins new data
+    # across every storage regardless of tier — the baseline where
+    # cold-tier spills dominate.
+    tier_policy: str = TIER_TEMPERATURE
+    # Sketch estimate at or above which a record counts as hot (stays
+    # on, or returns to, the fast tier during GC).
+    tier_hot_threshold: int = 2
+    # Cold-tier read frequency that triggers promotion back to fast.
+    tier_promote_threshold: int = 2
+    # Ops-counted recency window: a record touched within the last N
+    # operations is protected from demotion (the clock bit).
+    tier_recency_window: int = 2048
+    # Promotion needs this much free-chunk headroom on the fast target,
+    # or it would immediately thrash against demotion.
+    tier_fast_headroom: float = 0.05
+    tier_sketch_width: int = 8192
+
     # Fault injection: None (default) leaves every device on the no-op
     # null injector — runs are bit-identical to a build without the
     # fault subsystem.  A FaultConfig attaches a seeded injector to the
@@ -120,6 +156,30 @@ class PrismConfig:
             raise ValueError(
                 f"read cache capacity must be positive: {self.read_cache_capacity}"
             )
+        if self.enable_tiering:
+            if self.num_cold_ssds < 1:
+                raise ValueError(
+                    f"tiering needs at least one cold SSD: {self.num_cold_ssds}"
+                )
+            if self.tier_policy not in (TIER_TEMPERATURE, TIER_SPREAD):
+                raise ValueError(f"unknown tier_policy: {self.tier_policy}")
+            if self.tier_hot_threshold < 1:
+                raise ValueError(
+                    f"tier_hot_threshold must be >= 1: {self.tier_hot_threshold}"
+                )
+            if self.tier_promote_threshold < 1:
+                raise ValueError(
+                    f"tier_promote_threshold must be >= 1: "
+                    f"{self.tier_promote_threshold}"
+                )
+            if self.tier_recency_window < 0:
+                raise ValueError(
+                    f"tier_recency_window must be >= 0: {self.tier_recency_window}"
+                )
+            if not 0.0 <= self.tier_fast_headroom < 1.0:
+                raise ValueError(
+                    f"tier_fast_headroom must be in [0, 1): {self.tier_fast_headroom}"
+                )
         if self.scrub_bandwidth <= 0:
             raise ValueError(
                 f"scrub_bandwidth must be positive: {self.scrub_bandwidth}"
@@ -135,6 +195,13 @@ class PrismConfig:
         """Rough dollar cost of the configured devices (Table 1)."""
         tb = 1024**4
         ssd = self.num_ssds * self.ssd_spec.cost_per_tb * self.ssd_spec.capacity / tb
+        if self.enable_tiering:
+            ssd += (
+                self.num_cold_ssds
+                * self.cold_ssd_spec.cost_per_tb
+                * self.cold_ssd_spec.capacity
+                / tb
+            )
         nvm_bytes = self.pwb_capacity * self.num_threads
         nvm = self.nvm_spec.cost_per_tb * nvm_bytes / tb
         dram = self.dram_spec.cost_per_tb * self.svc_capacity / tb

@@ -45,11 +45,13 @@ from repro.faults.retry import RetryExecutor
 from repro.obs.metrics import EventLog, MetricsRegistry, NULL_REGISTRY
 from repro.sim.clock import VirtualClock
 from repro.sim.vthread import VThread
+from repro.storage.base import StorageError
 from repro.storage.crash import CrashPoint
 from repro.storage.dram import DRAMDevice
 from repro.storage.nvm import NVMDevice
 from repro.storage.ssd import SSDDevice
 from repro.index.pactree import PACTree
+from repro.tiering import TierManager
 
 
 class _WholeStoreCrash:
@@ -94,14 +96,28 @@ class Prism:
         self.ssds: List[SSDDevice] = [
             SSDDevice(cfg.ssd_spec, name=f"ssd{i}") for i in range(cfg.num_ssds)
         ]
+        # Cold QLC pool (ISSUE 9): extra Value Storages on cheap
+        # high-capacity devices.  Empty when tiering is off, so every
+        # loop below degenerates to the fast-only layout.
+        self.cold_ssds: List[SSDDevice] = []
+        if cfg.enable_tiering:
+            self.cold_ssds = [
+                SSDDevice(cfg.cold_ssd_spec, name=f"cssd{i}")
+                for i in range(cfg.num_cold_ssds)
+            ]
         # Chunk mirroring (ISSUE 3): one dedicated mirror SSD per Value
         # Storage — a different device, so chunk addresses never collide
-        # and a primary death leaves every record recoverable.
+        # and a primary death leaves every record recoverable.  Mirrors
+        # align with storage order (fast first, then cold), so vs_id
+        # indexes both lists.
         self.mirror_ssds: List[SSDDevice] = []
         if cfg.mirror_chunks:
             self.mirror_ssds = [
                 SSDDevice(cfg.ssd_spec, name=f"ssd{i}m")
                 for i in range(cfg.num_ssds)
+            ] + [
+                SSDDevice(cfg.cold_ssd_spec, name=f"cssd{i}m")
+                for i in range(len(self.cold_ssds))
             ]
 
         # --- components --------------------------------------------------
@@ -123,7 +139,7 @@ class Prism:
                 checksums=cfg.enable_checksums,
                 mirror=self.mirror_ssds[i] if self.mirror_ssds else None,
             )
-            for i, ssd in enumerate(self.ssds)
+            for i, ssd in enumerate(self.ssds + self.cold_ssds)
         ]
         self.combiners: List[ThreadCombiner] = [
             ThreadCombiner(
@@ -153,11 +169,19 @@ class Prism:
                 cfg.read_cache_capacity,
                 sketch_width=cfg.read_cache_sketch_width,
             )
+        # Hot/cold tiered placement (ISSUE 9): None when disabled —
+        # every branch below then costs one attribute load and a None
+        # check, and runs are bit-identical to a build without the
+        # tiering subsystem.
+        self.tiering: Optional[TierManager] = None
+        if cfg.enable_tiering:
+            self.tiering = TierManager(cfg)
 
         # --- background threads ----------------------------------------
         self._bg_reclaim = VThread(-1, self.clock, name="bg-reclaim", background=True)
         self._bg_gc = VThread(-2, self.clock, name="bg-gc", background=True)
         self._bg_cache = VThread(-3, self.clock, name="bg-cache", background=True)
+        self._bg_tier = VThread(-4, self.clock, name="bg-tier", background=True)
         self._default_thread = VThread(0, self.clock, name="caller")
 
         # --- stats -------------------------------------------------------
@@ -177,7 +201,12 @@ class Prism:
         self._enable_pwb = cfg.enable_pwb
         self._pwb_watermark = cfg.pwb_watermark
         self._rr_storage = itertools.count()
+        self._rr_cold = itertools.count()
         self._crashed = False
+        # GC reentrancy guard: cross-tier relocation can trigger GC on
+        # the destination, which could relocate back and re-enter GC on
+        # a storage whose victim records are already mid-move.
+        self._gc_active: set = set()
 
         # --- fault injection & retries ---------------------------------
         self.retry_exec = RetryExecutor(
@@ -191,6 +220,8 @@ class Prism:
             self.retry_exec.injector = self.injector
             self.nvm.attach_injector(self.injector)
             for ssd in self.ssds:
+                ssd.attach_injector(self.injector)
+            for ssd in self.cold_ssds:
                 ssd.attach_injector(self.injector)
             for ssd in self.mirror_ssds:
                 ssd.attach_injector(self.injector)
@@ -267,9 +298,30 @@ class Prism:
             op="vs_write",
         )
 
+    def _placement_storages(self) -> List[ValueStorage]:
+        """Storages eligible for new-data placement.
+
+        Temperature policy: new data lands on the fast tier only
+        (reclaim demotes its cold share explicitly); the spread
+        baseline and a tiering-off store use every healthy storage.
+        Falls back to the full healthy set when the whole fast tier is
+        dead — degraded, but writable beats read-only.
+        """
+        tier = self.tiering
+        if tier is None or not tier.temperature_policy:
+            return self._healthy_storages()
+        fast = self.storages[: tier.num_fast]
+        if self.injector is not None:
+            fast = [
+                vs for vs in fast if not self.injector.is_dead(vs.ssd.name)
+            ]
+            if not fast:
+                return self._healthy_storages()
+        return fast
+
     def _pick_storage(self, at: float) -> ValueStorage:
         """Prefer an idle healthy Value Storage; else least loaded (§5.2)."""
-        candidates = self._healthy_storages()
+        candidates = self._placement_storages()
         start = next(self._rr_storage)
         n = len(candidates)
         for i in range(n):
@@ -277,6 +329,82 @@ class Prism:
             if vs.ring.idle_at(at):
                 return vs
         return min(candidates, key=lambda s: s.ring.inflight_at(at))
+
+    def _pick_cold_storage(self, at: float) -> Optional[ValueStorage]:
+        """Healthy cold Value Storage with free space: rotating-start
+        idle scan, else least loaded.  Background reclaimers all run at
+        quiet timestamps where every ring reports zero in-flight, so a
+        bare ``min`` would tie-break onto the first device forever and
+        saturate it while its siblings idle."""
+        tier = self.tiering
+        cold = self.storages[tier.num_fast :]
+        if self.injector is not None:
+            cold = [
+                vs for vs in cold if not self.injector.is_dead(vs.ssd.name)
+            ]
+        cold = [vs for vs in cold if vs.free_chunks > 0]
+        if not cold:
+            return None
+        start = next(self._rr_cold)
+        n = len(cold)
+        for i in range(n):
+            vs = cold[(start + i) % n]
+            if vs.ring.idle_at(at):
+                return vs
+        return min(cold, key=lambda s: s.ring.inflight_at(at))
+
+    def _promotion_target(self, at: float) -> Optional[ValueStorage]:
+        """A healthy fast Value Storage with promotion headroom.
+
+        None when every fast storage is dead or below the headroom
+        floor — promoting into a full fast tier would just thrash
+        against the next demotion round.
+        """
+        tier = self.tiering
+        fast = self.storages[: tier.num_fast]
+        if self.injector is not None:
+            fast = [
+                vs for vs in fast if not self.injector.is_dead(vs.ssd.name)
+            ]
+        fast = [vs for vs in fast if vs.free_fraction() > tier.fast_headroom]
+        if not fast:
+            return None
+        return max(fast, key=lambda s: s.free_chunks)
+
+    @staticmethod
+    def _batch_fits(vs: ValueStorage, records) -> bool:
+        """Would ``vs.write_records`` find enough free chunks for this
+        batch?  Mirrors its greedy first-fit packing exactly."""
+        chunks, room = 0, 0
+        for _idx, value in records:
+            need = vs.record_bytes(len(value))
+            if need > room:
+                chunks += 1
+                room = vs.chunk_size
+            room -= need
+        return chunks <= vs.free_chunks
+
+    def _fast_fit_storage(self, records, at: float):
+        """Least-loaded healthy fast storage that can host ``records``,
+        or None when the whole fast tier is out of room."""
+        fits = [
+            vs
+            for vs in self._placement_storages()
+            if self._batch_fits(vs, records)
+        ]
+        if not fits:
+            return None
+        return min(fits, key=lambda s: s.ring.inflight_at(at))
+
+    def _fast_tier_pressure(self) -> bool:
+        """Is the fast tier close enough to its GC threshold that
+        reclaim should stop honoring recency protection?  Placing
+        borderline records cold now beats GC demoting them moments
+        later (one write instead of two)."""
+        fast = self.storages[: self.tiering.num_fast]
+        free = sum(vs.free_chunks for vs in fast)
+        total = sum(vs.num_chunks for vs in fast)
+        return free / total < max(0.25, 2 * self.config.gc_free_threshold)
 
     def _tick(self) -> None:
         if self._crashed:
@@ -291,6 +419,9 @@ class Prism:
         svc = self.svc
         if svc.used > svc.capacity or len(svc._pending) > 256:
             self._run_cache_maintenance()
+        tier = self.tiering
+        if tier is not None and tier.has_pending():
+            self._drain_promotions()
 
     def _run_cache_maintenance(self) -> None:
         if self._bg_cache.now < self.clock.now:
@@ -369,6 +500,9 @@ class Prism:
                 m.phase("put", "publish", thread.now - t0)
             if cp.active:
                 cp.maybe_crash("put.done")
+            tier = self.tiering
+            if tier is not None:
+                tier.tracker.touch(idx)
             self.bytes_put += vlen
             self.puts += 1
             if self._enable_pwb:
@@ -496,51 +630,73 @@ class Prism:
                 live.append((hsit_idx, value))
         self.nvm.charge_read(bg, min(region, pwb.capacity) + 16 * count)
         if live:
-            try:
-                vs = self._pick_storage(bg.now)
-                placements, done = self._retrying_write(vs, bg.now, live)
-            except (DeviceError, NoHealthyStorageError):
-                # The write never stuck (write_records released its
-                # chunks).  Leave the PWB untouched: records stay
-                # readable in NVM and the next trigger retries, on a
-                # healthier storage if one exists.
-                self.events.emit(
-                    start_at, "reclaim_failed", pwb_id=pwb.pwb_id, phase="write"
-                )
-                self.metrics.counter("faults.reclaim_failures").inc()
-                return
-            bg.wait_until(done)
-            self.crash_point.maybe_crash("reclaim.pre_publish")
-            published = 0
-            try:
-                for (hsit_idx, _value), (chunk_id, offset, _size) in zip(
-                    live, placements
-                ):
-                    self.hsit.publish_location_word(
-                        hsit_idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+            # Reclaim is the first placement decision (ISSUE 9):
+            # records that are neither frequent nor recent skip the
+            # fast tier entirely and land cold — PrismDB's tiered
+            # compaction, applied at PWB drain time.
+            tier = self.tiering
+            cold_batch: List[Tuple[int, bytes]] = []
+            if tier is not None and tier.temperature_policy:
+                tracker = tier.tracker
+                pressure = self._fast_tier_pressure()
+                hot_batch = []
+                for hsit_idx, value in live:
+                    if tracker.is_hot(hsit_idx, pressure):
+                        hot_batch.append((hsit_idx, value))
+                    else:
+                        cold_batch.append((hsit_idx, value))
+            else:
+                hot_batch = live
+            if cold_batch:
+                cvs = self._pick_cold_storage(bg.now)
+                if cvs is None:
+                    # No cold capacity left: everything stays fast.
+                    hot_batch = live
+                else:
+                    if not self._reclaim_batch(
+                        pwb, cvs, cold_batch, bg, start_at, "tier.demote"
+                    ):
+                        return
+                    tier.cold_reclaims += len(cold_batch)
+                    self.metrics.counter("tier.cold_reclaims").inc(
+                        len(cold_batch)
                     )
-                    published += 1
-            except DeviceError:
-                # Containment: placements that never published would be
-                # valid-but-unreachable; drop them.  Published entries
-                # stand, but the PWB window must NOT be released while
-                # any entry still points into it.
-                resolve_partial_publish(
-                    self.hsit,
-                    vs,
-                    [
-                        (hsit_idx, placement, None, 0, 0)
-                        for (hsit_idx, _v), placement in zip(live, placements)
-                    ],
-                    published,
-                )
-                self.events.emit(
-                    start_at, "reclaim_failed", pwb_id=pwb.pwb_id, phase="publish"
-                )
-                self.metrics.counter("faults.reclaim_failures").inc()
-                return
-            self.crash_point.maybe_crash("reclaim.published")
-            self._maybe_gc(vs, bg.now)
+                    self._maybe_gc(cvs, bg.now)
+            if hot_batch:
+                try:
+                    vs = self._pick_storage(bg.now)
+                except NoHealthyStorageError:
+                    self.events.emit(
+                        start_at, "reclaim_failed", pwb_id=pwb.pwb_id,
+                        phase="write",
+                    )
+                    self.metrics.counter("faults.reclaim_failures").inc()
+                    return
+                label = "reclaim"
+                if (
+                    tier is not None
+                    and tier.temperature_policy
+                    and not self._batch_fits(vs, hot_batch)
+                ):
+                    # Hard pressure: the fast tier cannot hold its own
+                    # hot set.  Spill the batch cold rather than wedge
+                    # the PWB; re-access promotes survivors back once
+                    # GC frees fast chunks.
+                    alt = self._fast_fit_storage(hot_batch, bg.now)
+                    if alt is not None:
+                        vs = alt
+                    else:
+                        cvs = self._pick_cold_storage(bg.now)
+                        if cvs is not None:
+                            vs, label = cvs, "tier.demote"
+                if not self._reclaim_batch(
+                    pwb, vs, hot_batch, bg, start_at, label
+                ):
+                    return
+                if label == "tier.demote":
+                    tier.spills += len(hot_batch)
+                    self.metrics.counter("tier.spills").inc(len(hot_batch))
+                self._maybe_gc(vs, bg.now)
         pwb.pending_release = (upto, bg.now)
         pwb.reclaim_done_at = bg.now
         self.reclaims += 1
@@ -555,6 +711,69 @@ class Prism:
             duration=bg.now - start_at,
         )
 
+    def _reclaim_batch(
+        self,
+        pwb: PersistentWriteBuffer,
+        vs: ValueStorage,
+        records: List[Tuple[int, bytes]],
+        bg: VThread,
+        start_at: float,
+        label: str,
+    ) -> bool:
+        """Write one reclaim batch into ``vs`` and publish it.
+
+        Returns False on failure, leaving the PWB window unreleased so
+        the next trigger rescans it (records already published by an
+        earlier batch are no longer well-coupled and drop out of that
+        scan).  ``label`` names the crash points: "reclaim" for the
+        fast tier — bit-identical to the pre-tiering path — and
+        "tier.demote" for cold placement.
+        """
+        try:
+            placements, done = self._retrying_write(vs, bg.now, records)
+        except (StorageError, NoHealthyStorageError):
+            # The write never stuck (write_records released its
+            # chunks).  Leave the PWB untouched: records stay
+            # readable in NVM and the next trigger retries, on a
+            # healthier storage if one exists.
+            self.events.emit(
+                start_at, "reclaim_failed", pwb_id=pwb.pwb_id, phase="write"
+            )
+            self.metrics.counter("faults.reclaim_failures").inc()
+            return False
+        bg.wait_until(done)
+        self.crash_point.maybe_crash(label + ".pre_publish")
+        published = 0
+        try:
+            for (hsit_idx, _value), (chunk_id, offset, _size) in zip(
+                records, placements
+            ):
+                self.hsit.publish_location_word(
+                    hsit_idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
+                )
+                published += 1
+        except DeviceError:
+            # Containment: placements that never published would be
+            # valid-but-unreachable; drop them.  Published entries
+            # stand, but the PWB window must NOT be released while
+            # any entry still points into it.
+            resolve_partial_publish(
+                self.hsit,
+                vs,
+                [
+                    (hsit_idx, placement, None, 0, 0)
+                    for (hsit_idx, _v), placement in zip(records, placements)
+                ],
+                published,
+            )
+            self.events.emit(
+                start_at, "reclaim_failed", pwb_id=pwb.pwb_id, phase="publish"
+            )
+            self.metrics.counter("faults.reclaim_failures").inc()
+            return False
+        self.crash_point.maybe_crash(label + ".published")
+        return True
+
     # ------------------------------------------------------------------
     # garbage collection in Value Storage (§5.2)
     # ------------------------------------------------------------------
@@ -563,6 +782,15 @@ class Prism:
             return  # read-degraded storage: nothing to collect into
         if vs.free_fraction() >= self.config.gc_free_threshold:
             return
+        if vs.vs_id in self._gc_active:
+            return  # already collecting this storage further up the stack
+        self._gc_active.add(vs.vs_id)
+        try:
+            self._gc(vs, at)
+        finally:
+            self._gc_active.discard(vs.vs_id)
+
+    def _gc(self, vs: ValueStorage, at: float) -> None:
         bg = self._bg_gc
         if bg.now < at:
             bg.now = at
@@ -608,6 +836,19 @@ class Prism:
             self.metrics.counter("faults.gc_failures").inc()
             return
         bg.wait_until(read_done)
+        tier = self.tiering
+        if tier is not None and tier.temperature_policy and moves:
+            kept = self._tiered_gc_partition(vs, moves, bg, start_at)
+            if kept is None:
+                # A cross-tier relocation failed mid-batch; containment
+                # already restored consistency.  Abort this GC round —
+                # every un-relocated record is still valid in place.
+                self.events.emit(
+                    start_at, "gc_failed", vs_id=vs.vs_id, phase="relocate"
+                )
+                self.metrics.counter("faults.gc_failures").inc()
+                return
+            moves = kept
         if not moves:
             self.events.emit(
                 start_at,
@@ -624,7 +865,7 @@ class Prism:
             placements, done = self._retrying_write(
                 vs, bg.now, [(idx, value) for idx, value, _, _ in moves]
             )
-        except DeviceError:
+        except StorageError:
             self.events.emit(start_at, "gc_failed", vs_id=vs.vs_id, phase="write")
             self.metrics.counter("faults.gc_failures").inc()
             return
@@ -678,6 +919,225 @@ class Prism:
         )
 
     # ------------------------------------------------------------------
+    # tiered placement (ISSUE 9)
+    # ------------------------------------------------------------------
+    def _tiered_gc_partition(
+        self,
+        vs: ValueStorage,
+        moves: List[Tuple[int, bytes, int, int]],
+        bg: VThread,
+        start_at: float,
+    ) -> Optional[List[Tuple[int, bytes, int, int]]]:
+        """Split GC survivors by temperature and relocate across tiers.
+
+        Fast-tier GC demotes cold survivors to the cold pool (how
+        aggressively scales with space pressure); cold-tier GC promotes
+        rewarmed survivors back to fast.  Returns the moves that stay
+        in ``vs`` for the normal local rewrite, or None when a
+        relocation batch failed and the whole GC round must abort.
+        """
+        tier = self.tiering
+        tracker = tier.tracker
+        keep: List[Tuple[int, bytes, int, int]] = []
+        batch: List[Tuple[int, bytes, int, int]] = []
+        if not tier.is_cold_vs(vs.vs_id):
+            # Demotion ladder: the emptier the storage, the more the
+            # recency/frequency protections relax — at the bottom rung
+            # everything movable leaves, or GC livelocks rewriting hot
+            # data into a tier with no room for it.
+            free_frac = vs.free_fraction()
+            thr = self.config.gc_free_threshold
+            pressure = self._fast_tier_pressure()
+            for mv in moves:
+                if free_frac < thr * 0.25:
+                    hot = False
+                elif free_frac < thr * 0.5:
+                    hot = tracker.frequency(mv[0]) >= tracker.hot_threshold
+                else:
+                    hot = tracker.is_hot(mv[0], pressure)
+                (keep if hot else batch).append(mv)
+            if not batch:
+                return moves
+            dest = self._pick_cold_storage(bg.now)
+            if dest is None:
+                return moves  # cold pool full/dead: rewrite locally
+            if not self._relocate_batch(vs, dest, batch, bg, "tier.demote"):
+                return None
+            nbytes = sum(len(v) for _, v, _, _ in batch)
+            tier.demotions += len(batch)
+            tier.demoted_bytes += nbytes
+            self.metrics.counter("tier.demotions").inc(len(batch))
+            self.events.emit(
+                start_at,
+                "tier_demote",
+                src_vs=vs.vs_id,
+                dest_vs=dest.vs_id,
+                records=len(batch),
+                bytes=nbytes,
+            )
+            self._maybe_gc(dest, bg.now)
+            return keep
+        # Cold-tier GC: survivors that warmed back up go fast again.
+        for mv in moves:
+            if tracker.should_promote(mv[0]):
+                batch.append(mv)
+            else:
+                keep.append(mv)
+        if not batch:
+            return moves
+        dest = self._promotion_target(bg.now)
+        if dest is None:
+            return moves  # no fast headroom: stay cold for now
+        if not self._relocate_batch(vs, dest, batch, bg, "tier.promote"):
+            return None
+        nbytes = sum(len(v) for _, v, _, _ in batch)
+        tier.promotions += len(batch)
+        tier.promoted_bytes += nbytes
+        self.metrics.counter("tier.promotions").inc(len(batch))
+        self.events.emit(
+            start_at,
+            "tier_promote",
+            trigger="gc",
+            src_vs=vs.vs_id,
+            dest_vs=dest.vs_id,
+            records=len(batch),
+            bytes=nbytes,
+        )
+        self._maybe_gc(dest, bg.now)
+        return keep
+
+    def _relocate_batch(
+        self,
+        src: ValueStorage,
+        dest: ValueStorage,
+        batch: List[Tuple[int, bytes, int, int]],
+        bg: VThread,
+        label: str,
+    ) -> bool:
+        """Move live records from ``src`` to ``dest`` (cross-tier GC).
+
+        Entries are ``(hsit_idx, value, old_chunk, old_off)`` within
+        ``src``.  Publish-then-invalidate per record, with the standard
+        partial-publish containment on failure.  Returns False when the
+        batch did not fully land: a failed write changed nothing, a
+        partial publish was resolved by containment — either way the
+        caller must abort its GC round rather than re-move entries
+        whose old slots may already be invalid.
+        """
+        records = [(idx, value) for idx, value, _, _ in batch]
+        try:
+            placements, done = self._retrying_write(dest, bg.now, records)
+        except (StorageError, NoHealthyStorageError):
+            return False
+        bg.wait_until(done)
+        self.crash_point.maybe_crash(label + ".pre_publish")
+        published = 0
+        rc = self.read_cache
+        try:
+            for (idx, _value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
+                batch, placements
+            ):
+                self.hsit.publish_location_word(
+                    idx, ptr.encode_vs(dest.vs_id, chunk_id, offset), bg
+                )
+                published += 1
+                src.invalidate(old_chunk, old_off)
+                if rc is not None:
+                    rc.invalidate_idx(idx)
+        except DeviceError:
+            resolve_partial_publish(
+                self.hsit,
+                dest,
+                [
+                    (idx, placement, src, old_chunk, old_off)
+                    for (idx, _v, old_chunk, old_off), placement in zip(
+                        batch, placements
+                    )
+                ],
+                published,
+            )
+            return False
+        self.crash_point.maybe_crash(label + ".published")
+        return True
+
+    def _drain_promotions(self) -> None:
+        """Background promotion: republish warmed-up cold values fast.
+
+        Runs on the tier VThread, so foreground requests only feel it
+        through device contention.  Fresh-key protection: every queued
+        entry carries the pointer word observed at read time; an entry
+        whose word has changed since (client put, delete, or a GC
+        relocation) is dropped — promotion never clobbers a newer
+        value.  The drain runs synchronously in code, so nothing can
+        intervene between this check and the publish below.
+        """
+        tier = self.tiering
+        bg = self._bg_tier
+        if bg.now < self.clock.now:
+            bg.now = self.clock.now
+        start_at = bg.now
+        hsit = self.hsit
+        fresh: List[Tuple[int, int, bytes]] = []
+        for idx, expected, value in tier.take_pending():
+            if ptr.clear_dirty(hsit.location_word(idx)) != expected:
+                tier.promotions_stale += 1
+                continue
+            fresh.append((idx, expected, value))
+        if not fresh:
+            return
+        dest = self._promotion_target(bg.now)
+        if dest is None:
+            return  # no fast headroom; the cold copies stay valid
+        try:
+            placements, done = self._retrying_write(
+                dest, bg.now, [(idx, value) for idx, _e, value in fresh]
+            )
+        except (StorageError, NoHealthyStorageError):
+            return
+        bg.wait_until(done)
+        self.crash_point.maybe_crash("tier.promote.pre_publish")
+        olds = [ptr.decode(expected) for _i, expected, _v in fresh]
+        published = 0
+        rc = self.read_cache
+        try:
+            for (idx, _e, _value), old, (chunk_id, offset, _sz) in zip(
+                fresh, olds, placements
+            ):
+                self.hsit.publish_location_word(
+                    idx, ptr.encode_vs(dest.vs_id, chunk_id, offset), bg
+                )
+                published += 1
+                self.storages[old.vs_id].invalidate(old.chunk_id, old.vs_offset)
+                if rc is not None:
+                    rc.invalidate_idx(idx)
+        except DeviceError:
+            resolve_partial_publish(
+                self.hsit,
+                dest,
+                [
+                    ((f[0]), placement, self.storages[old.vs_id],
+                     old.chunk_id, old.vs_offset)
+                    for f, old, placement in zip(fresh, olds, placements)
+                ],
+                published,
+            )
+            return
+        self.crash_point.maybe_crash("tier.promote.published")
+        nbytes = sum(len(value) for _i, _e, value in fresh)
+        tier.promotions += len(fresh)
+        tier.promoted_bytes += nbytes
+        self.metrics.counter("tier.promotions").inc(len(fresh))
+        self.events.emit(
+            start_at,
+            "tier_promote",
+            trigger="read",
+            dest_vs=dest.vs_id,
+            records=len(fresh),
+            bytes=nbytes,
+        )
+        self._maybe_gc(dest, bg.now)
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
     def get(self, key: bytes, thread: Optional[VThread] = None) -> Optional[bytes]:
@@ -723,6 +1183,9 @@ class Prism:
     def _read_value(self, idx: int, key: bytes, thread: VThread) -> Optional[bytes]:
         m = self.metrics
         enabled = m.enabled
+        tier = self.tiering
+        if tier is not None:
+            tier.tracker.touch(idx)
         loc = self.hsit.read_location(idx, thread)
         # Compare the medium field directly: the is_null/in_pwb
         # properties are descriptor calls and this runs on every read.
@@ -771,6 +1234,19 @@ class Prism:
                 value = self._repair_read(
                     idx, key, loc.vs_id, loc.chunk_id, loc.vs_offset, thread
                 )
+        if tier is not None:
+            if tier.is_cold_vs(loc.vs_id):
+                tier.cold_reads += 1
+                if tier.temperature_policy and tier.tracker.should_promote(idx):
+                    # Queue the value for background promotion, tagged
+                    # with the word we read it under (fresh-key guard).
+                    tier.enqueue_promotion(
+                        idx,
+                        ptr.encode_vs(loc.vs_id, loc.chunk_id, loc.vs_offset),
+                        value,
+                    )
+            else:
+                tier.fast_reads += 1
         if self.config.enable_svc:
             t0 = thread.now
             self.svc.admit(idx, key, value, thread)
@@ -955,6 +1431,8 @@ class Prism:
             self.crash_point.maybe_crash("delete.published")
             # The HSIT entry rejoins the free list after two epochs (§5.4).
             self.epoch.retire(lambda i=idx: self.hsit.free(i))
+            if self.tiering is not None:
+                self.tiering.tracker.forget(idx)
             self.deletes += 1
             return True
         finally:
@@ -976,6 +1454,9 @@ class Prism:
                 self._reclaim(pwb, at)
                 pwb.poll(float("inf"))
         self._run_cache_maintenance()
+        if self.tiering is not None:
+            while self.tiering.has_pending():
+                self._drain_promotions()
         for _ in range(3):
             self.epoch.try_advance()
 
@@ -993,8 +1474,12 @@ class Prism:
             self.read_cache.crash()
         for ssd in self.ssds:
             ssd.crash()
+        for ssd in self.cold_ssds:
+            ssd.crash()
         for ssd in self.mirror_ssds:
             ssd.crash()
+        if self.tiering is not None:
+            self.tiering.crash()
         self._crashed = True
 
     def recover(self, recovery_threads: int = 4) -> "RecoveryReport":
@@ -1008,7 +1493,10 @@ class Prism:
     # statistics
     # ------------------------------------------------------------------
     def ssd_bytes_written(self) -> int:
-        return sum(ssd.bytes_written for ssd in self.ssds)
+        # Cold-tier writes count too: WAF must charge demotion traffic.
+        return sum(ssd.bytes_written for ssd in self.ssds) + sum(
+            ssd.bytes_written for ssd in self.cold_ssds
+        )
 
     def waf(self) -> float:
         """SSD-level write amplification (SSD writes / application writes)."""
@@ -1040,4 +1528,8 @@ class Prism:
         # stay byte-identical to builds without the cache subsystem.
         if self.read_cache is not None:
             stats.update(self.read_cache.stats())
+        # Same contract for tiering: the tier.* surface exists only
+        # when the cold pool does.
+        if self.tiering is not None:
+            stats.update(self.tiering.stats(self))
         return stats

@@ -344,6 +344,38 @@ def default_store_factory() -> "Prism":
     )
 
 
+def tiered_store_factory() -> "Prism":
+    """A tiered store tight enough that the 300-op default workload
+    reaches the demotion and promotion crash labels: a single tiny
+    fast storage (so reclaim and GC fire constantly), one cold QLC
+    storage, and a recency window short enough that records go cold
+    within the run."""
+    from repro.core.config import PrismConfig
+    from repro.core.prism import Prism
+    from repro.storage.specs import FLASH_SSD_GEN4_SPEC, QLC_SSD_SPEC
+
+    kb = 1024
+    return Prism(
+        PrismConfig(
+            num_threads=2,
+            num_ssds=1,
+            ssd_spec=FLASH_SSD_GEN4_SPEC.with_capacity(256 * kb),
+            chunk_size=16 * kb,
+            pwb_capacity=32 * kb,
+            gc_free_threshold=0.4,
+            svc_capacity=32 * kb,
+            hsit_capacity=50_000,
+            enable_checksums=True,
+            enable_tiering=True,
+            num_cold_ssds=1,
+            cold_ssd_spec=QLC_SSD_SPEC.with_capacity(512 * kb),
+            tier_hot_threshold=3,
+            tier_promote_threshold=2,
+            tier_recency_window=32,
+        )
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
@@ -378,12 +410,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rebalance mode: which participant dies "
              "(source | target | leaving | all)",
     )
+    parser.add_argument(
+        "--tiering", action="store_true",
+        help="tiered store: sweep the hot/cold placement crash points "
+             "(tier.demote.*, tier.promote.*) alongside the usual ones",
+    )
     args = parser.parse_args(argv)
 
     if args.gray is not None and not args.cluster:
         parser.error("--gray requires --cluster")
     if args.rebalance and (args.cluster or args.gray is not None):
         parser.error("--rebalance and --cluster are mutually exclusive")
+    if args.tiering and (args.cluster or args.rebalance):
+        parser.error("--tiering runs on a single store; drop --cluster/--rebalance")
 
     if args.rebalance:
         from repro.cluster.crash_sweep import rebalance_main
@@ -409,9 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report.summary())
         return 0 if report.ok else 1
 
-    sweep = CrashSweep(
-        default_store_factory, default_ops(args.ops, args.keys, args.seed)
-    )
+    factory = tiered_store_factory if args.tiering else default_store_factory
+    sweep = CrashSweep(factory, default_ops(args.ops, args.keys, args.seed))
     report = sweep.run()
     if args.fuzz:
         report.outcomes.extend(sweep.fuzz(args.fuzz, seed=args.seed))

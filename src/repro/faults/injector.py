@@ -379,9 +379,11 @@ class FaultInjector:
 # ----------------------------------------------------------------------
 def store_device_names(store) -> List[str]:
     """Every fault-injectable device of a Prism-shaped store: the NVM
-    DIMM, all Value Storage SSDs, and any chunk-mirror SSDs."""
+    DIMM, all Value Storage SSDs (fast and cold tier), and any
+    chunk-mirror SSDs."""
     names = [store.nvm.name]
     names.extend(ssd.name for ssd in store.ssds)
+    names.extend(ssd.name for ssd in getattr(store, "cold_ssds", ()))
     names.extend(ssd.name for ssd in getattr(store, "mirror_ssds", ()))
     return names
 

@@ -106,6 +106,18 @@ FLASH_SSD_GEN3_SPEC = DeviceSpec(
     endurance_pbw=0.6,
 )
 
+QLC_SSD_SPEC = DeviceSpec(
+    name="Samsung 870 QVO (QLC)",
+    kind="ssd",
+    read_bandwidth=int(0.56 * GB),  # SATA-bound
+    write_bandwidth=int(0.35 * GB),  # sustained QLC program, past the SLC cache
+    read_latency=120 * US,
+    write_latency=90 * US,
+    cost_per_tb=45.0,
+    capacity=8 * TB,
+    endurance_pbw=2.9,  # 0.36 PBW/TB — the capacity tier wears fastest
+)
+
 # --- emerging media from the paper's discussion (§8) -----------------
 # Not part of Figure 1's evaluated testbed; used by the extension
 # experiments exploring "other emerging storage media".
@@ -142,6 +154,7 @@ DEVICE_CATALOG: Dict[str, DeviceSpec] = {
         OPTANE_SSD_SPEC,
         FLASH_SSD_GEN4_SPEC,
         FLASH_SSD_GEN3_SPEC,
+        QLC_SSD_SPEC,
     )
 }
 

@@ -5,6 +5,7 @@ from repro.storage.specs import (
     DRAM_SPEC,
     FLASH_SSD_GEN4_SPEC,
     NVM_SPEC,
+    QLC_SSD_SPEC,
     format_catalog,
 )
 
@@ -13,8 +14,23 @@ TB = 1024**4
 US = 1e-6
 
 
-def test_catalog_has_all_five_devices():
-    assert len(DEVICE_CATALOG) == 5
+def test_catalog_has_all_six_devices():
+    # Figure 1's five evaluated devices plus the QLC cold-tier SSD
+    # (ISSUE 9's capacity tier).
+    assert len(DEVICE_CATALOG) == 6
+
+
+def test_qlc_is_the_capacity_tier():
+    """The cold tier trades everything for $/TB: slower, cheaper, and
+    far less endurance per TB than the fast Gen4 flash."""
+    assert QLC_SSD_SPEC.cost_per_tb < FLASH_SSD_GEN4_SPEC.cost_per_tb / 3
+    assert QLC_SSD_SPEC.capacity > FLASH_SSD_GEN4_SPEC.capacity
+    assert QLC_SSD_SPEC.read_bandwidth < FLASH_SSD_GEN4_SPEC.read_bandwidth
+    qlc_pbw_per_tb = QLC_SSD_SPEC.endurance_pbw / (QLC_SSD_SPEC.capacity / TB)
+    fast_pbw_per_tb = FLASH_SSD_GEN4_SPEC.endurance_pbw / (
+        FLASH_SSD_GEN4_SPEC.capacity / TB
+    )
+    assert qlc_pbw_per_tb < fast_pbw_per_tb
 
 
 def test_figure1_nvm_numbers():

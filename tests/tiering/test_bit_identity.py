@@ -1,0 +1,31 @@
+"""Tiering-off bit-identity against the pre-tiering seed.
+
+The same golden file the read-cache PR froze: with
+``enable_tiering=False`` (the default), the storage-list refactor, the
+reclaim-batch factoring, the GC partition hook, and the stats()
+addition must all leave a seeded YCSB-A run byte-identical — same
+metrics JSON, same final virtual time, bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.runner import preload, run_workload
+from repro.bench.stores import build_prism
+from repro.workloads.ycsb import WORKLOADS
+
+GOLDEN = Path(__file__).parent.parent / "cache" / "golden_ycsb_a.metrics.json"
+GOLDEN_FINAL_VTIME = "0.007268891925289018"
+
+
+def test_tiering_off_run_is_byte_identical_to_seed():
+    store = build_prism(num_threads=4)
+    assert store.tiering is None
+    assert store.cold_ssds == []
+    preload(store, 1500, num_threads=4)
+    result = run_workload(store, WORKLOADS["A"], 3000, 1500, 4)
+    payload = json.dumps(result.metrics, sort_keys=True, indent=1) + "\n"
+    assert payload == GOLDEN.read_text()
+    assert repr(store.clock.now) == GOLDEN_FINAL_VTIME
