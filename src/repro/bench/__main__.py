@@ -422,7 +422,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )
-    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list"])
+    parser.add_argument(
+        "experiment", choices=sorted(COMMANDS) + ["figs", "list"]
+    )
     parser.add_argument(
         "--scale", type=float, default=None,
         help="dataset/op multiplier (sets REPRO_SCALE)",
@@ -437,20 +439,73 @@ def main(argv=None) -> int:
         help="tiny fast configuration (CI smoke; cache, cluster, grayfail, "
              "perf, rebalance, scrub, and tiering)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent runs out across N worker processes "
+             "(default: $REPRO_JOBS or 1); all output is byte-identical "
+             "to --jobs 1",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the experiment in cProfile and write a pstats dump "
+             "next to the metrics JSON (profiles this process; with "
+             "--jobs > 1 worker simulation time runs out of view)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(COMMANDS):
             print(name)
         return 0
+    if args.jobs is not None:
+        from repro.parallel import set_jobs
+
+        set_jobs(args.jobs)
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    if args.experiment == "figs":
+        from repro.bench.figs import run_figs
+
+        if profiler is not None:
+            profiler.enable()
+        rc = run_figs(scale=args.scale, smoke=args.smoke,
+                      write_metrics=args.metrics_out != "none")
+        if profiler is not None:
+            profiler.disable()
+            _dump_profile(profiler, args, "figs")
+        return rc
+
+    if profiler is not None:
+        profiler.enable()
     results = COMMANDS[args.experiment](args)
+    if profiler is not None:
+        profiler.disable()
     if results is not None and args.metrics_out != "none":
         out = args.metrics_out or f"{args.experiment}.metrics.json"
         payload = metrics_payload(args.experiment, results)
         write_metrics_json(out, payload)
         print(f"\nmetrics: {out} ({len(payload['runs'])} runs)")
+    if profiler is not None:
+        _dump_profile(profiler, args, args.experiment)
     return 0
+
+
+def _dump_profile(profiler, args, experiment: str) -> None:
+    """Write the cProfile dump next to the metrics JSON."""
+    base = args.metrics_out
+    if base in (None, "none"):
+        base = f"{experiment}.metrics.json"
+    out = os.path.join(
+        os.path.dirname(base) or ".", f"{experiment}.profile.pstats"
+    )
+    profiler.dump_stats(out)
+    print(f"profile: {out} (inspect with python -m pstats)")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.bench.experiments import scaled
 from repro.bench.runner import RunResult, preload, run_workload
 from repro.bench.stores import MB, build_prism
+from repro.parallel import parallel_map
 from repro.workloads.ycsb import WorkloadSpec
 
 # The storm mix: read-heavy, Zipfian tail at extreme skew, with five
@@ -112,8 +113,13 @@ def storm_comparison(
     """
     num_keys = num_keys if num_keys is not None else scaled(4_000)
     num_ops = num_ops if num_ops is not None else scaled(16_000)
-    off = storm_run(num_keys, num_ops, num_threads, 0, theta=theta)
-    on = storm_run(num_keys, num_ops, num_threads, cache_capacity, theta=theta)
+    off, on = parallel_map(
+        storm_run,
+        [
+            (num_keys, num_ops, num_threads, 0, theta),
+            (num_keys, num_ops, num_threads, cache_capacity, theta),
+        ],
+    )
     return off, on
 
 
@@ -130,20 +136,36 @@ def cache_sweep(
     coverage, not device queueing)."""
     num_keys = num_keys if num_keys is not None else scaled(20_000)
     num_ops = num_ops if num_ops is not None else scaled(20_000)
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for theta in thetas:
-        row: Dict[str, RunResult] = {}
-        for capacity in capacities:
-            label = (
-                f"{capacity // MB}MB" if capacity >= MB
-                else f"{capacity // 1024}KB"
-            )
-            row[label] = storm_run(
-                num_keys, num_ops, num_threads, capacity, theta=theta,
-                value_size=value_size, num_ssds=2,
-            )
-        results[f"theta={theta}"] = row
+    tasks = [
+        (theta, capacity, num_keys, num_ops, num_threads, value_size)
+        for theta in thetas
+        for capacity in capacities
+    ]
+    units = parallel_map(_sweep_cell, tasks)
+    results: Dict[str, Dict[str, RunResult]] = {
+        f"theta={theta}": {} for theta in thetas
+    }
+    for (theta, capacity, *_rest), result in zip(tasks, units):
+        label = (
+            f"{capacity // MB}MB" if capacity >= MB
+            else f"{capacity // 1024}KB"
+        )
+        results[f"theta={theta}"][label] = result
     return results
+
+
+def _sweep_cell(
+    theta: float,
+    capacity: int,
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+    value_size: int,
+) -> RunResult:
+    return storm_run(
+        num_keys, num_ops, num_threads, capacity, theta=theta,
+        value_size=value_size, num_ssds=2,
+    )
 
 
 def hit_ratio(result: RunResult) -> float:
@@ -216,32 +238,50 @@ def cluster_hot_spread(
     the serving capacity the spread doubles.  Returns
     ``(primary, spread)`` as :class:`ClusterRunResult`.
     """
+    num_keys = num_keys if num_keys is not None else scaled(2_000)
+    num_ops = num_ops if num_ops is not None else scaled(16_000)
+    common = (
+        num_shards, num_keys, num_ops, clients_per_shard,
+        cache_capacity, theta, value_size,
+    )
+    primary, spread = parallel_map(
+        _hot_spread_leg,
+        [("primary", None) + common, ("spread", hot_key_threshold) + common],
+    )
+    return primary, spread
+
+
+def _hot_spread_leg(
+    read_policy: str,
+    threshold: Optional[int],
+    num_shards: int,
+    num_keys: int,
+    num_ops: int,
+    clients_per_shard: int,
+    cache_capacity: int,
+    theta: float,
+    value_size: int,
+):
     from repro.cluster.router import ClusterConfig, PrismCluster
     from repro.cluster.runner import run_cluster_workload
 
-    num_keys = num_keys if num_keys is not None else scaled(2_000)
-    num_ops = num_ops if num_ops is not None else scaled(16_000)
-
-    def one(read_policy: str, threshold: Optional[int]):
-        cluster = PrismCluster(
-            ClusterConfig(
-                num_shards=num_shards,
-                replication_factor=2,
-                replication_mode="quorum",
-                read_policy=read_policy,
-                hot_key_threshold=threshold,
-            ),
-            shard_factory=_cached_shard_factory(cache_capacity),
-        )
-        preload(
-            cluster, num_keys, value_size=value_size, num_threads=4, seed=1
-        )
-        result = run_cluster_workload(
-            cluster, STORM, num_ops, num_keys,
-            clients_per_shard=clients_per_shard, value_size=value_size,
-            theta=theta, seed=3,
-        )
-        cluster.close()
-        return result
-
-    return one("primary", None), one("spread", hot_key_threshold)
+    cluster = PrismCluster(
+        ClusterConfig(
+            num_shards=num_shards,
+            replication_factor=2,
+            replication_mode="quorum",
+            read_policy=read_policy,
+            hot_key_threshold=threshold,
+        ),
+        shard_factory=_cached_shard_factory(cache_capacity),
+    )
+    preload(
+        cluster, num_keys, value_size=value_size, num_threads=4, seed=1
+    )
+    result = run_cluster_workload(
+        cluster, STORM, num_ops, num_keys,
+        clients_per_shard=clients_per_shard, value_size=value_size,
+        theta=theta, seed=3,
+    )
+    cluster.close()
+    return result

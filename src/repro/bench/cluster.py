@@ -24,6 +24,7 @@ from repro.bench.experiments import scaled
 from repro.bench.runner import preload
 from repro.cluster.router import ClusterConfig, PrismCluster
 from repro.cluster.runner import ClusterRunResult, KillPlan, run_cluster_workload
+from repro.parallel import parallel_map
 from repro.workloads.ycsb import WorkloadSpec
 
 # Uniform key choice isolates scaling from skew: a Zipfian hot set
@@ -65,19 +66,30 @@ def cluster_scaling(
     """Aggregate YCSB-C throughput vs shard count at RF=1."""
     num_keys = num_keys if num_keys is not None else scaled(20_000)
     num_ops = num_ops if num_ops is not None else scaled(40_000)
-    results: Dict[int, ClusterRunResult] = {}
-    for shards in shard_counts:
-        cluster = _build(shards, 1, "quorum", num_keys)
-        results[shards] = run_cluster_workload(
-            cluster,
-            YCSB_C_UNIFORM,
-            num_ops,
-            num_keys,
-            clients_per_shard=clients_per_shard,
-            seed=2,
-        )
-        cluster.close()
-    return results
+    units = parallel_map(
+        _scaling_unit,
+        [
+            (shards, num_keys, num_ops, clients_per_shard)
+            for shards in shard_counts
+        ],
+    )
+    return dict(zip(shard_counts, units))
+
+
+def _scaling_unit(
+    shards: int, num_keys: int, num_ops: int, clients_per_shard: int
+) -> ClusterRunResult:
+    cluster = _build(shards, 1, "quorum", num_keys)
+    result = run_cluster_workload(
+        cluster,
+        YCSB_C_UNIFORM,
+        num_ops,
+        num_keys,
+        clients_per_shard=clients_per_shard,
+        seed=2,
+    )
+    cluster.close()
+    return result
 
 
 def cluster_failover(
@@ -97,22 +109,40 @@ def cluster_failover(
     """
     num_keys = num_keys if num_keys is not None else scaled(10_000)
     num_ops = num_ops if num_ops is not None else scaled(20_000)
+    plans = [None, KillPlan(shard_id=kill_shard, at_fraction=kill_fraction)]
+    baseline, killed = parallel_map(
+        _failover_leg,
+        [
+            (
+                plan, num_shards, replication_mode, num_keys, num_ops,
+                clients_per_shard,
+            )
+            for plan in plans
+        ],
+    )
+    return baseline, killed
 
-    def one(plan: Optional[KillPlan]) -> ClusterRunResult:
-        cluster = _build(num_shards, 2, replication_mode, num_keys)
-        result = run_cluster_workload(
-            cluster,
-            YCSB_A_UNIFORM,
-            num_ops,
-            num_keys,
-            clients_per_shard=clients_per_shard,
-            seed=3,
-            kill_plan=plan,
-        )
-        cluster.close()
-        return result
 
-    return one(None), one(KillPlan(shard_id=kill_shard, at_fraction=kill_fraction))
+def _failover_leg(
+    plan: Optional[KillPlan],
+    num_shards: int,
+    replication_mode: str,
+    num_keys: int,
+    num_ops: int,
+    clients_per_shard: int,
+) -> ClusterRunResult:
+    cluster = _build(num_shards, 2, replication_mode, num_keys)
+    result = run_cluster_workload(
+        cluster,
+        YCSB_A_UNIFORM,
+        num_ops,
+        num_keys,
+        clients_per_shard=clients_per_shard,
+        seed=3,
+        kill_plan=plan,
+    )
+    cluster.close()
+    return result
 
 
 def check_scaling(results: Dict[int, ClusterRunResult]) -> Tuple[bool, str]:

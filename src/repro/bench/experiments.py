@@ -25,6 +25,7 @@ from repro.bench.stores import (
 )
 from repro.core.config import PrismConfig
 from repro.core.prism import Prism
+from repro.parallel import parallel_map
 from repro.workloads import NUTANIX, WORKLOADS, WorkloadSpec
 
 UPDATE_ONLY = WorkloadSpec(name="UPDATE", update=1.0)
@@ -107,6 +108,32 @@ def _standard_stores(
 # ----------------------------------------------------------------------
 # Figure 7 + Table 3: YCSB throughput and latency, four stores
 # ----------------------------------------------------------------------
+def _ycsb_unit(
+    name: str,
+    workloads: Tuple[str, ...],
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+) -> Dict[str, RunResult]:
+    """One store's full workload series (spawn-safe task unit)."""
+    store = _standard_stores(num_keys, num_threads)[name]()
+    if "LOAD" not in workloads:
+        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+        return _run_series(store, workloads, num_keys, num_ops, num_threads)
+    load = run_workload(
+        store, WORKLOADS["LOAD"], num_keys, num_keys, num_threads, VALUE_SIZE
+    )
+    rest = _run_series(
+        store,
+        [w for w in workloads if w != "LOAD"],
+        num_keys,
+        num_ops,
+        num_threads,
+    )
+    rest["LOAD"] = load
+    return rest
+
+
 def ycsb_comparison(
     workloads: Sequence[str] = ("LOAD", "A", "B", "C", "D", "E"),
     num_keys: Optional[int] = None,
@@ -117,31 +144,18 @@ def ycsb_comparison(
     """Fig. 7 / Table 3: Prism vs KVell vs MatrixKV vs RocksDB-NVM."""
     num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
     num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
-    factories = _standard_stores(num_keys, num_threads)
-    if stores is not None:
-        factories = {k: v for k, v in factories.items() if k in stores}
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for name, make in factories.items():
-        store = make()
-        if "LOAD" not in workloads:
-            preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-            results[name] = _run_series(
-                store, workloads, num_keys, num_ops, num_threads
-            )
-        else:
-            load = run_workload(
-                store, WORKLOADS["LOAD"], num_keys, num_keys, num_threads, VALUE_SIZE
-            )
-            rest = _run_series(
-                store,
-                [w for w in workloads if w != "LOAD"],
-                num_keys,
-                num_ops,
-                num_threads,
-            )
-            rest["LOAD"] = load
-            results[name] = rest
-    return results
+    names = [
+        k for k in _standard_stores(num_keys, num_threads)
+        if stores is None or k in stores
+    ]
+    units = parallel_map(
+        _ycsb_unit,
+        [
+            (name, tuple(workloads), num_keys, num_ops, num_threads)
+            for name in names
+        ],
+    )
+    return dict(zip(names, units))
 
 
 # ----------------------------------------------------------------------
@@ -156,32 +170,39 @@ def slmdb_comparison(
     8 M keys; scaled here, single-threaded like open-source SLM-DB."""
     num_keys = scaled(8_000) if num_keys is None else num_keys
     num_ops = scaled(6_000) if num_ops is None else num_ops
-    results: Dict[str, Dict[str, RunResult]] = {}
-    factories = {
-        "Prism": lambda: build_prism(
+    names = ["Prism", "SLM-DB"]
+    units = parallel_map(
+        _slmdb_unit,
+        [(name, tuple(workloads), num_keys, num_ops) for name in names],
+    )
+    return dict(zip(names, units))
+
+
+def _slmdb_unit(
+    name: str, workloads: Tuple[str, ...], num_keys: int, num_ops: int
+) -> Dict[str, RunResult]:
+    if name == "Prism":
+        store = build_prism(
             num_threads=1,
             num_ssds=2,
             svc_capacity=1 * MB,
             pwb_total=1 * MB,
             expected_keys=num_keys * 3,
-        ),
-        "SLM-DB": lambda: build_slmdb(),
-    }
-    for name, make in factories.items():
-        store = make()
-        load = run_workload(
-            store, WORKLOADS["LOAD"], num_keys, num_keys, 1, VALUE_SIZE
         )
-        rest = _run_series(
-            store,
-            [w for w in workloads if w != "LOAD"],
-            num_keys,
-            num_ops,
-            1,
-        )
-        rest["LOAD"] = load
-        results[name] = rest
-    return results
+    else:
+        store = build_slmdb()
+    load = run_workload(
+        store, WORKLOADS["LOAD"], num_keys, num_keys, 1, VALUE_SIZE
+    )
+    rest = _run_series(
+        store,
+        [w for w in workloads if w != "LOAD"],
+        num_keys,
+        num_ops,
+        1,
+    )
+    rest["LOAD"] = load
+    return rest
 
 
 # ----------------------------------------------------------------------
@@ -201,30 +222,53 @@ def skew_sweep(
     like the paper."""
     num_keys = scaled(8_000) if num_keys is None else num_keys
     num_ops = scaled(8_000) if num_ops is None else num_ops
-    factories = _standard_stores(num_keys, num_threads)
-    factories["SLM-DB"] = lambda: build_slmdb()
+    names = list(_standard_stores(num_keys, num_threads)) + ["SLM-DB"]
     if stores is not None:
-        factories = {k: v for k, v in factories.items() if k in stores}
-    out: Dict[str, Dict[str, Dict[float, RunResult]]] = {}
-    for name, make in factories.items():
-        threads = 1 if name == "SLM-DB" else num_threads
-        out[name] = {w: {} for w in workloads}
-        for theta in thetas:
-            store = make()
-            preload(store, num_keys, VALUE_SIZE, num_threads=threads)
-            for w in workloads:
-                spec = WORKLOADS[w]
-                ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
-                out[name][w][theta] = run_workload(
-                    store,
-                    spec,
-                    ops,
-                    num_keys,
-                    threads,
-                    VALUE_SIZE,
-                    theta=theta,
-                    warmup_ops=ops // 2,
-                )
+        names = [k for k in names if k in stores]
+    tasks = [
+        (name, theta, tuple(workloads), num_keys, num_ops, num_threads)
+        for name in names
+        for theta in thetas
+    ]
+    units = parallel_map(_skew_unit, tasks)
+    out: Dict[str, Dict[str, Dict[float, RunResult]]] = {
+        name: {w: {} for w in workloads} for name in names
+    }
+    for (name, theta, *_rest), unit in zip(tasks, units):
+        for w, result in unit.items():
+            out[name][w][theta] = result
+    return out
+
+
+def _skew_unit(
+    name: str,
+    theta: float,
+    workloads: Tuple[str, ...],
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+) -> Dict[str, RunResult]:
+    """One (store, theta) cell of the skew sweep (fresh store)."""
+    if name == "SLM-DB":
+        store, threads = build_slmdb(), 1
+    else:
+        store = _standard_stores(num_keys, num_threads)[name]()
+        threads = num_threads
+    preload(store, num_keys, VALUE_SIZE, num_threads=threads)
+    out: Dict[str, RunResult] = {}
+    for w in workloads:
+        spec = WORKLOADS[w]
+        ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
+        out[w] = run_workload(
+            store,
+            spec,
+            ops,
+            num_keys,
+            threads,
+            VALUE_SIZE,
+            theta=theta,
+            warmup_ops=ops // 2,
+        )
     return out
 
 
@@ -243,24 +287,29 @@ def large_dataset(
     # Cache budgets stay at the default (small) dataset's size: the
     # dataset outgrew the hardware, exactly like 1 TB vs 36 GB.
     small = _dataset_bytes(scaled(NUM_KEYS), VALUE_SIZE)
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for name, make in (
-        (
-            "Prism",
-            lambda: build_prism(
-                num_threads=num_threads,
-                dataset_bytes=small,
-                expected_keys=num_keys * 2,
-            ),
-        ),
-        ("KVell", lambda: build_kvell(dataset_bytes=small)),
-    ):
-        store = make()
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        results[name] = _run_series(
-            store, ("A", "B", "C", "D", "E"), num_keys, num_ops, num_threads
+    names = ["Prism", "KVell"]
+    units = parallel_map(
+        _large_dataset_unit,
+        [(name, small, num_keys, num_ops, num_threads) for name in names],
+    )
+    return dict(zip(names, units))
+
+
+def _large_dataset_unit(
+    name: str, small: int, num_keys: int, num_ops: int, num_threads: int
+) -> Dict[str, RunResult]:
+    if name == "Prism":
+        store = build_prism(
+            num_threads=num_threads,
+            dataset_bytes=small,
+            expected_keys=num_keys * 2,
         )
-    return results
+    else:
+        store = build_kvell(dataset_bytes=small)
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    return _run_series(
+        store, ("A", "B", "C", "D", "E"), num_keys, num_ops, num_threads
+    )
 
 
 def nutanix_run(
@@ -272,30 +321,35 @@ def nutanix_run(
     num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
     num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
     data = _dataset_bytes(num_keys, VALUE_SIZE)
-    out: Dict[str, RunResult] = {}
-    for name, make in (
-        (
-            "Prism",
-            lambda: build_prism(
-                num_threads=num_threads,
-                dataset_bytes=data,
-                expected_keys=num_keys * 3,
-            ),
-        ),
-        ("KVell", lambda: build_kvell(dataset_bytes=data)),
-    ):
-        store = make()
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        out[name] = run_workload(
-            store,
-            NUTANIX,
-            num_ops,
-            num_keys,
-            num_threads,
-            VALUE_SIZE,
-            warmup_ops=num_ops // 2,
+    names = ["Prism", "KVell"]
+    units = parallel_map(
+        _nutanix_unit,
+        [(name, data, num_keys, num_ops, num_threads) for name in names],
+    )
+    return dict(zip(names, units))
+
+
+def _nutanix_unit(
+    name: str, data: int, num_keys: int, num_ops: int, num_threads: int
+) -> RunResult:
+    if name == "Prism":
+        store = build_prism(
+            num_threads=num_threads,
+            dataset_bytes=data,
+            expected_keys=num_keys * 3,
         )
-    return out
+    else:
+        store = build_kvell(dataset_bytes=data)
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    return run_workload(
+        store,
+        NUTANIX,
+        num_ops,
+        num_keys,
+        num_threads,
+        VALUE_SIZE,
+        warmup_ops=num_ops // 2,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -313,27 +367,38 @@ def thread_combining_sweep(
     num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
     num_ops = scaled(8_000) if num_ops is None else num_ops
     data = _dataset_bytes(num_keys, VALUE_SIZE)
+    tasks = [
+        (mode, qd, data, num_keys, num_ops, num_threads)
+        for mode in ("tc", "ta")
+        for qd in queue_depths
+    ]
+    units = parallel_map(_combining_unit, tasks)
     out: Dict[str, Dict[int, RunResult]] = {"TC": {}, "TA": {}}
-    for mode, label in (("tc", "TC"), ("ta", "TA")):
-        for qd in queue_depths:
-            store = build_prism(
-                num_threads=num_threads,
-                dataset_bytes=data,
-                expected_keys=num_keys * 2,
-                read_batching=mode,
-                queue_depth=qd,
-            )
-            preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-            out[label][qd] = run_workload(
-                store,
-                WORKLOADS["C"],
-                num_ops,
-                num_keys,
-                num_threads,
-                VALUE_SIZE,
-                warmup_ops=num_ops // 4,
-            )
+    for (mode, qd, *_rest), result in zip(tasks, units):
+        out[mode.upper()][qd] = result
     return out
+
+
+def _combining_unit(
+    mode: str, qd: int, data: int, num_keys: int, num_ops: int, num_threads: int
+) -> RunResult:
+    store = build_prism(
+        num_threads=num_threads,
+        dataset_bytes=data,
+        expected_keys=num_keys * 2,
+        read_batching=mode,
+        queue_depth=qd,
+    )
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    return run_workload(
+        store,
+        WORKLOADS["C"],
+        num_ops,
+        num_keys,
+        num_threads,
+        VALUE_SIZE,
+        warmup_ops=num_ops // 4,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -349,45 +414,59 @@ def waf_sweep(
     """Fig. 12: update-only WAF for Prism / KVell / MatrixKV."""
     num_keys = scaled(8_000) if num_keys is None else num_keys
     num_ops = scaled(16_000) if num_ops is None else num_ops
-    update_only = UPDATE_ONLY
-    out: Dict[int, Dict[str, Dict[float, float]]] = {}
-    for value_size in value_sizes:
-        data = _dataset_bytes(num_keys, value_size)
-        out[value_size] = {"Prism": {}, "KVell": {}, "MatrixKV": {}}
-        for theta in thetas:
-            for name, make in (
-                (
-                    "Prism",
-                    lambda: build_prism(
-                        num_threads=num_threads,
-                        dataset_bytes=data,
-                        expected_keys=num_keys * 2,
-                    ),
-                ),
-                ("KVell", lambda: build_kvell(dataset_bytes=data)),
-                ("MatrixKV", lambda: build_matrixkv(dataset_bytes=data)),
-            ):
-                store = make()
-                preload(store, num_keys, value_size, num_threads=num_threads)
-                ssd_before = store.ssd_bytes_written()
-                put_before = store.bytes_put
-                run_workload(
-                    store,
-                    update_only,
-                    num_ops,
-                    num_keys,
-                    num_threads,
-                    value_size,
-                    theta=theta,
-                )
-                # Include the drain: buffered data eventually reaches
-                # flash (and triggers the compactions the paper's
-                # long-running measurement captured).
-                store.flush()
-                app = store.bytes_put - put_before
-                ssd = store.ssd_bytes_written() - ssd_before
-                out[value_size][name][theta] = ssd / app if app else 0.0
+    tasks = [
+        (value_size, theta, name, num_keys, num_ops, num_threads)
+        for value_size in value_sizes
+        for theta in thetas
+        for name in ("Prism", "KVell", "MatrixKV")
+    ]
+    units = parallel_map(_waf_unit, tasks)
+    out: Dict[int, Dict[str, Dict[float, float]]] = {
+        vs: {"Prism": {}, "KVell": {}, "MatrixKV": {}} for vs in value_sizes
+    }
+    for (value_size, theta, name, *_rest), waf in zip(tasks, units):
+        out[value_size][name][theta] = waf
     return out
+
+
+def _waf_unit(
+    value_size: int,
+    theta: float,
+    name: str,
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+) -> float:
+    data = _dataset_bytes(num_keys, value_size)
+    if name == "Prism":
+        store = build_prism(
+            num_threads=num_threads,
+            dataset_bytes=data,
+            expected_keys=num_keys * 2,
+        )
+    elif name == "KVell":
+        store = build_kvell(dataset_bytes=data)
+    else:
+        store = build_matrixkv(dataset_bytes=data)
+    preload(store, num_keys, value_size, num_threads=num_threads)
+    ssd_before = store.ssd_bytes_written()
+    put_before = store.bytes_put
+    run_workload(
+        store,
+        UPDATE_ONLY,
+        num_ops,
+        num_keys,
+        num_threads,
+        value_size,
+        theta=theta,
+    )
+    # Include the drain: buffered data eventually reaches flash (and
+    # triggers the compactions the paper's long-running measurement
+    # captured).
+    store.flush()
+    app = store.bytes_put - put_before
+    ssd = store.ssd_bytes_written() - ssd_before
+    return ssd / app if app else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -404,36 +483,53 @@ def ssd_scaling(
     num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
     num_ops = scaled(8_000) if num_ops is None else num_ops
     data = _dataset_bytes(num_keys, VALUE_SIZE)
+    tasks = [
+        (n, name, tuple(workloads), data, num_keys, num_ops, num_threads)
+        for n in ssd_counts
+        for name in ("Prism", "KVell")
+    ]
+    units = parallel_map(_ssd_scaling_unit, tasks)
     out: Dict[str, Dict[str, Dict[int, RunResult]]] = {
         "Prism": {w: {} for w in workloads},
         "KVell": {w: {} for w in workloads},
     }
-    for n in ssd_counts:
-        for name, make in (
-            (
-                "Prism",
-                lambda: build_prism(
-                    num_threads=num_threads,
-                    num_ssds=n,
-                    dataset_bytes=data,
-                    expected_keys=num_keys * 2,
-                ),
-            ),
-            ("KVell", lambda: build_kvell(num_ssds=n, dataset_bytes=data)),
-        ):
-            store = make()
-            preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-            for w in workloads:
-                out[name][w][n] = run_workload(
-                    store,
-                    WORKLOADS[w],
-                    num_ops,
-                    num_keys,
-                    num_threads,
-                    VALUE_SIZE,
-                    warmup_ops=num_ops // 2,
-                )
+    for (n, name, *_rest), unit in zip(tasks, units):
+        for w, result in unit.items():
+            out[name][w][n] = result
     return out
+
+
+def _ssd_scaling_unit(
+    n: int,
+    name: str,
+    workloads: Tuple[str, ...],
+    data: int,
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+) -> Dict[str, RunResult]:
+    if name == "Prism":
+        store = build_prism(
+            num_threads=num_threads,
+            num_ssds=n,
+            dataset_bytes=data,
+            expected_keys=num_keys * 2,
+        )
+    else:
+        store = build_kvell(num_ssds=n, dataset_bytes=data)
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    return {
+        w: run_workload(
+            store,
+            WORKLOADS[w],
+            num_ops,
+            num_keys,
+            num_threads,
+            VALUE_SIZE,
+            warmup_ops=num_ops // 2,
+        )
+        for w in workloads
+    }
 
 
 # ----------------------------------------------------------------------
@@ -449,11 +545,23 @@ def buffer_size_sweep(
     """Fig. 15: (a) LOAD/A vs PWB size, (b) C/E vs SVC size."""
     num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
     num_ops = scaled(8_000) if num_ops is None else num_ops
+    tasks = [
+        ("pwb", size, num_keys, num_ops, num_threads) for size in pwb_sizes
+    ] + [("svc", size, num_keys, num_ops, num_threads) for size in svc_sizes]
+    units = parallel_map(_buffer_unit, tasks)
     out: Dict[str, Dict[int, Dict[str, RunResult]]] = {"pwb": {}, "svc": {}}
-    for pwb in pwb_sizes:
+    for (kind, size, *_rest), unit in zip(tasks, units):
+        out[kind][size] = unit
+    return out
+
+
+def _buffer_unit(
+    kind: str, size: int, num_keys: int, num_ops: int, num_threads: int
+) -> Dict[str, RunResult]:
+    if kind == "pwb":
         store = build_prism(
             num_threads=num_threads,
-            pwb_total=pwb,
+            pwb_total=size,
             expected_keys=num_keys * 3,
         )
         load = run_workload(
@@ -462,34 +570,32 @@ def buffer_size_sweep(
         a = run_workload(
             store, WORKLOADS["A"], num_ops, num_keys, num_threads, VALUE_SIZE
         )
-        out["pwb"][pwb] = {"LOAD": load, "A": a}
-    for svc in svc_sizes:
-        store = build_prism(
-            num_threads=num_threads,
-            svc_capacity=svc,
-            expected_keys=num_keys * 3,
-        )
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        c = run_workload(
-            store,
-            WORKLOADS["C"],
-            num_ops,
-            num_keys,
-            num_threads,
-            VALUE_SIZE,
-            warmup_ops=num_ops // 2,
-        )
-        e = run_workload(
-            store,
-            WORKLOADS["E"],
-            max(200, num_ops // SCAN_OPS_DIVISOR),
-            num_keys,
-            num_threads,
-            VALUE_SIZE,
-            warmup_ops=num_ops // 10,
-        )
-        out["svc"][svc] = {"C": c, "E": e}
-    return out
+        return {"LOAD": load, "A": a}
+    store = build_prism(
+        num_threads=num_threads,
+        svc_capacity=size,
+        expected_keys=num_keys * 3,
+    )
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    c = run_workload(
+        store,
+        WORKLOADS["C"],
+        num_ops,
+        num_keys,
+        num_threads,
+        VALUE_SIZE,
+        warmup_ops=num_ops // 2,
+    )
+    e = run_workload(
+        store,
+        WORKLOADS["E"],
+        max(200, num_ops // SCAN_OPS_DIVISOR),
+        num_keys,
+        num_threads,
+        VALUE_SIZE,
+        warmup_ops=num_ops // 10,
+    )
+    return {"C": c, "E": e}
 
 
 # ----------------------------------------------------------------------
@@ -506,33 +612,54 @@ def multicore_scalability(
     num_keys = scaled(8_000) if num_keys is None else num_keys
     num_ops = scaled(8_000) if num_ops is None else num_ops
     data = _dataset_bytes(num_keys, VALUE_SIZE)
-    variants = {
-        "Prism": lambda t: build_prism(
-            num_threads=t, dataset_bytes=data, expected_keys=num_keys * 2
-        ),
-        "KVell(QD64)": lambda t: build_kvell(dataset_bytes=data, queue_depth=64),
-        "KVell(QD1)": lambda t: build_kvell(dataset_bytes=data, queue_depth=1),
-        "MatrixKV": lambda t: build_matrixkv(dataset_bytes=data),
-    }
+    names = ["Prism", "KVell(QD64)", "KVell(QD1)", "MatrixKV"]
+    tasks = [
+        (name, t, tuple(workloads), data, num_keys, num_ops)
+        for name in names
+        for t in thread_counts
+    ]
+    units = parallel_map(_multicore_unit, tasks)
     out: Dict[str, Dict[str, Dict[int, RunResult]]] = {
-        name: {w: {} for w in workloads} for name in variants
+        name: {w: {} for w in workloads} for name in names
     }
-    for name, make in variants.items():
-        for t in thread_counts:
-            store = make(t)
-            preload(store, num_keys, VALUE_SIZE, num_threads=t)
-            for w in workloads:
-                spec = WORKLOADS[w]
-                ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
-                out[name][w][t] = run_workload(
-                    store,
-                    spec,
-                    ops,
-                    num_keys,
-                    t,
-                    VALUE_SIZE,
-                    warmup_ops=ops // 2,
-                )
+    for (name, t, *_rest), unit in zip(tasks, units):
+        for w, result in unit.items():
+            out[name][w][t] = result
+    return out
+
+
+def _multicore_unit(
+    name: str,
+    t: int,
+    workloads: Tuple[str, ...],
+    data: int,
+    num_keys: int,
+    num_ops: int,
+) -> Dict[str, RunResult]:
+    if name == "Prism":
+        store = build_prism(
+            num_threads=t, dataset_bytes=data, expected_keys=num_keys * 2
+        )
+    elif name == "KVell(QD64)":
+        store = build_kvell(dataset_bytes=data, queue_depth=64)
+    elif name == "KVell(QD1)":
+        store = build_kvell(dataset_bytes=data, queue_depth=1)
+    else:
+        store = build_matrixkv(dataset_bytes=data)
+    preload(store, num_keys, VALUE_SIZE, num_threads=t)
+    out: Dict[str, RunResult] = {}
+    for w in workloads:
+        spec = WORKLOADS[w]
+        ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
+        out[w] = run_workload(
+            store,
+            spec,
+            ops,
+            num_keys,
+            t,
+            VALUE_SIZE,
+            warmup_ops=ops // 2,
+        )
     return out
 
 
@@ -593,19 +720,25 @@ def ablations(
         "no-scan-aware": {"svc_scan_aware": False},
         "page-granule-svc": {"svc_page_mode": True},
     }
-    out: Dict[str, Dict[str, RunResult]] = {}
-    for label, overrides in variants.items():
-        store = build_prism(
-            num_threads=num_threads,
-            dataset_bytes=data,
-            expected_keys=num_keys * 3,
-            **overrides,
-        )
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        out[label] = _run_series(
-            store, ("A", "C", "E"), num_keys, num_ops, num_threads
-        )
-    return out
+    tasks = [
+        (overrides, data, num_keys, num_ops, num_threads)
+        for overrides in variants.values()
+    ]
+    units = parallel_map(_ablation_unit, tasks)
+    return dict(zip(variants, units))
+
+
+def _ablation_unit(
+    overrides: Dict, data: int, num_keys: int, num_ops: int, num_threads: int
+) -> Dict[str, RunResult]:
+    store = build_prism(
+        num_threads=num_threads,
+        dataset_bytes=data,
+        expected_keys=num_keys * 3,
+        **overrides,
+    )
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    return _run_series(store, ("A", "C", "E"), num_keys, num_ops, num_threads)
 
 
 # ----------------------------------------------------------------------
@@ -666,52 +799,63 @@ def fault_recovery(
     the store (zero invariant violations expected despite faults),
     then crash + recover and report the recovery virtual time.
     """
-    from repro.core.checker import audit
-    from repro.faults.injector import FaultConfig
-
     num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
     num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
     data = _dataset_bytes(num_keys, VALUE_SIZE)
+    tasks = [
+        (rate, data, num_keys, num_ops, num_threads) for rate in error_rates
+    ]
+    units = parallel_map(_fault_unit, tasks)
     out: Dict[str, object] = {"runs": {}, "faults": {}}
-    for rate in error_rates:
-        faults = None
-        if rate > 0.0:
-            faults = FaultConfig(
-                seed=13,
-                read_error_rate=rate,
-                write_error_rate=rate,
-                flush_error_rate=rate / 10,
-                stuck_rate=rate / 10,
-            )
-        store = build_prism(
-            num_threads=num_threads,
-            dataset_bytes=data,
-            expected_keys=num_keys * 3,
-            faults=faults,
-        )
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        result = run_workload(
-            store,
-            WORKLOADS["A"],
-            num_ops,
-            num_keys,
-            num_threads,
-            VALUE_SIZE,
-            warmup_ops=num_ops // 4,
-        )
-        report = audit(store)
-        store.crash()
-        recovery = store.recover(recovery_threads=num_threads)
+    for rate, (result, stats) in zip(error_rates, units):
         label = f"rate={rate:g}"
         out["runs"][label] = result
-        out["faults"][label] = {
-            "injected": float(store.injector.total_injected) if store.injector else 0.0,
-            "retries": float(store.retry_exec.retries),
-            "audit_violations": float(len(report.violations)),
-            "recovered_keys": float(recovery.recovered_keys),
-            "recovery_seconds": recovery.duration,
-        }
+        out["faults"][label] = stats
     return out
+
+
+def _fault_unit(
+    rate: float, data: int, num_keys: int, num_ops: int, num_threads: int
+) -> Tuple[RunResult, Dict[str, float]]:
+    from repro.core.checker import audit
+    from repro.faults.injector import FaultConfig
+
+    faults = None
+    if rate > 0.0:
+        faults = FaultConfig(
+            seed=13,
+            read_error_rate=rate,
+            write_error_rate=rate,
+            flush_error_rate=rate / 10,
+            stuck_rate=rate / 10,
+        )
+    store = build_prism(
+        num_threads=num_threads,
+        dataset_bytes=data,
+        expected_keys=num_keys * 3,
+        faults=faults,
+    )
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    result = run_workload(
+        store,
+        WORKLOADS["A"],
+        num_ops,
+        num_keys,
+        num_threads,
+        VALUE_SIZE,
+        warmup_ops=num_ops // 4,
+    )
+    report = audit(store)
+    store.crash()
+    recovery = store.recover(recovery_threads=num_threads)
+    stats = {
+        "injected": float(store.injector.total_injected) if store.injector else 0.0,
+        "retries": float(store.retry_exec.retries),
+        "audit_violations": float(len(report.violations)),
+        "recovered_keys": float(recovery.recovered_keys),
+        "recovery_seconds": recovery.duration,
+    }
+    return result, stats
 
 
 
@@ -736,15 +880,36 @@ def scrub_sweep(
     with zero wrong values and zero degraded reads — every corrupted
     record either repaired or reported as a typed unrecoverable loss.
     """
+    num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
+    num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
+    data = _dataset_bytes(num_keys, VALUE_SIZE)
+    tasks = [
+        (rate, corrupt_fraction, data, num_keys, num_ops, num_threads)
+        for rate in bitflip_rates
+    ]
+    units = parallel_map(_scrub_unit, tasks)
+    out: Dict[str, object] = {"runs": {}, "scrub": {}}
+    for rate, (result, stats) in zip(bitflip_rates, units):
+        label = f"rate={rate:g}"
+        out["runs"][label] = result
+        out["scrub"][label] = stats
+    return out
+
+
+def _scrub_unit(
+    rate: float,
+    corrupt_fraction: float,
+    data: int,
+    num_keys: int,
+    num_ops: int,
+    num_threads: int,
+) -> Tuple[RunResult, Dict[str, float]]:
     import random as _random
 
     from repro.faults.errors import ReadDegradedError, UnrecoverableCorruptionError
     from repro.faults.injector import FaultConfig
     from repro.repair import Scrubber, rebuild_storage
 
-    num_keys = scaled(NUM_KEYS) if num_keys is None else num_keys
-    num_ops = scaled(NUM_OPS) if num_ops is None else num_ops
-    data = _dataset_bytes(num_keys, VALUE_SIZE)
     counter_names = (
         "corruption.detected",
         "corruption.repaired",
@@ -752,105 +917,101 @@ def scrub_sweep(
         "scrub.chunks_scanned",
         "scrub.mirrors_refreshed",
     )
-    out: Dict[str, object] = {"runs": {}, "scrub": {}}
-    for rate in bitflip_rates:
-        # The injector is always attached here: even the rate-0 leg
-        # needs it for at-rest corruption and the device kill.
-        faults = FaultConfig(seed=29, bitflip_rate=rate, torn_write_rate=rate / 10)
-        store = build_prism(
-            num_threads=num_threads,
-            dataset_bytes=data,
-            expected_keys=num_keys * 3,
-            faults=faults,
-            enable_checksums=True,
-            mirror_chunks=True,
+    # The injector is always attached here: even the rate-0 leg needs
+    # it for at-rest corruption and the device kill.
+    faults = FaultConfig(seed=29, bitflip_rate=rate, torn_write_rate=rate / 10)
+    store = build_prism(
+        num_threads=num_threads,
+        dataset_bytes=data,
+        expected_keys=num_keys * 3,
+        faults=faults,
+        enable_checksums=True,
+        mirror_chunks=True,
+    )
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    result = run_workload(
+        store,
+        WORKLOADS["A"],
+        num_ops,
+        num_keys,
+        num_threads,
+        VALUE_SIZE,
+        warmup_ops=num_ops // 4,
+    )
+    # Snapshot every key before injecting at-rest damage; these reads
+    # are checksum-verified (and may already heal write-path bit
+    # flips), so the snapshot is trustworthy.
+    expected: Dict[bytes, bytes] = {}
+    lost_before = 0
+    for key, _idx in list(store.index.items()):
+        try:
+            value = store.get(key)
+        except UnrecoverableCorruptionError:
+            lost_before += 1
+            continue
+        if value is not None:
+            expected[key] = value
+    # (1) seeded bit-rot on a fraction of the stored records.
+    records = []
+    for vs in store.storages:
+        for chunk_id, info in vs._chunks.items():
+            for offset, slot in info.slots.items():
+                if slot.valid:
+                    records.append((vs, chunk_id, offset, slot.size))
+    rng = _random.Random(31)
+    n_corrupt = int(len(records) * corrupt_fraction)
+    for vs, chunk_id, offset, size in rng.sample(records, n_corrupt):
+        store.injector.corrupt_at_rest(
+            vs.ssd,
+            chunk_id * vs.chunk_size + offset,
+            vs.header_size + size,
+            at=store.clock.now,
         )
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        result = run_workload(
-            store,
-            WORKLOADS["A"],
-            num_ops,
-            num_keys,
-            num_threads,
-            VALUE_SIZE,
-            warmup_ops=num_ops // 4,
+    # (2) one background scrub pass.
+    scrub = Scrubber(store).scrub_once()
+    # (3) lose a whole Value Storage, rebuild it onto survivors.
+    victim = store.storages[0]
+    store.injector.kill_device(victim.ssd.name, store.clock.now)
+    rebuild = rebuild_storage(store, victim.vs_id)
+    # (4) verify every snapshotted key.
+    wrong = degraded = unrecoverable = 0
+    for key, value in expected.items():
+        try:
+            got = store.get(key)
+        except ReadDegradedError:
+            degraded += 1
+        except UnrecoverableCorruptionError:
+            unrecoverable += 1
+        else:
+            if got != value:
+                wrong += 1
+    # Fold the integrity counters into the run's metrics snapshot
+    # (scrub and rebuild happen after the workload's registry swap).
+    if result.metrics is not None:
+        counters = result.metrics.setdefault("counters", {})
+        for name in counter_names:
+            counters[name] = float(counters.get(name, 0)) + float(
+                store.metrics.counter(name).value
+            )
+        result.metrics.setdefault("gauges", {})["repair.rebuild_seconds"] = (
+            store.metrics.gauge("repair.rebuild_seconds").value
         )
-        # Snapshot every key before injecting at-rest damage; these
-        # reads are checksum-verified (and may already heal write-path
-        # bit flips), so the snapshot is trustworthy.
-        expected: Dict[bytes, bytes] = {}
-        lost_before = 0
-        for key, _idx in list(store.index.items()):
-            try:
-                value = store.get(key)
-            except UnrecoverableCorruptionError:
-                lost_before += 1
-                continue
-            if value is not None:
-                expected[key] = value
-        # (1) seeded bit-rot on a fraction of the stored records.
-        records = []
-        for vs in store.storages:
-            for chunk_id, info in vs._chunks.items():
-                for offset, slot in info.slots.items():
-                    if slot.valid:
-                        records.append((vs, chunk_id, offset, slot.size))
-        rng = _random.Random(31)
-        n_corrupt = int(len(records) * corrupt_fraction)
-        for vs, chunk_id, offset, size in rng.sample(records, n_corrupt):
-            store.injector.corrupt_at_rest(
-                vs.ssd,
-                chunk_id * vs.chunk_size + offset,
-                vs.header_size + size,
-                at=store.clock.now,
-            )
-        # (2) one background scrub pass.
-        scrub = Scrubber(store).scrub_once()
-        # (3) lose a whole Value Storage, rebuild it onto survivors.
-        victim = store.storages[0]
-        store.injector.kill_device(victim.ssd.name, store.clock.now)
-        rebuild = rebuild_storage(store, victim.vs_id)
-        # (4) verify every snapshotted key.
-        wrong = degraded = unrecoverable = 0
-        for key, value in expected.items():
-            try:
-                got = store.get(key)
-            except ReadDegradedError:
-                degraded += 1
-            except UnrecoverableCorruptionError:
-                unrecoverable += 1
-            else:
-                if got != value:
-                    wrong += 1
-        # Fold the integrity counters into the run's metrics snapshot
-        # (scrub and rebuild happen after the workload's registry swap).
-        if result.metrics is not None:
-            counters = result.metrics.setdefault("counters", {})
-            for name in counter_names:
-                counters[name] = float(counters.get(name, 0)) + float(
-                    store.metrics.counter(name).value
-                )
-            result.metrics.setdefault("gauges", {})["repair.rebuild_seconds"] = (
-                store.metrics.gauge("repair.rebuild_seconds").value
-            )
-        label = f"rate={rate:g}"
-        combined = result.metrics["counters"] if result.metrics else {}
-        out["runs"][label] = result
-        out["scrub"][label] = {
-            "silent_injected": float(store.injector.silent_injected),
-            "at_rest_corrupted": float(n_corrupt),
-            "detected": float(combined.get("corruption.detected", 0.0)),
-            "repaired": float(combined.get("corruption.repaired", 0.0)),
-            "unrecoverable": float(combined.get("corruption.unrecoverable", 0.0)),
-            "chunks_scanned": float(scrub.chunks_scanned),
-            "scrub_repaired": float(scrub.repaired),
-            "mirrors_refreshed": float(scrub.mirrors_refreshed),
-            "rebuild_records": float(rebuild.records_repaired),
-            "rebuild_lost": float(rebuild.records_lost),
-            "rebuild_seconds": rebuild.duration,
-            "wrong_values": float(wrong),
-            "degraded_reads": float(degraded),
-            "unrecoverable_reads": float(unrecoverable),
-            "lost_before_snapshot": float(lost_before),
-        }
-    return out
+    combined = result.metrics["counters"] if result.metrics else {}
+    stats = {
+        "silent_injected": float(store.injector.silent_injected),
+        "at_rest_corrupted": float(n_corrupt),
+        "detected": float(combined.get("corruption.detected", 0.0)),
+        "repaired": float(combined.get("corruption.repaired", 0.0)),
+        "unrecoverable": float(combined.get("corruption.unrecoverable", 0.0)),
+        "chunks_scanned": float(scrub.chunks_scanned),
+        "scrub_repaired": float(scrub.repaired),
+        "mirrors_refreshed": float(scrub.mirrors_refreshed),
+        "rebuild_records": float(rebuild.records_repaired),
+        "rebuild_lost": float(rebuild.records_lost),
+        "rebuild_seconds": rebuild.duration,
+        "wrong_values": float(wrong),
+        "degraded_reads": float(degraded),
+        "unrecoverable_reads": float(unrecoverable),
+        "lost_before_snapshot": float(lost_before),
+    }
+    return result, stats

@@ -28,6 +28,7 @@ from repro.bench.experiments import (
 )
 from repro.bench.runner import RunResult, preload, run_workload
 from repro.bench.stores import build_prism
+from repro.parallel import parallel_map
 from repro.storage.specs import (
     CXL_NVM_SPEC,
     FLASH_SSD_GEN4_SPEC,
@@ -59,26 +60,41 @@ def media_matrix(
             "ssd_spec_base": PCIE5_SSD_SPEC,
         },
     }
-    out: Dict[str, Dict[str, RunResult]] = {}
-    for label, overrides in variants.items():
-        kwargs = {}
-        if "nvm_spec" in overrides:
-            kwargs["nvm_spec"] = overrides["nvm_spec"]
-        if "ssd_spec_base" in overrides:
-            kwargs["ssd_spec"] = overrides["ssd_spec_base"].with_capacity(2 * GB)
-        store = build_prism(
-            num_threads=num_threads,
-            dataset_bytes=data,
-            expected_keys=num_keys * 3,
-            **kwargs,
+    tasks = [
+        (label, data, num_keys, num_ops, num_threads) for label in variants
+    ]
+    units = parallel_map(_media_unit, tasks)
+    return dict(zip(variants, units))
+
+
+def _media_unit(
+    label: str, data: int, num_keys: int, num_ops: int, num_threads: int
+) -> Dict[str, RunResult]:
+    """One device-generation variant of the media matrix."""
+    overrides: Dict[str, DeviceSpec] = {
+        "dcpmm+gen4 (paper)": {},
+        "cxl-nvm+gen4": {"nvm_spec": CXL_NVM_SPEC},
+        "dcpmm+optane-ssd": {"ssd_spec_base": OPTANE_SSD_SPEC},
+        "dcpmm+gen5": {"ssd_spec_base": PCIE5_SSD_SPEC},
+    }[label]
+    kwargs = {}
+    if "nvm_spec" in overrides:
+        kwargs["nvm_spec"] = overrides["nvm_spec"]
+    if "ssd_spec_base" in overrides:
+        kwargs["ssd_spec"] = overrides["ssd_spec_base"].with_capacity(2 * GB)
+    store = build_prism(
+        num_threads=num_threads,
+        dataset_bytes=data,
+        expected_keys=num_keys * 3,
+        **kwargs,
+    )
+    preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
+    out: Dict[str, RunResult] = {}
+    for wl in ("A", "C", "E"):
+        spec = WORKLOADS[wl]
+        ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
+        out[wl] = run_workload(
+            store, spec, ops, num_keys, num_threads, VALUE_SIZE,
+            warmup_ops=ops // 2,
         )
-        preload(store, num_keys, VALUE_SIZE, num_threads=num_threads)
-        out[label] = {}
-        for wl in ("A", "C", "E"):
-            spec = WORKLOADS[wl]
-            ops = num_ops if spec.scan == 0 else max(200, num_ops // SCAN_OPS_DIVISOR)
-            out[label][wl] = run_workload(
-                store, spec, ops, num_keys, num_threads, VALUE_SIZE,
-                warmup_ops=ops // 2,
-            )
     return out

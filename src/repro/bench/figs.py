@@ -1,0 +1,84 @@
+"""Fig-suite driver: every paper-figure experiment in one command.
+
+``python -m repro.bench figs --jobs N`` runs the whole figure suite,
+one experiment per worker process.  Each experiment is already a
+self-contained simulation (private clocks, explicit seeds), so the
+suite is embarrassingly parallel at experiment granularity; workers
+run their *internal* fan-out serially (``REPRO_JOBS`` is forced to 1
+inside workers) to avoid nested pools.
+
+Workers return their captured stdout plus the metrics payload; the
+parent prints and writes both in suite order, so the terminal output
+and every ``<experiment>.metrics.json`` are byte-identical to a
+serial ``--jobs 1`` run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+from typing import Optional, Tuple
+
+# The paper-figure experiments (fig14 shares fig13's sweep; no fig14
+# command exists).  Heavier sweeps lead so the pool drains evenly.
+FIG_SUITE = (
+    "fig9",
+    "fig16",
+    "fig12",
+    "fig13",
+    "fig7",
+    "fig8",
+    "fig10",
+    "fig11",
+    "fig15",
+    "fig17",
+    "ablations",
+    "media",
+    "scalars",
+)
+
+
+def _run_experiment(
+    name: str, scale: Optional[float], smoke: bool
+) -> Tuple[str, Optional[dict]]:
+    """One whole experiment (spawn-safe): returns (stdout, payload)."""
+    import argparse
+
+    if scale is not None:
+        os.environ["REPRO_SCALE"] = str(scale)
+    # Imported lazily: this module is itself imported by the CLI.
+    from repro.bench.__main__ import COMMANDS
+    from repro.bench.report import metrics_payload
+
+    args = argparse.Namespace(smoke=smoke)
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        results = COMMANDS[name](args)
+    payload = metrics_payload(name, results) if results is not None else None
+    return buf.getvalue(), payload
+
+
+def run_figs(
+    jobs: Optional[int] = None,
+    scale: Optional[float] = None,
+    smoke: bool = False,
+    metrics_dir: str = ".",
+    write_metrics: bool = True,
+) -> int:
+    """Run :data:`FIG_SUITE`; print and persist results in suite order."""
+    from repro.bench.report import write_metrics_json
+    from repro.parallel import parallel_map
+
+    outputs = parallel_map(
+        _run_experiment, [(name, scale, smoke) for name in FIG_SUITE], jobs=jobs
+    )
+    for name, (text, payload) in zip(FIG_SUITE, outputs):
+        print(f"=== {name} ===")
+        print(text, end="")
+        if payload is not None and write_metrics:
+            out = os.path.join(metrics_dir, f"{name}.metrics.json")
+            write_metrics_json(out, payload)
+            print(f"metrics: {out} ({len(payload['runs'])} runs)")
+        print()
+    return 0

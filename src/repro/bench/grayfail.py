@@ -41,6 +41,7 @@ from repro.core.config import PrismConfig
 from repro.core.prism import Prism
 from repro.faults.injector import FaultConfig
 from repro.obs.metrics import MetricsRegistry
+from repro.parallel import parallel_map
 from repro.sim.clock import VirtualClock
 from repro.storage.specs import FLASH_SSD_GEN4_SPEC
 from repro.workloads.ycsb import WorkloadSpec
@@ -107,28 +108,40 @@ def grayfail_comparison(
         at_fraction=GRAY_AT_FRACTION,
         multiplier=multiplier,
     )
+    legs = [
+        ("healthy", None, None),
+        ("undefended", None, plan),
+        ("defended", HealthConfig(), plan),
+    ]
+    units = parallel_map(
+        _grayfail_leg,
+        [
+            (health, gray, num_keys, num_ops, clients_per_shard)
+            for _label, health, gray in legs
+        ],
+    )
+    return {label: unit for (label, *_), unit in zip(legs, units)}
 
-    def one(
-        health: Optional[HealthConfig], gray: Optional[GrayPlan]
-    ) -> ClusterRunResult:
-        cluster = _build(health, num_keys)
-        result = run_cluster_workload(
-            cluster,
-            READ_HEAVY_UNIFORM,
-            num_ops,
-            num_keys,
-            clients_per_shard=clients_per_shard,
-            seed=5,
-            gray_plan=gray,
-        )
-        cluster.close()
-        return result
 
-    return {
-        "healthy": one(None, None),
-        "undefended": one(None, plan),
-        "defended": one(HealthConfig(), plan),
-    }
+def _grayfail_leg(
+    health: Optional[HealthConfig],
+    gray: Optional[GrayPlan],
+    num_keys: int,
+    num_ops: int,
+    clients_per_shard: int,
+) -> ClusterRunResult:
+    cluster = _build(health, num_keys)
+    result = run_cluster_workload(
+        cluster,
+        READ_HEAVY_UNIFORM,
+        num_ops,
+        num_keys,
+        clients_per_shard=clients_per_shard,
+        seed=5,
+        gray_plan=gray,
+    )
+    cluster.close()
+    return result
 
 
 def read_p99(result: ClusterRunResult) -> float:

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.bench.cluster import YCSB_A_UNIFORM, _build
 from repro.bench.experiments import scaled
+from repro.parallel import parallel_map
 from repro.cluster.runner import (
     ClusterRunResult,
     RebalancePlan,
@@ -60,36 +61,50 @@ def cluster_rebalance(
     """
     num_keys = num_keys if num_keys is not None else scaled(8_000)
     num_ops = num_ops if num_ops is not None else scaled(16_000)
-
-    def one(plan: RebalancePlan) -> ClusterRunResult:
-        cluster = _build(num_shards, 2, replication_mode, num_keys)
-        result = run_cluster_workload(
-            cluster,
-            YCSB_A_UNIFORM,
-            num_ops,
-            num_keys,
-            clients_per_shard=clients_per_shard,
-            seed=5,
-            rebalance_plan=plan,
-        )
-        cluster.close()
-        return result
-
-    return {
-        "scale_out": one(
-            RebalancePlan(
-                action="add", at_fraction=at_fraction, bandwidth=bandwidth
-            )
+    plans = [
+        RebalancePlan(
+            action="add", at_fraction=at_fraction, bandwidth=bandwidth
         ),
-        "scale_in": one(
-            RebalancePlan(
-                action="remove",
-                shard_id=1,
-                at_fraction=at_fraction,
-                bandwidth=bandwidth,
-            )
+        RebalancePlan(
+            action="remove",
+            shard_id=1,
+            at_fraction=at_fraction,
+            bandwidth=bandwidth,
         ),
-    }
+    ]
+    scale_out, scale_in = parallel_map(
+        _rebalance_leg,
+        [
+            (
+                plan, num_shards, replication_mode, num_keys, num_ops,
+                clients_per_shard,
+            )
+            for plan in plans
+        ],
+    )
+    return {"scale_out": scale_out, "scale_in": scale_in}
+
+
+def _rebalance_leg(
+    plan: RebalancePlan,
+    num_shards: int,
+    replication_mode: str,
+    num_keys: int,
+    num_ops: int,
+    clients_per_shard: int,
+) -> ClusterRunResult:
+    cluster = _build(num_shards, 2, replication_mode, num_keys)
+    result = run_cluster_workload(
+        cluster,
+        YCSB_A_UNIFORM,
+        num_ops,
+        num_keys,
+        clients_per_shard=clients_per_shard,
+        seed=5,
+        rebalance_plan=plan,
+    )
+    cluster.close()
+    return result
 
 
 def check_rebalance(

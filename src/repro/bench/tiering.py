@@ -28,6 +28,7 @@ from repro.bench.experiments import scaled
 from repro.bench.runner import RunResult, preload, run_workload
 from repro.bench.stores import build_prism
 from repro.core.config import TIER_SPREAD, TIER_TEMPERATURE
+from repro.parallel import parallel_map
 from repro.storage.specs import QLC_SSD_SPEC
 from repro.workloads.ycsb import YCSB_B
 
@@ -151,10 +152,20 @@ def tiering_comparison(
     """
     num_keys = num_keys if num_keys is not None else scaled(3_000)
     num_ops = num_ops if num_ops is not None else scaled(12_000)
-    tiered = tier_run("tiered", num_keys, num_ops, num_threads, theta=theta)
-    spread = tier_run("spread", num_keys, num_ops, num_threads, theta=theta)
-    allfast = tier_run("allfast", num_keys, num_ops, num_threads, theta=theta)
+    tiered, spread, allfast = parallel_map(
+        _tier_task,
+        [
+            (mode, num_keys, num_ops, num_threads, theta)
+            for mode in ("tiered", "spread", "allfast")
+        ],
+    )
     return tiered, spread, allfast
+
+
+def _tier_task(
+    mode: str, num_keys: int, num_ops: int, num_threads: int, theta: float
+) -> RunResult:
+    return tier_run(mode, num_keys, num_ops, num_threads, theta=theta)
 
 
 def cost_per_mop(result: RunResult) -> float:

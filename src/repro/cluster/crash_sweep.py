@@ -263,24 +263,43 @@ class ClusterCrashSweep:
             violations.append(f"key {key!r} unreadable after failover: {exc}")
             return None
 
-    def run(self) -> ClusterSweepReport:
+    def run(self, jobs: Optional[int] = None) -> ClusterSweepReport:
+        """Discover serially, then verify every label (``jobs`` wide).
+
+        Each verification replays on a fresh cluster, so the label
+        list partitions cleanly across workers; outcomes come back in
+        label order, identical to the serial sweep.
+        """
+        from repro.parallel import parallel_map
+
         report = ClusterSweepReport()
         report.labels = self.discover()
-        for label in sorted(report.labels):
-            report.outcomes.append(self.verify_label(label))
+        tasks = [(self, label, 1) for label in sorted(report.labels)]
+        report.outcomes = parallel_map(_cluster_verify_task, tasks, jobs=jobs)
         return report
 
-    def fuzz(self, trials: int, seed: int = 0) -> List[ClusterLabelOutcome]:
+    def fuzz(
+        self, trials: int, seed: int = 0, jobs: Optional[int] = None
+    ) -> List[ClusterLabelOutcome]:
         """Seeded random (label, occurrence) draws, later occurrences."""
+        from repro.parallel import parallel_map
+
         labels = sorted(self.discover().items())
         rng = random.Random(seed)
-        outcomes: List[ClusterLabelOutcome] = []
+        draws: List[tuple] = []
         for _ in range(trials):
             if not labels:
                 break
             label, count = labels[rng.randrange(len(labels))]
-            outcomes.append(self.verify_label(label, rng.randint(1, count)))
-        return outcomes
+            draws.append((self, label, rng.randint(1, count)))
+        return parallel_map(_cluster_verify_task, draws, jobs=jobs)
+
+
+def _cluster_verify_task(
+    sweep: "ClusterCrashSweep", label: str, occurrence: int
+) -> ClusterLabelOutcome:
+    """One armed shard death on a fresh cluster (spawn-safe)."""
+    return sweep.verify_label(label, occurrence)
 
 
 class RebalanceCrashSweep(ClusterCrashSweep):

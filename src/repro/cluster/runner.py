@@ -286,6 +286,11 @@ def run_cluster_workload(
     ssd_before = cluster.ssd_bytes_written()
     put_before = cluster.bytes_put
     executed = 0
+    # Per-op metric sinks resolved once: ``registry.histogram(...)`` is
+    # a prefix concat + get-or-create lookup, and the per-kind label an
+    # f-string — per-op that was a visible repro.obs CPU row.
+    hist_all = registry.histogram("op.all") if registry is not None else None
+    kind_hists: Dict[str, object] = {}
     heap = [(t.now, i) for i, t in enumerate(threads)]
     heapq.heapify(heap)
     live = set(range(num_threads))
@@ -357,12 +362,20 @@ def run_cluster_workload(
                     ledger.ack(op.key, before, thread.now, value)
             elapsed = thread.now - before
             latency.record(elapsed)
-            per_kind.setdefault(op.kind, LatencyRecorder(op.kind)).record(elapsed)
+            kind_rec = per_kind.get(op.kind)
+            if kind_rec is None:
+                kind_rec = per_kind[op.kind] = LatencyRecorder(op.kind)
+            kind_rec.record(elapsed)
             if reads_steady is not None and op.kind == "read":
                 (reads_migrating if migrating else reads_steady).record(elapsed)
-            if registry is not None:
-                registry.histogram("op.all").record(elapsed)
-                registry.histogram(f"op.{op.kind}").record(elapsed)
+            if hist_all is not None:
+                hist_all.record(elapsed)
+                kind_hist = kind_hists.get(op.kind)
+                if kind_hist is None:
+                    kind_hist = kind_hists[op.kind] = registry.histogram(
+                        f"op.{op.kind}"
+                    )
+                kind_hist.record(elapsed)
             if timeline is not None:
                 timeline.record(thread.now - start)
             executed += 1

@@ -48,6 +48,7 @@ from repro.sim.vthread import VThread
 from repro.storage.base import StorageError
 from repro.storage.crash import CrashPoint
 from repro.storage.dram import DRAMDevice
+from repro.storage.iouring import IORequest
 from repro.storage.nvm import NVMDevice
 from repro.storage.ssd import SSDDevice
 from repro.index.pactree import PACTree
@@ -799,11 +800,15 @@ class Prism:
         victims = vs.gc_victims(self.config.gc_batch_chunks)
         moves: List[Tuple[int, bytes, int, int]] = []
         read_done = bg.now
+        # Bound once: the slot loop runs per live record per victim.
+        moves_append = moves.append
+        live_records_of = vs.live_records_of
+        read_record_raw = vs.read_record_raw
         try:
             for chunk_id in victims:
-                for slot in vs.live_records_of(chunk_id):
+                for slot in live_records_of(chunk_id):
                     try:
-                        _, value = vs.read_record_raw(chunk_id, slot.offset)
+                        _, value = read_record_raw(chunk_id, slot.offset)
                     except CorruptionError:
                         # A rotted record would poison the GC move; heal
                         # it from a repair source, or leave it in place
@@ -825,7 +830,7 @@ class Prism:
                             )
                             continue
                         value = fetched[0]
-                    moves.append((slot.hsit_idx, value, chunk_id, slot.offset))
+                    moves_append((slot.hsit_idx, value, chunk_id, slot.offset))
                 read_done = max(
                     read_done,
                     vs.ssd.read_async(bg.now, chunk_id * vs.chunk_size, vs.chunk_size),
@@ -873,15 +878,17 @@ class Prism:
         self.crash_point.maybe_crash("gc.pre_publish")
         published = 0
         rc = self.read_cache
+        publish_word = self.hsit.publish_location_word
+        encode_vs = ptr.encode_vs
+        invalidate = vs.invalidate
+        vs_id = vs.vs_id
         try:
             for (idx, value, old_chunk, old_off), (chunk_id, offset, _sz) in zip(
                 moves, placements
             ):
-                self.hsit.publish_location_word(
-                    idx, ptr.encode_vs(vs.vs_id, chunk_id, offset), bg
-                )
+                publish_word(idx, encode_vs(vs_id, chunk_id, offset), bg)
                 published += 1
-                vs.invalidate(old_chunk, old_off)
+                invalidate(old_chunk, old_off)
                 if rc is not None:
                     # GC freed the chunk the cached copy was coupled
                     # to; drop it with the relocation publish rather
@@ -1300,23 +1307,32 @@ class Prism:
             results: Dict[bytes, bytes] = {}
             misses: Dict[int, List[Tuple[int, int, int, bytes]]] = {}
             chain_entries: List[Tuple[bytes, int]] = []
+            # Bound hot callables once: the loop body runs per matched
+            # key and these attribute chains dominated its cost.
+            read_location = self.hsit.read_location
+            read_svc = self.hsit.read_svc
+            enable_svc = self.config.enable_svc
+            svc_lookup = self.svc.lookup if enable_svc else None
+            pwbs = self.pwbs
+            storages = self.storages
+            misses_setdefault = misses.setdefault
             for key, idx in matches:
-                loc = self.hsit.read_location(idx, thread)
+                loc = read_location(idx, thread)
                 if loc.in_pwb:
-                    _, value = self.pwbs[loc.pwb_id].read(loc.pwb_offset, thread)
+                    _, value = pwbs[loc.pwb_id].read(loc.pwb_offset, thread)
                     results[key] = value
                     continue
                 if loc.is_null:
                     continue
-                if self.config.enable_svc:
-                    entry_id = self.hsit.read_svc(idx, thread)
+                if enable_svc:
+                    entry_id = read_svc(idx, thread)
                     if entry_id is not None:
-                        cached = self.svc.lookup(entry_id, thread)
+                        cached = svc_lookup(entry_id, thread)
                         if cached is not None:
                             results[key] = cached
                             chain_entries.append((key, entry_id))
                             continue
-                if self._vs_dead(self.storages[loc.vs_id]):
+                if self._vs_dead(storages[loc.vs_id]):
                     value = self._repair_read(
                         idx, key, loc.vs_id, loc.chunk_id, loc.vs_offset,
                         thread, dead_device=True,
@@ -1326,7 +1342,7 @@ class Prism:
                         entry_id = self.svc.admit(idx, key, value, thread)
                         chain_entries.append((key, entry_id))
                     continue
-                misses.setdefault(loc.vs_id, []).append(
+                misses_setdefault(loc.vs_id, []).append(
                     (loc.chunk_id, loc.vs_offset, idx, key)
                 )
             for vs_id, items in misses.items():
@@ -1373,8 +1389,6 @@ class Prism:
             runs.append([item])
         requests = []
         spans: List[List[Tuple[int, int, int, bytes]]] = []
-        from repro.storage.iouring import IORequest
-
         for run in runs:
             first_chunk, first_off, _, _ = run[0]
             last_chunk, last_off, _, _ = run[-1]

@@ -265,20 +265,39 @@ class CrashSweep:
     # ------------------------------------------------------------------
     # whole-sweep driver
     # ------------------------------------------------------------------
-    def run(self) -> SweepReport:
+    def run(self, jobs: Optional[int] = None) -> SweepReport:
+        """Discover serially, then verify every label (``jobs`` wide).
+
+        Discovery is one recorded run and stays in-process; each
+        verification replays on a fresh store with a private clock, so
+        the label list partitions cleanly across workers.  Outcomes
+        are collected in label order — identical to the serial sweep.
+        (Parallel verification requires a picklable ``store_factory``:
+        a module-level function, not a closure.)
+        """
+        from repro.parallel import parallel_map
+
         report = SweepReport()
         report.workload_labels, report.recovery_labels = self.discover()
-        for label in sorted(report.workload_labels):
-            report.outcomes.append(self.verify_label(label))
-        for label in sorted(report.recovery_labels):
-            report.outcomes.append(self.verify_recovery_label(label))
+        tasks = [
+            (self, False, label, 1)
+            for label in sorted(report.workload_labels)
+        ] + [
+            (self, True, label, 1)
+            for label in sorted(report.recovery_labels)
+        ]
+        report.outcomes = parallel_map(_verify_task, tasks, jobs=jobs)
         return report
 
-    def fuzz(self, trials: int, seed: int = 0) -> List[LabelOutcome]:
+    def fuzz(
+        self, trials: int, seed: int = 0, jobs: Optional[int] = None
+    ) -> List[LabelOutcome]:
         """Seeded random draws over (label, occurrence) pairs."""
+        from repro.parallel import parallel_map
+
         workload, recovery = self.discover()
         rng = random.Random(seed)
-        outcomes: List[LabelOutcome] = []
+        draws: List[tuple] = []
         workload_pool = sorted(workload.items())
         recovery_pool = sorted(recovery.items())
         for _ in range(trials):
@@ -288,11 +307,17 @@ class CrashSweep:
                 break
             label, count = pool[rng.randrange(len(pool))]
             occurrence = rng.randint(1, count)
-            if use_recovery:
-                outcomes.append(self.verify_recovery_label(label, occurrence))
-            else:
-                outcomes.append(self.verify_label(label, occurrence))
-        return outcomes
+            draws.append((self, use_recovery, label, occurrence))
+        return parallel_map(_verify_task, draws, jobs=jobs)
+
+
+def _verify_task(
+    sweep: "CrashSweep", during_recovery: bool, label: str, occurrence: int
+) -> LabelOutcome:
+    """One armed crash point, replayed on a fresh store (spawn-safe)."""
+    if during_recovery:
+        return sweep.verify_recovery_label(label, occurrence)
+    return sweep.verify_label(label, occurrence)
 
 
 # ----------------------------------------------------------------------
@@ -390,6 +415,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fuzz", type=int, default=0, help="extra randomized (label, occurrence) trials"
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="verify crash labels across N worker processes "
+             "(default: $REPRO_JOBS or 1); verdicts are identical to -j1",
+    )
+    parser.add_argument(
         "--cluster", action="store_true",
         help="cluster mode: kill a whole shard at each crash point and "
              "audit durability through the router (repro.cluster)",
@@ -416,6 +446,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(tier.demote.*, tier.promote.*) alongside the usual ones",
     )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        from repro.parallel import set_jobs
+
+        set_jobs(args.jobs)
 
     if args.gray is not None and not args.cluster:
         parser.error("--gray requires --cluster")

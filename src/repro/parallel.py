@@ -1,0 +1,106 @@
+"""Deterministic multiprocess fan-out for independent simulation runs.
+
+Every simulated run in this repository owns a private
+:class:`~repro.sim.clock.VirtualClock`, so runs are embarrassingly
+parallel across seeds, configs, stores, and crash labels — the only
+shared state between two experiment units is the Python interpreter
+itself.  This module exploits that: :func:`parallel_map` executes a
+list of *spawn-safe task descriptors* (a module-level function plus a
+tuple of picklable arguments) across a bounded pool of worker
+processes and returns the results **in task order**.
+
+The determinism contract
+------------------------
+
+``parallel_map(fn, tasks, jobs=N)`` returns byte-identical results for
+every ``N``:
+
+* each task is one self-contained simulation (it builds its own store
+  and clock from its arguments — nothing is shared, nothing is
+  inherited from a sibling task);
+* results come back via pickle, which round-trips floats, ints, and
+  bytes exactly;
+* results are collected in task order, never completion order, so any
+  downstream merge (``LatencyHistogram.merge`` /
+  ``merge_registries`` / JSON serialization) sees the same sequence a
+  serial loop would produce.
+
+``jobs <= 1`` short-circuits to a plain in-process loop — the trivial
+proof of the contract's base case, and the path every test of record
+runs by default.
+
+Workers are seeded by their task arguments alone: all randomness in an
+experiment unit flows from explicit seeds in the descriptor, so a task
+behaves identically no matter which worker (or how many siblings) runs
+it.  Workers force ``REPRO_JOBS=1`` so a unit that itself calls
+:func:`parallel_map` (for example an experiment invoked by the
+``figs`` driver) runs serially instead of forking a second level of
+processes.
+
+The ``spawn`` start method is used unconditionally: forking a live
+simulator process could duplicate open state, and spawn keeps behavior
+identical across platforms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["get_jobs", "set_jobs", "parallel_map"]
+
+_ENV_VAR = "REPRO_JOBS"
+
+
+def get_jobs() -> int:
+    """The process-wide worker count (``REPRO_JOBS``, default 1)."""
+    try:
+        return max(1, int(os.environ.get(_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+def set_jobs(n: int) -> None:
+    """Set the process-wide worker count (exported via ``REPRO_JOBS``)."""
+    if n < 1:
+        raise ValueError(f"jobs must be >= 1: {n}")
+    os.environ[_ENV_VAR] = str(n)
+
+
+def _init_worker() -> None:
+    # Workers never nest: a unit that fans out internally runs serial.
+    os.environ[_ENV_VAR] = "1"
+
+
+def _invoke(job: Tuple[Callable, tuple]) -> object:
+    fn, args = job
+    return fn(*args)
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: Optional[int] = None,
+) -> List[object]:
+    """Run ``fn(*task)`` for every task; results in task order.
+
+    ``fn`` must be a module-level function and every task a tuple of
+    picklable arguments (the spawn-safe task descriptor).  With
+    ``jobs`` (default: :func:`get_jobs`) at 1 — or a single task —
+    everything runs in-process, with no pickling and no pool.
+
+    A worker exception propagates to the caller (the pool is torn
+    down; remaining results are discarded), matching the serial loop's
+    fail-fast behavior.
+    """
+    tasks = list(tasks)
+    jobs = get_jobs() if jobs is None else max(1, int(jobs))
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(*task) for task in tasks]
+    ctx = multiprocessing.get_context("spawn")
+    workers = min(jobs, len(tasks))
+    with ctx.Pool(workers, initializer=_init_worker) as pool:
+        # map (not imap_unordered): ordered collection is what makes
+        # merged output byte-identical to the serial loop.
+        return pool.map(_invoke, [(fn, task) for task in tasks], chunksize=1)

@@ -17,10 +17,10 @@ utilization but queueing delays individual completions.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.sim.resources import WaitList
 from repro.storage.base import StorageError
 from repro.storage.ssd import SSDDevice
 
@@ -69,11 +69,7 @@ class IOUring:
         self.batches_submitted = 0
         self.requests_submitted = 0
         self.io_errors = 0  # CQEs that completed with an error
-        self._outstanding: List[float] = []  # completion-time min-heap
-
-    def _reap(self, now: float) -> None:
-        while self._outstanding and self._outstanding[0] <= now:
-            heapq.heappop(self._outstanding)
+        self._outstanding = WaitList()  # event-ordered completion times
 
     def submit(self, at: float, requests: Sequence[IORequest]) -> float:
         """Submit a batch at virtual time ``at``.
@@ -88,15 +84,11 @@ class IOUring:
         outstanding = self._outstanding
         device = self.device
         qd = self.queue_depth
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        while outstanding and outstanding[0] <= t:
-            heappop(outstanding)
+        stall = outstanding.stall
+        add = outstanding.add
+        outstanding.reap(t)
         for req in requests:
-            while len(outstanding) >= qd:
-                freed = heappop(outstanding)
-                if freed > t:
-                    t = freed
+            t = stall(t, qd)
             try:
                 if req.op == "read":
                     req.completion = device.read_async(t, req.offset, req.size)
@@ -110,7 +102,7 @@ class IOUring:
                 # io_uring contract.  The caller retries or degrades.
                 self.io_errors += 1
                 raise
-            heappush(outstanding, req.completion)
+            add(req.completion)
         self.batches_submitted += 1
         self.requests_submitted += len(requests)
         return t
@@ -122,15 +114,9 @@ class IOUring:
         once for the whole combined batch.  Returns the completion
         time, after any stall for a free ring slot.
         """
-        t = at
         outstanding = self._outstanding
-        while outstanding and outstanding[0] <= t:
-            heapq.heappop(outstanding)
-        qd = self.queue_depth
-        while len(outstanding) >= qd:
-            freed = heapq.heappop(outstanding)
-            if freed > t:
-                t = freed
+        outstanding.reap(at)
+        t = outstanding.stall(at, self.queue_depth)
         device = self.device
         try:
             if req.op == "read":
@@ -142,7 +128,7 @@ class IOUring:
         except StorageError:
             self.io_errors += 1
             raise
-        heapq.heappush(outstanding, req.completion)
+        outstanding.add(req.completion)
         self.requests_submitted += 1
         return req.completion
 
@@ -157,21 +143,20 @@ class IOUring:
         Prism picks an idle Value Storage when several SSDs are
         available (§5.2).
         """
-        self._reap(at)
+        self._outstanding.reap(at)
         return not self._outstanding
 
     def inflight_at(self, at: float) -> int:
-        self._reap(at)
+        self._outstanding.reap(at)
         return len(self._outstanding)
 
     def inflight_snapshot(self, at: float) -> int:
         """Count requests still in service at ``at`` without reaping.
 
-        Pure observation for metrics sampling: :meth:`_reap` pops the
-        completion heap, and doing that at one thread's (possibly
-        ahead) clock would change stall decisions for threads still
-        behind it."""
-        return sum(1 for completion in self._outstanding if completion > at)
+        Pure observation for metrics sampling: reaping at one thread's
+        (possibly ahead) clock would change stall decisions for threads
+        still behind it."""
+        return self._outstanding.count_after(at)
 
     def average_batch(self) -> float:
         if self.batches_submitted == 0:

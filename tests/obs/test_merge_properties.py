@@ -1,0 +1,190 @@
+"""Property tests for the merge algebra the parallel runner relies on.
+
+``repro.parallel`` fans experiments out across worker processes and
+folds the per-worker results back together; byte-identical output at
+any ``--jobs`` requires the fold itself to be well-behaved.  These
+tests pin the algebraic properties of :meth:`LatencyHistogram.merge`
+and :func:`merge_registries`:
+
+* merging equals recording every sample into one histogram (the bucket
+  layout makes it exact, not approximate);
+* merge is commutative and associative, so worker partitioning cannot
+  change the merged distribution;
+* :func:`merge_registries` is insensitive to registry order for every
+  instrument type — with the one documented exception that events with
+  *equal* virtual timestamps keep merge order (a stable sort), which
+  is exactly why the parallel runner always collects results in task
+  order rather than completion order.
+
+Samples are dyadic rationals (``k / 2**20`` seconds) so float sums are
+exact and the order-insensitivity assertions can demand bit-identical
+``total`` fields, not approximate equality.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    merge_registries,
+)
+
+# Dyadic samples: exact float addition in any order (mantissas stay
+# far below 53 bits), so even the float ``total`` merges exactly.
+samples = st.integers(min_value=0, max_value=1 << 20).map(
+    lambda k: k / (1 << 20)
+)
+sample_lists = st.lists(samples, min_size=0, max_size=50)
+
+
+def _hist(values, name="h"):
+    h = LatencyHistogram(name)
+    for v in values:
+        h.record(v)
+    return h
+
+
+def _state(h):
+    """Mergeable state of a histogram, ignoring its name."""
+    return (dict(h._buckets), h.count, h.total, h.max_ns)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=sample_lists, b=sample_lists)
+def test_merge_equals_recording_into_one(a, b):
+    merged = _hist(a).merge(_hist(b))
+    assert _state(merged) == _state(_hist(a + b))
+    assert merged.to_dict() == _hist(a + b).to_dict()
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=sample_lists, b=sample_lists)
+def test_merge_commutative(a, b):
+    ab = _hist(a).merge(_hist(b))
+    ba = _hist(b).merge(_hist(a))
+    assert _state(ab) == _state(ba)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=sample_lists, b=sample_lists, c=sample_lists)
+def test_merge_associative(a, b, c):
+    left = _hist(a).merge(_hist(b)).merge(_hist(c))
+    right = _hist(a).merge(_hist(b).merge(_hist(c)))
+    assert _state(left) == _state(right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    parts=st.lists(sample_lists, min_size=2, max_size=5).flatmap(
+        lambda ps: st.permutations(list(range(len(ps)))).map(
+            lambda perm: (ps, perm)
+        )
+    )
+)
+def test_merge_order_insensitive(parts):
+    """Any worker partitioning and collection order merges identically."""
+    pieces, perm = parts
+    in_order = LatencyHistogram("m")
+    for p in pieces:
+        in_order.merge(_hist(p))
+    permuted = LatencyHistogram("m")
+    for i in perm:
+        permuted.merge(_hist(pieces[i]))
+    assert _state(in_order) == _state(permuted)
+
+
+# -- merge_registries --------------------------------------------------
+
+def _registry(prefix, spec):
+    """Build a shard-style prefixed registry from drawn data.
+
+    ``spec`` is (counter_incs, gauge_value, hist_samples, series_pairs,
+    event_times) — one instrument of each type under shared names, the
+    shape per-shard registries take in cluster runs.
+    """
+    counter_incs, gauge_value, hist_samples, series_pairs, event_times = spec
+    reg = MetricsRegistry(prefix=prefix)
+    for n in counter_incs:
+        reg.counter("ops").inc(n)
+    reg.gauge("bytes").set(gauge_value)
+    for s in hist_samples:
+        reg.histogram("op.read").record(s)
+    for t, v in series_pairs:
+        reg.timeseries("queue").append(t, v)
+    for t in event_times:
+        reg.events("gc").emit(t, "gc", shard=prefix)
+    return reg
+
+
+reg_specs = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=10),
+    samples,
+    sample_lists,
+    st.lists(st.tuples(samples, samples), max_size=10),
+    st.just(()),  # event times drawn separately (must be unique)
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    specs=st.lists(reg_specs, min_size=2, max_size=4),
+    event_times=st.lists(samples, unique=True, max_size=12),
+    data=st.data(),
+)
+def test_merge_registries_order_insensitive(specs, event_times, data):
+    """Merging per-shard registries in any order gives one snapshot.
+
+    Event timestamps are unique here; the equal-timestamp tie rule is
+    pinned separately below.
+    """
+    n = len(specs)
+    # Partition the globally unique event times across the registries.
+    specs = [
+        (c, g, h, s, tuple(t for j, t in enumerate(event_times) if j % n == i))
+        for i, (c, g, h, s, _) in enumerate(specs)
+    ]
+    perm = data.draw(st.permutations(list(range(n))))
+
+    def build():
+        return [_registry(f"shard{i}/", specs[i]) for i in range(n)]
+
+    regs = build()
+    merged = merge_registries(regs).to_dict()
+    shuffled = build()
+    merged_perm = merge_registries([shuffled[i] for i in perm]).to_dict()
+    # Gauges add under merge, and float addition order matters in the
+    # last bit — compare them approximately, everything else exactly.
+    gauges = merged.pop("gauges")
+    gauges_perm = merged_perm.pop("gauges")
+    assert gauges.keys() == gauges_perm.keys()
+    for k in gauges:
+        assert abs(gauges[k] - gauges_perm[k]) <= 1e-12
+    assert merged == merged_perm
+
+
+def test_merge_registries_strips_prefixes():
+    regs = [_registry(f"shard{i}/", ([i + 1], 0.0, [0.5], [], ())) for i in range(3)]
+    merged = merge_registries(regs)
+    assert merged.counter("ops").value == 1 + 2 + 3
+    assert merged.histogram("op.read").count == 3
+
+
+def test_equal_timestamp_events_keep_merge_order():
+    """The documented tie rule: events with equal virtual times land in
+    merge order (stable sort).  This is why the parallel runner folds
+    worker results in *task* order — completion order would reorder
+    ties and break byte-identity of the merged event log."""
+    a = MetricsRegistry(prefix="a/")
+    b = MetricsRegistry(prefix="b/")
+    a.events("gc").emit(1.0, "gc", src="a")
+    b.events("gc").emit(1.0, "gc", src="b")
+    ab = [e["src"] for e in merge_registries([a, b]).events("gc")]
+    a2 = MetricsRegistry(prefix="a/")
+    b2 = MetricsRegistry(prefix="b/")
+    a2.events("gc").emit(1.0, "gc", src="a")
+    b2.events("gc").emit(1.0, "gc", src="b")
+    ba = [e["src"] for e in merge_registries([b2, a2]).events("gc")]
+    assert ab == ["a", "b"]
+    assert ba == ["b", "a"]

@@ -1,0 +1,94 @@
+"""Unit tests for the multiprocess experiment runner primitives.
+
+The contract under test (see ``repro/parallel.py``): results come back
+in *task* order regardless of completion order, workers never nest
+pools, and ``jobs <= 1`` short-circuits to a plain in-process loop so
+the serial path stays trivially identical.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import get_jobs, parallel_map, set_jobs
+
+
+# Module-level so spawn workers can unpickle them by qualified name.
+def _square(x):
+    return x * x
+
+
+def _pair(a, b):
+    return (a, b)
+
+
+def _worker_jobs_env(x):
+    return (x, os.environ.get("REPRO_JOBS"))
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def test_serial_path_preserves_order_and_arity():
+    assert parallel_map(_square, [(i,) for i in range(6)], jobs=1) == [
+        0, 1, 4, 9, 16, 25,
+    ]
+    assert parallel_map(_pair, [(1, 2), (3, 4)], jobs=1) == [(1, 2), (3, 4)]
+
+
+def test_empty_and_single_task_short_circuit():
+    assert parallel_map(_square, [], jobs=8) == []
+    # One task never pays pool startup, whatever jobs says.
+    assert parallel_map(_square, [(7,)], jobs=8) == [49]
+
+
+def test_parallel_results_in_task_order():
+    tasks = [(i,) for i in range(10)]
+    assert parallel_map(_square, tasks, jobs=2) == [i * i for i in range(10)]
+
+
+def test_workers_never_nest_pools():
+    # Every worker must see REPRO_JOBS=1, or an inner parallel_map
+    # would fork a pool per worker.
+    results = parallel_map(_worker_jobs_env, [(i,) for i in range(4)], jobs=2)
+    assert [x for x, _ in results] == [0, 1, 2, 3]
+    assert all(jobs == "1" for _, jobs in results)
+
+
+def test_serial_path_runs_in_process():
+    # jobs=1 uses no pool: closures (unpicklable) are fine.
+    captured = []
+
+    def record(x):
+        captured.append(x)
+        return x
+
+    assert parallel_map(record, [(1,), (2,)], jobs=1) == [1, 2]
+    assert captured == [1, 2]
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_boom, [(1,), (2,)], jobs=2)
+
+
+def test_set_jobs_validates_and_sets_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert get_jobs() == 1
+    set_jobs(3)
+    assert os.environ["REPRO_JOBS"] == "3"
+    assert get_jobs() == 3
+    with pytest.raises(ValueError):
+        set_jobs(0)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
+def test_get_jobs_tolerates_garbage_env(monkeypatch):
+    # A malformed REPRO_JOBS degrades to serial, never crashes a run.
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    assert get_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "-4")
+    assert get_jobs() == 1
